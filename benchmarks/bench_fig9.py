@@ -1,0 +1,85 @@
+"""Benchmark for Figure 9 — synthetic sensitivity analysis (a–f).
+
+Times one simulation step per competitor on the uniform and skewed
+benchmarks and asserts the panels' qualitative outcomes at the sweep
+endpoints: THERMAL-JOIN leads everywhere, higher skew means more work
+for everyone, and spreading objects over more clusters relaxes the join.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import ALGORITHM_FACTORIES, FIG9_ALGORITHMS
+from repro.experiments.workloads import scaled_clustered, scaled_uniform
+
+from conftest import UNIFORM_N
+
+
+@pytest.mark.parametrize("name", FIG9_ALGORITHMS)
+def test_fig9_uniform_step(benchmark, name):
+    """Panel (a/b/d) kernel: one moving uniform-benchmark step."""
+    dataset, motion = scaled_uniform(UNIFORM_N, width=15.0, seed=401)
+    algorithm = ALGORITHM_FACTORIES[name]()
+
+    def step():
+        result = algorithm.step(dataset)
+        motion.step(dataset)
+        return result
+
+    result = benchmark(step)
+    assert result.n_results > 0
+
+
+@pytest.mark.parametrize("name", FIG9_ALGORITHMS)
+def test_fig9_skewed_step(benchmark, name):
+    """Panel (e/f) kernel: one moving skewed-benchmark step."""
+    dataset, motion, _labels = scaled_clustered(2000, sd_factor=1.0, seed=402)
+    algorithm = ALGORITHM_FACTORIES[name]()
+
+    def step():
+        result = algorithm.step(dataset)
+        motion.step(dataset)
+        return result
+
+    result = benchmark(step)
+    assert result.n_results > 0
+
+
+def test_fig9c_width_variation_costs_thermal():
+    """Panel (c): width variation forces T-Grids, so THERMAL-JOIN pays
+    tests it avoids in the equal-width case — but stays correct."""
+    from repro.core import ThermalJoin
+
+    equal, _m = scaled_uniform(UNIFORM_N, width=15.0, seed=403)
+    varied, _m = scaled_uniform(UNIFORM_N, width_range=(7.0, 23.0), seed=403)
+    join_equal = ThermalJoin(resolution=1.0, count_only=True)
+    join_varied = ThermalJoin(resolution=1.0, count_only=True)
+    join_equal.step(equal)
+    join_varied.step(varied)
+    assert join_varied.last_step_info["tgrid_cells"] > join_equal.last_step_info[
+        "tgrid_cells"
+    ]
+
+
+def test_fig9e_smaller_spread_is_more_selective():
+    """Panel (e): shrinking the cluster spread raises selectivity."""
+    from repro.core import ThermalJoin
+
+    tight, _m, _l = scaled_clustered(2000, sd_factor=0.5, seed=404)
+    loose, _m, _l = scaled_clustered(2000, sd_factor=1.5, seed=404)
+    tight_res = ThermalJoin(resolution=1.0, count_only=True).step(tight)
+    loose_res = ThermalJoin(resolution=1.0, count_only=True).step(loose)
+    assert tight_res.n_results > loose_res.n_results
+
+
+def test_fig9f_more_clusters_less_selective():
+    """Panel (f): dividing the objects among more clusters lowers the
+    density around each cluster and with it the join selectivity."""
+    from repro.core import ThermalJoin
+
+    one, _m, _l = scaled_clustered(2000, n_clusters=1, seed=405)
+    five, _m, _l = scaled_clustered(2000, n_clusters=5, seed=405)
+    one_res = ThermalJoin(resolution=1.0, count_only=True).step(one)
+    five_res = ThermalJoin(resolution=1.0, count_only=True).step(five)
+    assert one_res.n_results > five_res.n_results

@@ -1,0 +1,50 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_figN.py`` module benchmarks the representative unit of work
+behind the corresponding paper figure at the ``quick`` workload scale,
+so the whole suite runs in minutes.  The full sweeps that regenerate
+each figure's series live in the experiment harness
+(``python -m repro.experiments <figN> --scale default``); the benchmark
+suite asserts the figures' *qualitative* shape (who wins, what grows)
+while timing the kernels.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.experiments.workloads import scaled_neural, scaled_uniform  # noqa: E402
+
+#: Object counts for the benchmark suite (the "quick" regime).
+NEURAL_N = 4000
+UNIFORM_N = 4000
+
+
+@pytest.fixture(scope="module")
+def neural_workload():
+    """Fresh quick-scale neural workload per benchmark module."""
+    dataset, motion, _labels = scaled_neural(NEURAL_N, seed=101)
+    return dataset, motion
+
+
+@pytest.fixture(scope="module")
+def neural_dataset():
+    dataset, _motion, _labels = scaled_neural(NEURAL_N, seed=102)
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def uniform_dataset():
+    dataset, _motion = scaled_uniform(UNIFORM_N, width=15.0, seed=103)
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def uniform_workload():
+    dataset, motion = scaled_uniform(UNIFORM_N, width=15.0, seed=104)
+    return dataset, motion

@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+the legacy ``setup.py develop`` editable-install path used when PEP 660
+builds are unavailable (e.g. fully offline machines).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro — a reproduction of THERMAL-JOIN (SIGMOD 2015).
+
+A scalable in-memory spatial self-join for dynamic (moving-object)
+workloads, together with the eight baseline joins, workload generators,
+simulation driver and benchmark harness used by the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import ThermalJoin, make_uniform_workload, SimulationRunner
+>>> dataset, motion = make_uniform_workload(5000, width=15.0, seed=0)
+>>> runner = SimulationRunner(dataset, motion, ThermalJoin())
+>>> records = runner.run(n_steps=5)
+>>> records[0].n_results > 0
+True
+"""
+
+from repro.datasets import (
+    BranchJitter,
+    ClusterDrift,
+    MotionModel,
+    RandomTranslation,
+    SpatialDataset,
+    make_clustered_dataset,
+    make_clustered_workload,
+    make_neural_dataset,
+    make_neural_workload,
+    make_uniform_dataset,
+    make_uniform_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SpatialDataset",
+    "MotionModel",
+    "RandomTranslation",
+    "ClusterDrift",
+    "BranchJitter",
+    "make_uniform_dataset",
+    "make_uniform_workload",
+    "make_clustered_dataset",
+    "make_clustered_workload",
+    "make_neural_dataset",
+    "make_neural_workload",
+]
+
+
+def __getattr__(name):
+    """Lazy imports for the heavier subpackages (joins, core, simulation).
+
+    Keeps ``import repro`` light while still exposing the full public API
+    at the package root.
+    """
+    if name.startswith("_"):
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    api = importlib.import_module("repro._api")
+    try:
+        return getattr(api, name)
+    except AttributeError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None

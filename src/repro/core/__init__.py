@@ -1,0 +1,25 @@
+"""THERMAL-JOIN core: P-Grid, T-Grid, hot spots, self-tuning."""
+
+from repro.core.cells import (
+    PGridCell,
+    half_neighborhood_offsets,
+    pack_cell_id_scalar,
+    pack_cell_ids,
+    unpack_cell_id,
+)
+from repro.core.pgrid import PGrid
+from repro.core.tgrid import TGrid
+from repro.core.thermal import ThermalJoin
+from repro.core.tuning import HillClimbingTuner
+
+__all__ = [
+    "ThermalJoin",
+    "PGrid",
+    "TGrid",
+    "PGridCell",
+    "HillClimbingTuner",
+    "half_neighborhood_offsets",
+    "pack_cell_ids",
+    "pack_cell_id_scalar",
+    "unpack_cell_id",
+]

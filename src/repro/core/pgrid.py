@@ -1,0 +1,302 @@
+"""The P-Grid: THERMAL-JOIN's persistent linked-hash uniform grid.
+
+Implements Algorithm 1 and Section 4.3.1 of the paper:
+
+* **Build** — every object is assigned to the (single) cell containing
+  its *center*; only non-empty cells are materialised in a hash table;
+  each cell's object list is sorted by the objects' lower x bound; and
+  *hyperlinks* (direct references) are wired to the existing cells of
+  the half neighbourhood so the join phase never pays hash lookups.
+* **Incremental maintenance** — on subsequent steps the grid is not
+  discarded: cells are recycled, object lists are re-assigned, cells
+  whose population migrated away become *vacant* (their structure kept
+  for future reuse) and age each step.
+* **Garbage collection** — when vacant cells exceed a threshold fraction
+  (the paper's policy: 35 % of all cells) the vacant cells are pruned
+  and the hyperlinks referencing them dissolved.
+
+The number of neighbour layers linked per cell follows Section 4.2.1:
+``ceil(largest object width / cell width)`` — one layer (13 half
+neighbours in 3-D) when the cell width equals the largest object width
+(Figure 4a), more when the cells are finer (Figure 4b).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.cells import (
+    PGridCell,
+    half_neighborhood_offsets,
+    pack_cell_id_scalar,
+    pack_cell_ids,
+)
+from repro.joins.base import ID_BYTES, MBR_BYTES, POINTER_BYTES
+
+__all__ = ["PGrid"]
+
+#: Fixed per-cell record size in the C-struct footprint model: cell id,
+#: cell MBR, min-object MBR, age, and the two list headers of Figure 3.
+CELL_RECORD_BYTES = ID_BYTES + MBR_BYTES + MBR_BYTES + 8 + 16 + 16
+
+
+def _bucket_count(n_cells):
+    """Power-of-two hash bucket count at a 0.75 target load factor."""
+    need = max(8, int(n_cells / 0.75) + 1)
+    return 1 << (need - 1).bit_length()
+
+
+class PGrid:
+    """Persistent uniform grid over object centers.
+
+    Parameters
+    ----------
+    cell_width:
+        Uniform cell side length.  THERMAL-JOIN sets it to ``r`` times
+        the largest object width, where ``r`` is the (tuned) normalized
+        resolution of Section 4.3.2.
+    origin:
+        Grid origin; cell ``(0, 0, 0)`` spans ``[origin, origin + w)``.
+        Fixed for the grid's lifetime so cell identifiers stay stable
+        across incremental refreshes.
+    gc_threshold:
+        Vacant-cell fraction that triggers garbage collection (paper
+        default 0.35).
+    """
+
+    def __init__(self, cell_width, origin, gc_threshold=0.35):
+        if cell_width <= 0:
+            raise ValueError(f"cell_width must be positive, got {cell_width}")
+        if not 0.0 < gc_threshold <= 1.0:
+            raise ValueError(f"gc_threshold must be in (0, 1], got {gc_threshold}")
+        self.cell_width = float(cell_width)
+        self.origin = np.asarray(origin, dtype=np.float64).copy()
+        if self.origin.shape != (3,):
+            raise ValueError(f"origin must be a 3-vector, got {self.origin.shape}")
+        self.gc_threshold = float(gc_threshold)
+        #: packed cell id -> PGridCell (the linked-hash table).
+        self.cells = {}
+        #: Cells with at least one object after the last refresh.
+        self.occupied = []
+        # Stacked per-occupied-cell arrays (aligned with ``occupied``),
+        # retained by refresh() so the batched join phase can work on
+        # whole-grid arrays instead of per-cell slices:
+        #: all object indices, grouped by cell and x-sorted within cells.
+        self.cat = None
+        #: per-cell [start, stop) ranges into ``cat``.
+        self.cell_starts = None
+        self.cell_stops = None
+        #: per-cell per-dimension min/max object widths.
+        self.cell_min_width = None
+        self.cell_max_width = None
+        #: per-cell tight center bounds.
+        self.cell_center_lo = None
+        self.cell_center_hi = None
+        #: Neighbour layers wired into the hyperlinks (set on first build).
+        self.layers = None
+        self.n_vacant = 0
+        # Lifetime counters (exposed through ThermalJoin statistics).
+        self.cells_created = 0
+        self.cells_recycled = 0
+        self.gc_runs = 0
+
+    # ------------------------------------------------------------------
+    # Building and refreshing
+    # ------------------------------------------------------------------
+    def required_layers(self, max_object_width):
+        """Neighbour layers needed so the external join misses no pair.
+
+        Two objects can only overlap when their centers are closer than
+        the largest object width ``W`` in every dimension, hence at most
+        ``ceil(W / cell_width)`` cells apart.
+        """
+        ratio = max_object_width / self.cell_width
+        return max(1, math.ceil(ratio - 1e-9))
+
+    def refresh(self, centers, xlo, widths, max_object_width):
+        """Assign all objects to cells, recycling structure where possible.
+
+        Parameters
+        ----------
+        centers:
+            ``(n, 3)`` current object centers.
+        xlo:
+            ``(n,)`` lower x bounds of the object MBRs (sort key for the
+            per-cell object lists).
+        widths:
+            ``(n, 3)`` per-object per-dimension widths.
+        max_object_width:
+            Largest width in the dataset (drives the layer count).
+
+        The first call builds from scratch; later calls reuse cells per
+        Section 4.3.1.  If the required layer count changed (object
+        extents changed), the grid is rebuilt from scratch since the
+        hyperlink structure is no longer valid.
+        """
+        layers = self.required_layers(max_object_width)
+        if self.layers is not None and layers != self.layers:
+            self.clear()
+        self.layers = layers
+
+        coords = np.floor((centers - self.origin) / self.cell_width).astype(np.int64)
+        packed = pack_cell_ids(coords)
+        order = np.lexsort((xlo, packed))
+        sorted_packed = packed[order]
+
+        n = sorted_packed.size
+        if n == 0:
+            boundaries = np.empty(0, dtype=np.int64)
+        else:
+            boundaries = np.flatnonzero(sorted_packed[1:] != sorted_packed[:-1]) + 1
+        starts = np.concatenate([[0], boundaries]) if n else np.empty(0, dtype=np.int64)
+        stops = np.concatenate([boundaries, [n]]) if n else np.empty(0, dtype=np.int64)
+
+        sorted_widths = widths[order]
+        if n:
+            min_widths = np.minimum.reduceat(sorted_widths, starts, axis=0)
+            max_widths = np.maximum.reduceat(sorted_widths, starts, axis=0)
+            sorted_centers = centers[order]
+            center_lo = np.minimum.reduceat(sorted_centers, starts, axis=0)
+            center_hi = np.maximum.reduceat(sorted_centers, starts, axis=0)
+        else:
+            min_widths = max_widths = np.empty((0, 3))
+            center_lo = center_hi = np.empty((0, 3))
+        self.cat = order
+        self.cell_starts = starts
+        self.cell_stops = stops
+        self.cell_min_width = min_widths
+        self.cell_max_width = max_widths
+        self.cell_center_lo = center_lo
+        self.cell_center_hi = center_hi
+
+        previously_occupied = self.occupied
+        self.occupied = []
+        new_cells = []
+        touched = set()
+        offsets = half_neighborhood_offsets(self.layers)
+        width_vec = np.full(3, self.cell_width)
+
+        for k in range(starts.size):
+            start = int(starts[k])
+            cell_id = int(sorted_packed[start])
+            touched.add(cell_id)
+            cell = self.cells.get(cell_id)
+            if cell is None:
+                cell_coords = tuple(int(c) for c in coords[order[start]])
+                lo = self.origin + np.asarray(cell_coords, dtype=np.float64) * self.cell_width
+                cell = PGridCell(cell_coords, lo, lo + width_vec)
+                self.cells[cell_id] = cell
+                new_cells.append((cell_id, cell))
+                self.cells_created += 1
+            else:
+                if cell.is_vacant:
+                    self.n_vacant -= 1
+                self.cells_recycled += 1
+            cell.object_idx = order[start:int(stops[k])]
+            cell.min_obj_width = min_widths[k]
+            cell.max_obj_width = max_widths[k]
+            cell.center_lo = center_lo[k]
+            cell.center_hi = center_hi[k]
+            cell.age = 0
+            cell.slot = k
+            self.occupied.append(cell)
+
+        # Cells whose population migrated away become (or remain) vacant.
+        for cell in previously_occupied:
+            cell_id = self._cell_key(cell)
+            if cell_id not in touched:
+                if not cell.is_vacant:
+                    cell.clear()
+                    self.n_vacant += 1
+        for cell in self.cells.values():
+            if cell.is_vacant:
+                cell.age += 1
+
+        self._wire_hyperlinks(new_cells, offsets)
+        self.garbage_collect_if_needed()
+        return self.occupied
+
+    def _cell_key(self, cell):
+        return pack_cell_id_scalar(*cell.coords)
+
+    def _wire_hyperlinks(self, new_cells, offsets):
+        """Link each new cell into the half-neighbourhood structure.
+
+        For a new cell ``C`` and each half offset ``o``: an existing cell
+        at ``C + o`` becomes one of ``C``'s hyperlinks, and a *pre-existing*
+        cell at ``C - o`` gains a hyperlink to ``C`` (new cells at ``C - o``
+        link ``C`` themselves when their own ``+o`` scan runs, so each
+        unordered cell pair is linked exactly once).
+        """
+        if not new_cells:
+            return
+        new_ids = {cell_id for cell_id, _cell in new_cells}
+        cells = self.cells
+        for cell_id, cell in new_cells:
+            cx, cy, cz = cell.coords
+            links = cell.hyperlinks
+            for ox, oy, oz in offsets:
+                neighbor = cells.get(pack_cell_id_scalar(cx + ox, cy + oy, cz + oz))
+                if neighbor is not None:
+                    links.append(neighbor)
+                back = pack_cell_id_scalar(cx - ox, cy - oy, cz - oz)
+                if back not in new_ids:
+                    neighbor = cells.get(back)
+                    if neighbor is not None:
+                        neighbor.hyperlinks.append(cell)
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def garbage_collect_if_needed(self):
+        """Prune vacant cells when they exceed the threshold fraction.
+
+        Returns the number of cells collected (0 when below threshold).
+        """
+        total = len(self.cells)
+        if total == 0 or self.n_vacant <= self.gc_threshold * total:
+            return 0
+        vacant = [cell for cell in self.cells.values() if cell.is_vacant]
+        vacant_set = set(map(id, vacant))
+        for cell_id in [self._cell_key(cell) for cell in vacant]:
+            del self.cells[cell_id]
+        # Dissolve hyperlinks from surviving cells to collected ones.
+        for cell in self.cells.values():
+            if cell.hyperlinks:
+                cell.hyperlinks = [
+                    link for link in cell.hyperlinks if id(link) not in vacant_set
+                ]
+        self.n_vacant = 0
+        self.gc_runs += 1
+        return len(vacant)
+
+    def clear(self):
+        """Drop the whole grid (used when the resolution is re-tuned)."""
+        self.cells = {}
+        self.occupied = []
+        self.layers = None
+        self.n_vacant = 0
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def memory_footprint(self):
+        """Grid footprint in bytes under the C-struct model of Figure 3."""
+        n_cells = len(self.cells)
+        if n_cells == 0:
+            return 0
+        total = _bucket_count(n_cells) * POINTER_BYTES
+        total += n_cells * CELL_RECORD_BYTES
+        for cell in self.cells.values():
+            if cell.object_idx is not None:
+                total += cell.object_idx.size * POINTER_BYTES
+            total += len(cell.hyperlinks) * POINTER_BYTES
+        return total
+
+    def __repr__(self):
+        return (
+            f"PGrid(width={self.cell_width:.3g}, cells={len(self.cells)}, "
+            f"occupied={len(self.occupied)}, vacant={self.n_vacant})"
+        )

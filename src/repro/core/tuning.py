@@ -1,0 +1,202 @@
+"""Self-tuning of the P-Grid resolution (paper Section 4.3.2).
+
+THERMAL-JOIN does not require the user to configure the grid: it tunes
+the normalized resolution ``r`` (cell width as a fraction of the largest
+object width) at runtime by hill climbing on the observed per-step join
+cost ``F_t(r)``, which is convex in ``r`` with a workload-dependent
+optimum (the paper's Figure 6).
+
+The tuner follows the paper's protocol:
+
+* start at ``r_1 = 1``;
+* move ``r`` step-wise, keeping a move when the cost improved and
+  reversing/halving the step otherwise;
+* declare convergence when successive costs differ by no more than the
+  threshold (Equation 1; the paper uses 10 % and observes convergence in
+  6–8 time steps);
+* once converged, stop tuning but keep watching the cost at the chosen
+  ``r'``; when it drifts by more than the threshold between steps
+  (Equation 2 — the workload's distribution changed), tuning restarts.
+
+The cost signal is whatever the caller feeds :meth:`observe` — wall
+time, like the paper, or a deterministic operation count for
+reproducible tests (see ``ThermalJoin(cost_model="operations")``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["HillClimbingTuner"]
+
+
+class HillClimbingTuner:
+    """Hill climber over the normalized P-Grid resolution ``r``.
+
+    Parameters
+    ----------
+    initial:
+        Starting resolution (the paper starts at 1.0).
+    initial_step:
+        First step size; halved on every direction reversal.
+    threshold:
+        Relative cost-change threshold for both convergence (Eq. 1) and
+        re-tune triggering (Eq. 2).  Paper default: 0.1.
+    r_min, r_max:
+        Hard bounds on the explored resolution.
+    min_step:
+        Convergence is also declared when the step shrinks below this.
+    """
+
+    def __init__(
+        self,
+        initial=1.0,
+        initial_step=0.25,
+        threshold=0.1,
+        r_min=0.2,
+        r_max=2.0,
+        min_step=0.02,
+    ):
+        if not r_min < r_max:
+            raise ValueError(f"need r_min < r_max, got {r_min} >= {r_max}")
+        if not r_min <= initial <= r_max:
+            raise ValueError(f"initial resolution {initial} outside [{r_min}, {r_max}]")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if initial_step <= 0 or min_step <= 0:
+            raise ValueError("step sizes must be positive")
+        self.initial = float(initial)
+        self.initial_step = float(initial_step)
+        self.threshold = float(threshold)
+        self.r_min = float(r_min)
+        self.r_max = float(r_max)
+        self.min_step = float(min_step)
+
+        self.current_r = self.initial
+        self.converged = False
+        #: (r, cost) pairs in observation order (diagnostics/Figure 6-style plots).
+        self.history = []
+        #: Number of observations consumed while actively tuning.
+        self.tuning_steps = 0
+        #: Number of times drift re-triggered tuning (Eq. 2).
+        self.retunes = 0
+
+        self._step = self.initial_step
+        self._direction = -1.0  # explore finer grids first (Fig. 6 optima sit below 1)
+        self._prev_r = None
+        self._prev_cost = None
+        self._converged_cost = None
+        self._best_r = None
+        self._best_cost = None
+
+    # ------------------------------------------------------------------
+    def observe(self, cost):
+        """Feed the cost measured at :attr:`current_r`; may move ``r``.
+
+        Returns True when the observation changed :attr:`current_r`
+        (the caller must then rebuild the P-Grid from scratch, as the
+        paper notes every resolution change requires).
+        """
+        if cost < 0:
+            raise ValueError(f"cost must be non-negative, got {cost}")
+        cost = float(cost)
+        self.history.append((self.current_r, cost))
+        if self.converged:
+            return self._watch_for_drift(cost)
+        return self._climb(cost)
+
+    def _watch_for_drift(self, cost):
+        """Equation 2: restart tuning on a significant cost change at r'."""
+        reference = self._converged_cost
+        self._converged_cost = cost
+        if reference is None or reference == 0.0:
+            # Fresh reference (first observation after converging onto a
+            # retreat point): remember it, never compare against a cost
+            # measured many steps ago on a moving workload.
+            return False
+        if abs(cost - reference) > self.threshold * reference:
+            self.converged = False
+            self.retunes += 1
+            self._step = self.initial_step
+            self._prev_r = None
+            self._prev_cost = None
+            self._converged_cost = None
+            # Seed the new phase's best with the point we are leaving:
+            # if the exploration finds nothing cheaper than the drifted
+            # cost here, the climb returns rather than settling worse.
+            self._best_r = self.current_r
+            self._best_cost = cost
+            return self._propose(self.current_r + self._direction * self._step)
+        return False
+
+    def _climb(self, cost):
+        """One hill-climbing update (Equation 1 convergence test).
+
+        The climb keeps the best ``(r, cost)`` seen in the current tuning
+        phase; retreats aim at the best point rather than merely the
+        previous one, so a walk that wandered into a bad region (or onto
+        the clamped boundary) cannot settle there.
+        """
+        self.tuning_steps += 1
+        if self._best_cost is None or cost < self._best_cost:
+            self._best_r = self.current_r
+            self._best_cost = cost
+
+        if self._prev_cost is None:
+            # First probe: remember it and take the initial step.
+            self._prev_r = self.current_r
+            self._prev_cost = cost
+            return self._propose(self.current_r + self._direction * self._step)
+
+        relative_change = (
+            abs(cost - self._prev_cost) / self._prev_cost
+            if self._prev_cost > 0
+            else 0.0
+        )
+        if relative_change <= self.threshold and cost <= 1.3 * self._best_cost:
+            # Equation 1 — and the plateau is genuinely near the best
+            # point seen, not a flat stretch of a bad region.
+            return self._finalize_at(self.current_r)
+
+        if cost < self._prev_cost:
+            # Improvement: keep walking the same direction.
+            self._prev_r = self.current_r
+            self._prev_cost = cost
+            return self._propose(self.current_r + self._direction * self._step)
+
+        # Worse: retreat toward the best point, reverse, halve the step.
+        self._direction = -self._direction
+        self._step /= 2.0
+        if self._step < self.min_step:
+            return self._finalize_at(self._best_r)
+        self._prev_r = self._best_r
+        self._prev_cost = self._best_cost
+        return self._propose(self._best_r + self._direction * self._step)
+
+    def _finalize_at(self, r):
+        """Converge onto ``r``; the drift reference starts fresh."""
+        # Mark converged *before* proposing: at a clamped boundary the
+        # proposal is a no-op and must not re-enter the climbing logic.
+        self.converged = True
+        # The next observation (at the converged r) initialises the
+        # Equation-2 reference; comparing against a cost measured at an
+        # earlier time step of a moving workload triggers false drift.
+        self._converged_cost = None
+        return self._propose(r)
+
+    def _propose(self, r):
+        """Clamp and adopt a new resolution; report whether it changed."""
+        r = min(max(r, self.r_min), self.r_max)
+        changed = abs(r - self.current_r) > 1e-12
+        self.current_r = r
+        if not changed and not self.converged:
+            # Clamped onto the boundary we were already sitting on: the
+            # climb cannot make progress in this direction.
+            self._direction = -self._direction
+            self._step /= 2.0
+            if self._step < self.min_step:
+                best = self._best_r if self._best_r is not None else self.current_r
+                return self._finalize_at(best)
+        return changed
+
+    def __repr__(self):
+        state = "converged" if self.converged else "tuning"
+        return f"HillClimbingTuner(r={self.current_r:.3f}, {state})"

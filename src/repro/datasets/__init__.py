@@ -1,0 +1,31 @@
+"""Workload substrate: datasets, generators and motion models."""
+
+from repro.datasets.clustered import make_clustered_dataset, make_clustered_workload
+from repro.datasets.dataset import SpatialDataset
+from repro.datasets.motion import (
+    BranchJitter,
+    ClusterDrift,
+    MotionModel,
+    RandomTranslation,
+)
+from repro.datasets.neural import make_neural_dataset, make_neural_workload
+from repro.datasets.uniform import (
+    UNIFORM_BOUNDS,
+    make_uniform_dataset,
+    make_uniform_workload,
+)
+
+__all__ = [
+    "SpatialDataset",
+    "MotionModel",
+    "RandomTranslation",
+    "ClusterDrift",
+    "BranchJitter",
+    "UNIFORM_BOUNDS",
+    "make_uniform_dataset",
+    "make_uniform_workload",
+    "make_clustered_dataset",
+    "make_clustered_workload",
+    "make_neural_dataset",
+    "make_neural_workload",
+]

@@ -1,0 +1,205 @@
+"""In-memory spatial dataset with in-place position updates.
+
+The paper's experimental methodology (Section 5.1.1) keeps the dataset
+as a flat list of spatial objects — MBR, identifier and simulation
+attributes — that the simulation application mutates *in place* at every
+time step; join algorithms only hold pointers into the list and never
+reorder it.  :class:`SpatialDataset` reproduces that contract with a
+structure-of-arrays layout: object centers and extents live in numpy
+arrays, positions are updated in place by the motion models, and join
+algorithms address objects by their stable positional index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import mbr
+
+__all__ = ["SpatialDataset"]
+
+#: Byte cost of one object record in the paper's C++ layout: a 3-D MBR as
+#: six doubles (48 B), a 64-bit identifier and two 64-bit attribute slots
+#: (Figure 3 shows ``ID, MBR, atr1, atr2`` entries).
+OBJECT_RECORD_BYTES = 48 + 8 + 16
+
+
+class SpatialDataset:
+    """A collection of moving 3-D spatial objects.
+
+    Parameters
+    ----------
+    centers:
+        ``(n, 3)`` array of object center coordinates.  Mutated in place
+        by the motion models during a simulation.
+    widths:
+        Object extents: scalar (all objects share one cubic width — the
+        paper's standard setting), ``(n,)`` per-object cubic widths, or
+        ``(n, 3)`` per-object per-dimension widths.
+    bounds:
+        Optional ``(lo, hi)`` pair with the simulation domain bounds.
+        Motion models use it to reflect objects at the boundary; when
+        omitted it is derived from the initial data on first access.
+    attributes:
+        Optional mapping of named per-object attribute arrays (mass,
+        conductivity, ...).  Carried along but never interpreted.
+    """
+
+    def __init__(self, centers, widths, bounds=None, attributes=None):
+        centers = np.ascontiguousarray(centers, dtype=np.float64)
+        if centers.ndim != 2 or centers.shape[1] != mbr.DIMENSIONS:
+            raise ValueError(
+                f"centers must have shape (n, {mbr.DIMENSIONS}), got {centers.shape}"
+            )
+        if centers.shape[0] == 0:
+            raise ValueError("a dataset needs at least one object")
+        widths = np.asarray(widths, dtype=np.float64)
+        if widths.ndim == 0:
+            widths_full = np.full_like(centers, float(widths))
+        elif widths.ndim == 1:
+            if widths.shape[0] != centers.shape[0]:
+                raise ValueError(
+                    f"per-object widths length {widths.shape[0]} does not "
+                    f"match {centers.shape[0]} centers"
+                )
+            widths_full = np.repeat(widths[:, None], centers.shape[1], axis=1)
+        elif widths.shape == centers.shape:
+            widths_full = widths.copy()
+        else:
+            raise ValueError(
+                f"widths shape {widths.shape} does not match centers shape "
+                f"{centers.shape}"
+            )
+        if not np.isfinite(widths_full).all() or not (widths_full > 0).all():
+            raise ValueError("object widths must be strictly positive and finite")
+        self.centers = centers
+        self.widths = np.ascontiguousarray(widths_full)
+        self._bounds = None
+        if bounds is not None:
+            b_lo = np.asarray(bounds[0], dtype=np.float64)
+            b_hi = np.asarray(bounds[1], dtype=np.float64)
+            if b_lo.shape != (mbr.DIMENSIONS,) or b_hi.shape != (mbr.DIMENSIONS,):
+                raise ValueError("bounds must be a pair of 3-vectors")
+            if not (b_lo < b_hi).all():
+                raise ValueError("bounds must satisfy lo < hi componentwise")
+            self._bounds = (b_lo, b_hi)
+        self.attributes = {}
+        if attributes:
+            for name, values in attributes.items():
+                values = np.asarray(values)
+                if values.shape[0] != centers.shape[0]:
+                    raise ValueError(
+                        f"attribute {name!r} has {values.shape[0]} entries for "
+                        f"{centers.shape[0]} objects"
+                    )
+                self.attributes[name] = values
+        #: Monotonic counter bumped by every in-place position update; join
+        #: algorithms use it to detect that a rebuild/refresh is required.
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return self.centers.shape[0]
+
+    @property
+    def n_objects(self):
+        """Number of objects in the dataset."""
+        return self.centers.shape[0]
+
+    @property
+    def bounds(self):
+        """Simulation domain bounds ``(lo, hi)``.
+
+        Derived lazily from the current object boxes when not supplied at
+        construction time.
+        """
+        if self._bounds is None:
+            lo, hi = self.boxes()
+            self._bounds = mbr.union_bounds(lo, hi)
+        return self._bounds
+
+    @property
+    def max_width(self):
+        """Largest object width over all objects and dimensions.
+
+        THERMAL-JOIN determines this while loading the dataset (Section
+        4.2.1) and sizes the P-Grid relative to it.
+        """
+        return float(self.widths.max())
+
+    @property
+    def min_width(self):
+        """Smallest object width over all objects and dimensions."""
+        return float(self.widths.min())
+
+    def boxes(self):
+        """Current object MBRs as ``(lo, hi)`` arrays of shape ``(n, 3)``."""
+        half = self.widths / 2.0
+        return self.centers - half, self.centers + half
+
+    # ------------------------------------------------------------------
+    # In-place mutation (the simulation side of the contract)
+    # ------------------------------------------------------------------
+    def update_positions(self, new_centers):
+        """Overwrite all object centers in place (one simulation step)."""
+        new_centers = np.asarray(new_centers, dtype=np.float64)
+        if new_centers.shape != self.centers.shape:
+            raise ValueError(
+                f"new centers shape {new_centers.shape} does not match "
+                f"{self.centers.shape}"
+            )
+        self.centers[:] = new_centers
+        self.version += 1
+
+    def translate(self, deltas):
+        """Add per-object displacement vectors to the centers in place."""
+        deltas = np.asarray(deltas, dtype=np.float64)
+        self.centers += deltas
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # Derived datasets
+    # ------------------------------------------------------------------
+    def with_enlarged_extent(self, distance):
+        """Dataset view for a distance join with predicate ``distance``.
+
+        Implements the paper's reduction (Section 3.1): enlarging every
+        object's extent by ``distance`` turns "pairs within distance d"
+        into an ordinary overlap join.  The returned dataset *shares* the
+        center array (so simulation updates remain visible) but has its
+        own enlarged width array.
+        """
+        if distance < 0:
+            raise ValueError(f"distance must be non-negative, got {distance}")
+        enlarged = SpatialDataset.__new__(SpatialDataset)
+        enlarged.centers = self.centers
+        enlarged.widths = self.widths + distance
+        enlarged._bounds = self._bounds
+        enlarged.attributes = self.attributes
+        enlarged.version = self.version
+        return enlarged
+
+    def copy(self):
+        """Deep copy (centers, widths and attributes are duplicated)."""
+        return SpatialDataset(
+            self.centers.copy(),
+            self.widths.copy(),
+            bounds=self._bounds,
+            attributes={k: v.copy() for k, v in self.attributes.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def memory_nbytes(self):
+        """Footprint of the raw object list in the paper's C-struct model."""
+        return self.n_objects * OBJECT_RECORD_BYTES
+
+    def __repr__(self):
+        return (
+            f"SpatialDataset(n={self.n_objects}, "
+            f"width=[{self.min_width:.3g}, {self.max_width:.3g}], "
+            f"version={self.version})"
+        )

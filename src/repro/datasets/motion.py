@@ -1,0 +1,210 @@
+"""Motion models: unpredictable, all-objects-per-step position updates.
+
+Every model mutates a :class:`~repro.datasets.dataset.SpatialDataset` in
+place, moving *all* objects at every step — the defining temporal
+property of the paper's workload (Section 3.2).  The join algorithms
+treat these updates as a black box, exactly as the paper requires
+("we therefore treat the simulation application as a black box").
+
+Models
+------
+``RandomTranslation``
+    The synthetic moving-object benchmark of Section 5.3 (after Chen,
+    Jensen & Lin [6]): each object gets a uniform random motion vector of
+    fixed length at initialisation and is translated by it every step;
+    components are inverted when the object would cross the domain
+    boundary, keeping the spatial extent constant.
+
+``ClusterDrift``
+    The skewed benchmark's motion: all objects of a cluster share one
+    motion vector so the clustered distribution is preserved over time.
+
+``BranchJitter``
+    Neural-plasticity stand-in for the rat-brain workload: per-neuron
+    coherent drift plus per-object jitter, slowly morphing branch shapes
+    while preserving the skewed density structure.  See DESIGN.md §2 for
+    the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MotionModel", "RandomTranslation", "ClusterDrift", "BranchJitter"]
+
+
+def _unit_vectors(rng, n):
+    """Draw ``n`` isotropic random unit vectors."""
+    vec = rng.normal(size=(n, 3))
+    norms = np.linalg.norm(vec, axis=1, keepdims=True)
+    # Resample the (measure-zero, but possible) zero vectors.
+    bad = norms[:, 0] == 0.0
+    while bad.any():
+        vec[bad] = rng.normal(size=(int(bad.sum()), 3))
+        norms = np.linalg.norm(vec, axis=1, keepdims=True)
+        bad = norms[:, 0] == 0.0
+    return vec / norms
+
+
+def _reflect(centers, velocities, lo, hi):
+    """Reflect object motion at the domain boundary, in place.
+
+    Components of the motion vector are inverted when an object leaves
+    the domain and the object is folded back inside, so the spatial
+    boundaries of the workload remain constant (Section 5.3).
+    """
+    for _ in range(8):  # a step can cross a thin domain more than once
+        below = centers < lo
+        above = centers > hi
+        if not (below.any() or above.any()):
+            break
+        centers[below] = (2.0 * lo - centers)[below]
+        centers[above] = (2.0 * hi - centers)[above]
+        velocities[below | above] *= -1.0
+    np.clip(centers, lo, hi, out=centers)
+
+
+class MotionModel:
+    """Base class: one in-place dataset update per :meth:`step` call."""
+
+    def step(self, dataset):
+        """Advance the simulation by one time step, mutating ``dataset``."""
+        raise NotImplementedError
+
+    def run(self, dataset, n_steps):
+        """Advance ``n_steps`` steps (convenience for tests/examples)."""
+        for _ in range(n_steps):
+            self.step(dataset)
+
+
+class RandomTranslation(MotionModel):
+    """Fixed-length uniform random motion vectors with boundary reflection.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset the model will drive; its size fixes the number of
+        motion vectors and its ``bounds`` give the reflecting box.
+    distance:
+        Translation distance per time step (the paper's default is 10
+        units; Figure 9(d) sweeps 5–45).
+    seed:
+        Seed for the private random generator.
+    """
+
+    def __init__(self, dataset, distance=10.0, seed=0):
+        if distance < 0:
+            raise ValueError(f"distance must be non-negative, got {distance}")
+        self.distance = float(distance)
+        rng = np.random.default_rng(seed)
+        self.velocities = _unit_vectors(rng, dataset.n_objects) * self.distance
+        self._bounds = dataset.bounds
+
+    def step(self, dataset):
+        dataset.centers += self.velocities
+        lo, hi = self._bounds
+        _reflect(dataset.centers, self.velocities, lo, hi)
+        dataset.version += 1
+
+
+class ClusterDrift(MotionModel):
+    """Per-cluster shared motion vectors (skewed benchmark of Section 5.3).
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to drive.
+    cluster_labels:
+        ``(n,)`` integer array assigning each object to a cluster; the
+        clustered generator provides it.
+    distance:
+        Translation distance per step.
+    seed:
+        Seed for the private random generator.
+    """
+
+    def __init__(self, dataset, cluster_labels, distance=10.0, seed=0):
+        cluster_labels = np.asarray(cluster_labels, dtype=np.int64)
+        if cluster_labels.shape[0] != dataset.n_objects:
+            raise ValueError("cluster_labels must have one entry per object")
+        self.cluster_labels = cluster_labels
+        n_clusters = int(cluster_labels.max()) + 1 if cluster_labels.size else 0
+        rng = np.random.default_rng(seed)
+        cluster_velocities = _unit_vectors(rng, max(n_clusters, 1)) * float(distance)
+        self.velocities = cluster_velocities[cluster_labels]
+        self._bounds = dataset.bounds
+
+    def step(self, dataset):
+        dataset.centers += self.velocities
+        lo, hi = self._bounds
+        _reflect(dataset.centers, self.velocities, lo, hi)
+        dataset.version += 1
+
+
+class BranchJitter(MotionModel):
+    """Neural-plasticity motion stand-in: coherent drift plus local jitter.
+
+    Each neuron's skeleton (the objects' offsets from the neuron
+    centroid) is preserved while the centroid performs a reflected random
+    walk and every object additionally receives a fresh jitter around its
+    skeleton position each step.  The combination changes *every*
+    object's position *unpredictably* each step — the temporal properties
+    the paper's join problem depends on — while keeping the spatial
+    distribution stationary, the way real plasticity remodels tissue
+    without dissolving its branch-level clustering (the paper's tuning
+    assumption in §4.3.2: locations change, the distribution does not
+    change drastically between steps).
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to drive (its current state defines the skeleton).
+    neuron_labels:
+        ``(n,)`` integer array mapping each object to its neuron; the
+        neural generator provides it.
+    drift:
+        Per-step distance of each neuron's random centroid walk.
+    jitter:
+        Standard deviation of the fresh per-object displacement around
+        the skeleton position (does not accumulate over steps).
+    seed:
+        Seed for the private random generator.
+    """
+
+    def __init__(self, dataset, neuron_labels, drift=2.0, jitter=0.5, seed=0):
+        neuron_labels = np.asarray(neuron_labels, dtype=np.int64)
+        if neuron_labels.shape[0] != dataset.n_objects:
+            raise ValueError("neuron_labels must have one entry per object")
+        self.neuron_labels = neuron_labels
+        self.drift = float(drift)
+        self.jitter = float(jitter)
+        self._rng = np.random.default_rng(seed)
+        n_neurons = int(neuron_labels.max()) + 1 if neuron_labels.size else 0
+        n_neurons = max(n_neurons, 1)
+        # Per-neuron centroids and the fixed skeleton offsets around them.
+        sums = np.zeros((n_neurons, 3))
+        np.add.at(sums, neuron_labels, dataset.centers)
+        counts = np.maximum(np.bincount(neuron_labels, minlength=n_neurons), 1)
+        self._centroids = sums / counts[:, None]
+        self._skeleton = dataset.centers - self._centroids[neuron_labels]
+        self._velocities = np.zeros((n_neurons, 3))
+        self._bounds = dataset.bounds
+        self._scratch = np.zeros_like(dataset.centers)
+
+    def step(self, dataset):
+        # Unpredictable centroid walk: a fresh random direction per step.
+        self._velocities = _unit_vectors(self._rng, self._centroids.shape[0])
+        self._velocities *= self.drift
+        self._centroids += self._velocities
+        lo, hi = self._bounds
+        _reflect(self._centroids, self._velocities, lo, hi)
+        # Fresh (non-accumulating) jitter keeps branch density stationary.
+        noise = self._rng.normal(scale=self.jitter, size=dataset.centers.shape)
+        dataset.centers[:] = (
+            self._centroids[self.neuron_labels] + self._skeleton + noise
+        )
+        # Fold protruding branches back inside (reflection, not clipping:
+        # clipping would pin objects onto the boundary across steps).
+        self._scratch[:] = 0.0
+        _reflect(dataset.centers, self._scratch, lo, hi)
+        dataset.version += 1

@@ -1,0 +1,181 @@
+"""Synthetic neural-tissue workload (substitute for the rat-brain sample).
+
+The paper's driving workload (Sections 3.1 and 5.2) is a proprietary
+Human Brain Project sample: 1 692 neurons whose branches are modelled by
+four million small cylindrical objects, joined with a distance predicate
+at every step of a neural-plasticity simulation.  That data is not
+redistributable, so this module builds the closest synthetic equivalent
+(see DESIGN.md §2): procedurally grown neuron morphologies whose
+segments become the spatial objects.
+
+What matters for the join problem — and what the generator reproduces —
+is the *spatial statistics* of the tissue, not biology:
+
+* objects lie densely along one-dimensional branches (high local
+  density → many genuinely overlapping pairs → hot spots),
+* branches from many neurons interleave in the same volume (skew),
+* every object has the same fixed extent (the paper's ``w``),
+* the density varies across the volume as branches cluster.
+
+The morphology model is a momentum random walk: each neuron grows a set
+of tortuous branches from its soma, branching recursively, with roughly
+``segments_per_neuron`` segments per neuron (the paper's sample has
+~2 400 objects per neuron: 4 M objects / 1 692 neurons).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.dataset import SpatialDataset
+from repro.datasets.motion import BranchJitter, _reflect
+from repro.geometry import width_from_volume
+
+__all__ = ["make_neural_dataset", "make_neural_workload"]
+
+#: Objects per neuron in the paper's sample (4 M objects / 1 692 neurons).
+PAPER_SEGMENTS_PER_NEURON = 2364
+
+
+def _grow_branch(rng, start, direction, length, step, tortuosity):
+    """Grow one tortuous branch; returns its segment centers ``(length, 3)``.
+
+    The branch direction performs a momentum random walk: Gaussian turning
+    noise is accumulated and renormalised, giving the meandering paths of
+    real dendrites without a per-segment Python loop.
+    """
+    noise = rng.normal(scale=tortuosity, size=(length, 3))
+    directions = direction[None, :] + np.cumsum(noise, axis=0)
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    directions /= norms
+    return start[None, :] + np.cumsum(directions * step, axis=0)
+
+
+def make_neural_dataset(
+    n_objects,
+    object_volume=15.0,
+    segments_per_neuron=None,
+    domain_side=None,
+    segment_step=1.0,
+    tortuosity=0.35,
+    branch_probability=0.08,
+    seed=0,
+):
+    """Generate the synthetic neural-tissue dataset.
+
+    Parameters
+    ----------
+    n_objects:
+        Total number of cylindrical-segment objects to generate.
+    object_volume:
+        Object extent as a volume (the paper's ``15 micron^3`` default);
+        converted to a cubic width internally.
+    segments_per_neuron:
+        Target branch segments per neuron.  Defaults to the paper's
+        sample ratio (~2 364), clamped so at least one neuron exists.
+    domain_side:
+        Side length of the cubic tissue volume.  Defaults to a size that
+        keeps the object density — and hence the join selectivity — at
+        neural-tissue levels across dataset sizes.
+    segment_step:
+        Distance between consecutive segment centers along a branch.
+    tortuosity:
+        Turning-noise scale of the branch random walk.
+    branch_probability:
+        Per-segment probability that a branch forks while budget remains.
+    seed:
+        Seed for the generator.
+
+    Returns
+    -------
+    tuple
+        ``(dataset, neuron_labels)`` where ``neuron_labels`` maps each
+        object to its neuron (used by the plasticity motion model).
+    """
+    if n_objects <= 0:
+        raise ValueError(f"n_objects must be positive, got {n_objects}")
+    if object_volume <= 0:
+        raise ValueError(f"object_volume must be positive, got {object_volume}")
+    if segments_per_neuron is None:
+        segments_per_neuron = PAPER_SEGMENTS_PER_NEURON
+    segments_per_neuron = max(int(segments_per_neuron), 8)
+    n_neurons = max(1, round(n_objects / segments_per_neuron))
+    if domain_side is None:
+        # Hold the density constant as n grows: volume proportional to n.
+        # The constant is calibrated so a fixed 15-unit^3 extent yields
+        # neural-tissue selectivity (order of 10^2 overlap partners per
+        # object, the regime of the paper's Figure 7a).
+        domain_side = max(20.0, 1.1 * n_objects ** (1.0 / 3.0))
+    domain_side = float(domain_side)
+
+    rng = np.random.default_rng(seed)
+    lo = np.zeros(3)
+    hi = np.full(3, domain_side)
+    margin = 0.1 * domain_side
+    somata = rng.uniform(lo + margin, hi - margin, size=(n_neurons, 3))
+
+    all_centers = []
+    all_labels = []
+    produced = 0
+    for neuron in range(n_neurons):
+        budget = segments_per_neuron
+        if neuron == n_neurons - 1:
+            budget = n_objects - produced  # last neuron absorbs the remainder
+        budget = min(budget, n_objects - produced)
+        if budget <= 0:
+            break
+        # Seed a handful of primary branches from the soma, then fork.
+        stack = []
+        n_primary = int(rng.integers(2, 6))
+        for _ in range(n_primary):
+            direction = rng.normal(size=3)
+            direction /= np.linalg.norm(direction)
+            stack.append((somata[neuron], direction))
+        while budget > 0 and stack:
+            start, direction = stack.pop()
+            length = int(min(budget, rng.integers(16, 64)))
+            centers = _grow_branch(rng, start, direction, length, segment_step, tortuosity)
+            budget -= length
+            produced += length
+            all_centers.append(centers)
+            all_labels.append(np.full(length, neuron, dtype=np.int64))
+            # Fork children from random points of this branch.
+            forks = rng.random(length) < branch_probability
+            for fork_idx in np.nonzero(forks)[0]:
+                child_dir = direction + rng.normal(scale=0.8, size=3)
+                child_dir /= np.linalg.norm(child_dir)
+                stack.append((centers[fork_idx], child_dir))
+            if not stack and budget > 0:
+                # Keep growing from the branch tip if all forks are spent.
+                stack.append((centers[-1], direction))
+
+    centers = np.concatenate(all_centers)[:n_objects]
+    labels = np.concatenate(all_labels)[:n_objects]
+    # Fold protruding branches back into the tissue volume by reflection.
+    # (Clipping would flatten them onto the boundary planes, creating
+    # artificial density sheets that distort the join selectivity.)
+    _reflect(centers, np.zeros_like(centers), lo, hi)
+
+    width = width_from_volume(object_volume)
+    dataset = SpatialDataset(centers, width, bounds=(lo, hi))
+    return dataset, labels
+
+
+def make_neural_workload(
+    n_objects,
+    object_volume=15.0,
+    drift=1.5,
+    jitter=0.4,
+    seed=0,
+    **dataset_kwargs,
+):
+    """Generate the neural dataset together with its plasticity motion model.
+
+    Returns ``(dataset, motion, neuron_labels)``.
+    """
+    dataset, labels = make_neural_dataset(
+        n_objects, object_volume=object_volume, seed=seed, **dataset_kwargs
+    )
+    motion = BranchJitter(dataset, labels, drift=drift, jitter=jitter, seed=seed + 1)
+    return dataset, motion, labels

@@ -1,0 +1,25 @@
+"""Experiment harness: regenerate every figure of the paper."""
+
+from repro.experiments import export, figures, plots, report
+
+from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+from repro.experiments.workloads import (
+    SCALES,
+    scaled_clustered,
+    scaled_neural,
+    scaled_uniform,
+)
+
+__all__ = [
+    "export",
+    "figures",
+    "plots",
+    "report",
+    "EXPERIMENTS",
+    "list_experiments",
+    "run_experiment",
+    "SCALES",
+    "scaled_uniform",
+    "scaled_clustered",
+    "scaled_neural",
+]

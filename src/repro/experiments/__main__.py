@@ -1,0 +1,51 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig7 --scale quick
+    python -m repro.experiments all --scale default
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures at reproduction scale.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all' to run the full matrix",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=("tiny", "quick", "default", "full"),
+        help="workload scale preset (default: default)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, description in list_experiments():
+            print(f"{name:10s} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        print(f"=== {name} (scale={args.scale}) ===")
+        run_experiment(name, scale=args.scale)
+        print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Exporting experiment results to JSON/CSV for external plotting.
+
+The harness prints text tables and ASCII charts; this module writes the
+same structured results to files so the figures can be re-plotted with
+matplotlib/gnuplot/pgfplots outside this repository:
+
+    from repro.experiments import figures, export
+    out = figures.fig7(scale="quick", quiet=True)
+    export.write_json(out, "fig7.json")
+    export.write_csv_series("fig7_time.csv", out["x"],
+                            out["panels"]["b) join time [s]"])
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+__all__ = ["jsonable", "write_json", "write_csv_series"]
+
+
+def jsonable(value):
+    """Recursively convert a result structure to JSON-serialisable types.
+
+    Numpy scalars/arrays become Python numbers/lists; objects that are
+    not data (simulation runners and the like) are dropped; mapping keys
+    are stringified.
+    """
+    import numpy as np
+
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            converted = jsonable(item)
+            if converted is not _DROP:
+                out[str(key)] = converted
+        return out
+    if isinstance(value, (list, tuple)):
+        converted = [jsonable(item) for item in value]
+        return [item for item in converted if item is not _DROP]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return _DROP
+
+
+class _Drop:
+    """Sentinel: a value with no JSON representation (dropped silently)."""
+
+    def __repr__(self):
+        return "<drop>"
+
+
+_DROP = _Drop()
+
+
+def write_json(result, path, indent=1):
+    """Write one experiment's structured result dict to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(jsonable(result), handle, indent=indent)
+
+
+def write_csv_series(path, x_values, series_by_name, x_label="x"):
+    """Write aligned series (one column per algorithm) to a CSV file.
+
+    ``None`` entries (the harness's DNF marker) become empty cells.
+    """
+    names = list(series_by_name)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label] + names)
+        for k, x in enumerate(x_values):
+            row = [x]
+            for name in names:
+                values = series_by_name[name]
+                value = values[k] if k < len(values) else None
+                row.append("" if value is None else value)
+            writer.writerow(row)

@@ -1,0 +1,129 @@
+"""ASCII chart rendering for the experiment harness.
+
+The paper communicates its evaluation through log-scale line plots; the
+text tables of ``report.py`` carry the exact numbers, and this module
+adds terminal-renderable charts so the *shape* — crossovers, slopes,
+order-of-magnitude gaps — is visible at a glance without leaving the
+shell.  Pure string output; no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["render_chart", "render_sparkline"]
+
+#: Mark characters assigned to series, in order.
+_MARKS = "o*x+#@%&"
+
+
+def _nice_format(value):
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def render_chart(
+    x_values,
+    series_by_name,
+    width=64,
+    height=16,
+    log_y=True,
+    title=None,
+    y_label=None,
+):
+    """Render line series as an ASCII scatter chart; returns a string.
+
+    Parameters
+    ----------
+    x_values:
+        Shared x coordinates (numeric).
+    series_by_name:
+        Mapping of series name to y values aligned with ``x_values``;
+        ``None`` entries (the harness's DNF marker) are skipped.
+    width, height:
+        Plot-area size in characters.
+    log_y:
+        Log-scale the y axis (the paper's figures mostly are); values
+        <= 0 fall back to linear scaling.
+    """
+    points = []  # (x, y, mark)
+    legend = []
+    for k, (name, values) in enumerate(series_by_name.items()):
+        mark = _MARKS[k % len(_MARKS)]
+        legend.append(f"{mark} {name}")
+        for x, y in zip(x_values, values):
+            if y is None:
+                continue
+            points.append((float(x), float(y), mark))
+    if not points:
+        return (title or "") + "\n(no data)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    use_log = log_y and min(ys) > 0
+    if use_log:
+        ys_t = [math.log10(y) for y in ys]
+    else:
+        ys_t = ys
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys_t), max(ys_t)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (x, _y, mark), y_t in zip(points, ys_t):
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((y_t - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = mark
+
+    axis_top = _nice_format(10**y_hi if use_log else y_hi)
+    axis_bottom = _nice_format(10**y_lo if use_log else y_lo)
+    label_width = max(len(axis_top), len(axis_bottom))
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"[{y_label}{', log scale' if use_log else ''}]")
+    for r, row_chars in enumerate(grid):
+        if r == 0:
+            label = axis_top.rjust(label_width)
+        elif r == height - 1:
+            label = axis_bottom.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row_chars)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = (
+        " " * label_width
+        + "  "
+        + _nice_format(x_lo)
+        + _nice_format(x_hi).rjust(width - len(_nice_format(x_lo)))
+    )
+    lines.append(x_axis)
+    lines.append("  ".join(legend))
+    return "\n".join(lines)
+
+
+def render_sparkline(values, width=None):
+    """Compact one-line trend of a metric series (block characters)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    clean = [v for v in values if v is not None]
+    if not clean:
+        return ""
+    lo, hi = min(clean), max(clean)
+    span = (hi - lo) or 1.0
+    chars = []
+    for v in values:
+        if v is None:
+            chars.append(" ")
+            continue
+        level = int((v - lo) / span * (len(blocks) - 1))
+        chars.append(blocks[level])
+    line = "".join(chars)
+    if width is not None and len(line) > width:
+        step = len(line) / width
+        line = "".join(line[int(k * step)] for k in range(width))
+    return line

@@ -1,0 +1,34 @@
+"""Experiment registry: experiment id -> driver function."""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
+
+#: id -> (function, one-line description)
+EXPERIMENTS = {
+    "fig2": (figures.fig2, "Join selectivity motivation: 8 static joins vs object volume"),
+    "fig6": (figures.fig6, "Convexity of F_t(r): THERMAL-JOIN time vs resolution"),
+    "fig7": (figures.fig7, "Full neural simulation: results/time/tests/memory per step"),
+    "fig8": (figures.fig8, "Neural scalability vs dataset size and object extent"),
+    "fig9": (figures.fig9, "Synthetic sensitivity sweeps (a-f)"),
+    "fig10": (figures.fig10, "THERMAL-JOIN phase breakdown and footprint vs r"),
+    "speedups": (figures.speedups, "Headline speedup table over all competitors"),
+    "tuning": (figures.tuning, "Hill-climbing convergence and re-tuning trace"),
+    "ablations": (figures.ablations, "Design-choice ablations (extensions)"),
+}
+
+
+def list_experiments():
+    """Return ``(id, description)`` pairs in registry order."""
+    return [(name, desc) for name, (_fn, desc) in EXPERIMENTS.items()]
+
+
+def run_experiment(name, scale="default", quiet=False):
+    """Run one experiment by id; returns its structured result dict."""
+    if name not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment {name!r}; known: {known}")
+    fn, _desc = EXPERIMENTS[name]
+    return fn(scale=scale, quiet=quiet)

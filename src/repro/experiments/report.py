@@ -1,0 +1,81 @@
+"""Plain-text rendering of experiment results (the harness's "figures").
+
+The paper reports results as plots; this reproduction prints the same
+series as aligned text tables so every figure can be regenerated and
+eyeballed from a terminal (and diffed in CI).  Helper formatting keeps
+units explicit: seconds, counts in millions, bytes in MB.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "format_value",
+    "render_table",
+    "render_series_table",
+    "render_speedups",
+]
+
+
+def format_value(value):
+    """Compact human formatting for one cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(headers, rows, title=None):
+    """Render a list-of-rows table with aligned columns; returns a string."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in cells)) if cells else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series_table(x_label, x_values, series_by_name, title=None):
+    """Render one metric series per algorithm against a swept variable.
+
+    ``series_by_name`` maps a column name to a list aligned with
+    ``x_values`` (``None`` entries render as ``-``, the paper's "did not
+    finish" marker).
+    """
+    headers = [x_label] + list(series_by_name)
+    rows = []
+    for k, x in enumerate(x_values):
+        row = [x]
+        for name in series_by_name:
+            values = series_by_name[name]
+            row.append(values[k] if k < len(values) else None)
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_speedups(speedups, title="Speedup of THERMAL-JOIN"):
+    """Render a {competitor: speedup} mapping, best competitor first."""
+    rows = sorted(speedups.items(), key=lambda item: item[1])
+    return render_table(
+        ["competitor", "speedup"],
+        [(name, f"{value:.1f}x") for name, value in rows],
+        title=title,
+    )

@@ -1,0 +1,55 @@
+"""Vectorised grouping of objects by integer keys (grid cells, tree nodes).
+
+Every space-partitioning index in this repository assigns objects to
+integer-keyed buckets and then needs the bucket populations as
+contiguous index ranges.  This helper performs that grouping with one
+sort instead of per-object hash insertions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["group_by_keys"]
+
+
+def group_by_keys(keys, secondary_sort=None, ids=None):
+    """Group object indices by integer key.
+
+    Parameters
+    ----------
+    keys:
+        ``(n,)`` integer bucket key per object.
+    secondary_sort:
+        Optional ``(n,)`` sort key applied *within* each bucket (e.g. the
+        lower x bound, so bucket populations come out plane-sweep ready).
+    ids:
+        Optional object ids to group; defaults to ``arange(n)``.
+
+    Returns
+    -------
+    tuple
+        ``(cat, starts, stops, unique_keys)`` — ``cat`` holds the grouped
+        object ids; bucket ``k`` (with key ``unique_keys[k]``) owns
+        ``cat[starts[k]:stops[k]]``.  ``unique_keys`` is ascending.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    n = keys.size
+    if ids is None:
+        ids = np.arange(n, dtype=np.int64)
+    else:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.shape != keys.shape:
+            raise ValueError("ids must match keys in shape")
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    if secondary_sort is not None:
+        order = np.lexsort((np.asarray(secondary_sort), keys))
+    else:
+        order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate([[0], boundaries]).astype(np.int64)
+    stops = np.concatenate([boundaries, [n]]).astype(np.int64)
+    return ids[order], starts, stops, sorted_keys[starts]

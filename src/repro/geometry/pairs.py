@@ -1,0 +1,239 @@
+"""Join-result pair sets: canonical encoding, accumulation and the oracle.
+
+The paper defines the self-join result as the set of unordered object
+pairs with strictly overlapping MBRs, excluding reflexive pairs and
+counting commutative pairs once (Section 3.2).  Every join algorithm in
+this repository emits pairs through the utilities here so that result
+semantics are identical across algorithms and trivially comparable in
+tests.
+
+Pairs are canonicalised as ``i < j`` over the objects' positional indices
+in the dataset and, where a single array is convenient, packed into an
+``int64`` key ``i * n + j``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import mbr
+
+__all__ = [
+    "canonicalize_pairs",
+    "pack_pairs",
+    "unpack_pairs",
+    "unique_pairs",
+    "pairs_equal",
+    "PairAccumulator",
+    "brute_force_pairs",
+    "all_combinations",
+]
+
+
+def canonicalize_pairs(i_idx, j_idx):
+    """Order each pair as ``(min, max)`` and drop reflexive entries.
+
+    Returns two ``int64`` arrays of equal length.
+    """
+    i_idx = np.asarray(i_idx, dtype=np.int64)
+    j_idx = np.asarray(j_idx, dtype=np.int64)
+    if i_idx.shape != j_idx.shape:
+        raise ValueError("pair index arrays must have the same shape")
+    keep = i_idx != j_idx
+    i_idx = i_idx[keep]
+    j_idx = j_idx[keep]
+    lo = np.minimum(i_idx, j_idx)
+    hi = np.maximum(i_idx, j_idx)
+    return lo, hi
+
+
+def pack_pairs(i_idx, j_idx, n):
+    """Pack canonical pairs into sortable ``int64`` keys ``i * n + j``."""
+    i_idx = np.asarray(i_idx, dtype=np.int64)
+    j_idx = np.asarray(j_idx, dtype=np.int64)
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if i_idx.size and (int(i_idx.max()) >= n or int(j_idx.max()) >= n):
+        raise ValueError("pair index out of range for the given n")
+    return i_idx * np.int64(n) + j_idx
+
+
+def unpack_pairs(keys, n):
+    """Invert :func:`pack_pairs`."""
+    keys = np.asarray(keys, dtype=np.int64)
+    return keys // np.int64(n), keys % np.int64(n)
+
+
+def unique_pairs(i_idx, j_idx, n):
+    """Canonicalise, deduplicate and sort pairs; returns ``(i, j)`` arrays."""
+    lo, hi = canonicalize_pairs(i_idx, j_idx)
+    keys = np.unique(pack_pairs(lo, hi, n))
+    return unpack_pairs(keys, n)
+
+
+def pairs_equal(pairs_a, pairs_b, n):
+    """Set equality of two pair collections given as ``(i, j)`` tuples."""
+    keys_a = np.unique(pack_pairs(*canonicalize_pairs(*pairs_a), n))
+    keys_b = np.unique(pack_pairs(*canonicalize_pairs(*pairs_b), n))
+    return keys_a.shape == keys_b.shape and bool(np.array_equal(keys_a, keys_b))
+
+
+class PairAccumulator:
+    """Collects join-result pairs cheaply during a join.
+
+    Join algorithms produce pairs in many small batches (one per cell
+    pair, node pair, sweep window, ...).  Appending numpy arrays to a
+    Python list and concatenating once at the end is far cheaper than
+    repeated ``np.concatenate`` and keeps the emitting code simple.
+
+    The accumulator canonicalises every batch on entry, so the final
+    array is free of reflexive pairs and uses ``i < j`` ordering.  It
+    does *not* deduplicate — algorithms that can emit duplicates (PBSM
+    without reference points, for instance) must deduplicate themselves
+    or call :meth:`as_unique_array`.
+
+    A ``count_only`` accumulator records only the number of pairs, which
+    the benchmark harness uses to keep large sweeps memory-friendly.
+    """
+
+    def __init__(self, count_only=False):
+        self._batches_i = []
+        self._batches_j = []
+        self._count = 0
+        self.count_only = count_only
+
+    def __len__(self):
+        return self._count
+
+    def extend(self, i_idx, j_idx):
+        """Add a batch of pairs (any order; reflexive entries dropped)."""
+        lo, hi = canonicalize_pairs(i_idx, j_idx)
+        self._count += int(lo.size)
+        if not self.count_only and lo.size:
+            self._batches_i.append(lo)
+            self._batches_j.append(hi)
+
+    def extend_canonical(self, i_idx, j_idx):
+        """Add a batch already known to satisfy ``i < j``.
+
+        Skips the canonicalisation pass; used on hot paths such as the
+        hot-spot all-combinations emit where ordering holds by
+        construction.
+        """
+        i_idx = np.asarray(i_idx, dtype=np.int64)
+        j_idx = np.asarray(j_idx, dtype=np.int64)
+        self._count += int(i_idx.size)
+        if not self.count_only and i_idx.size:
+            self._batches_i.append(i_idx)
+            self._batches_j.append(j_idx)
+
+    def merge(self, other):
+        """Absorb another accumulator's batches (parallel join shards).
+
+        The other accumulator must have the same ``count_only`` mode; it
+        is left empty afterwards.
+        """
+        if other.count_only != self.count_only:
+            raise ValueError("cannot merge accumulators with different modes")
+        self._count += other._count
+        self._batches_i.extend(other._batches_i)
+        self._batches_j.extend(other._batches_j)
+        other._batches_i = []
+        other._batches_j = []
+        other._count = 0
+
+    def as_arrays(self):
+        """Return ``(i, j)`` arrays with all accumulated pairs (unsorted)."""
+        if self.count_only:
+            raise RuntimeError("accumulator was created count_only; pairs not kept")
+        if not self._batches_i:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        return (
+            np.concatenate(self._batches_i),
+            np.concatenate(self._batches_j),
+        )
+
+    def as_unique_arrays(self, n):
+        """Return deduplicated, sorted ``(i, j)`` arrays."""
+        i_idx, j_idx = self.as_arrays()
+        return unique_pairs(i_idx, j_idx, n)
+
+
+def brute_force_pairs(lo, hi, chunk_size=512):
+    """Reference oracle: exact self-join by exhaustive comparison.
+
+    Evaluates all ``n * (n - 1) / 2`` strict-overlap predicates in
+    blocked, vectorised form and returns sorted canonical ``(i, j)``
+    arrays.  Every join algorithm's result is validated against this
+    oracle in the test suite.
+    """
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    mbr.validate_boxes(lo, hi)
+    n = lo.shape[0]
+    out_i = []
+    out_j = []
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        # Compare block [start:stop] against everything at index > start.
+        block = mbr.overlap_matrix(lo[start:stop], hi[start:stop], lo[start:], hi[start:])
+        bi, bj = np.nonzero(block)
+        keep = bj > bi  # strict upper triangle within the shifted frame
+        out_i.append(bi[keep] + start)
+        out_j.append(bj[keep] + start)
+    if not out_i:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    i_idx = np.concatenate(out_i).astype(np.int64)
+    j_idx = np.concatenate(out_j).astype(np.int64)
+    order = np.argsort(pack_pairs(i_idx, j_idx, n), kind="stable")
+    return i_idx[order], j_idx[order]
+
+
+def pairs_to_adjacency(i_idx, j_idx, n):
+    """Convert a pair set into CSR-style per-object neighbour lists.
+
+    Simulations consume the join as "the neighbours of each object" (the
+    paper's gravitational-force example iterates per object); this turns
+    the canonical pair arrays into that form.
+
+    Returns
+    -------
+    tuple
+        ``(offsets, neighbors)`` — object ``k``'s partners are
+        ``neighbors[offsets[k]:offsets[k + 1]]``, sorted ascending.
+        ``offsets`` has length ``n + 1``.
+    """
+    i_idx = np.asarray(i_idx, dtype=np.int64)
+    j_idx = np.asarray(j_idx, dtype=np.int64)
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    # Each unordered pair contributes both directions.
+    sources = np.concatenate([i_idx, j_idx])
+    targets = np.concatenate([j_idx, i_idx])
+    order = np.lexsort((targets, sources))
+    sources = sources[order]
+    targets = targets[order]
+    counts = np.bincount(sources, minlength=n)
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return offsets, targets
+
+
+def all_combinations(indices):
+    """All unordered pairs among ``indices`` without any overlap testing.
+
+    This is the hot-spot emit of THERMAL-JOIN (Section 4.2.2): objects in
+    a hot spot are guaranteed to overlap pairwise, so the ``k (k - 1) / 2``
+    result pairs are produced combinatorially.  Returns canonical
+    ``(i, j)`` arrays.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    k = indices.size
+    if k < 2:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    a, b = np.triu_indices(k, k=1)
+    first = indices[a]
+    second = indices[b]
+    return np.minimum(first, second), np.maximum(first, second)

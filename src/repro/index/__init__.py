@@ -1,0 +1,5 @@
+"""Index substrates: B+-Tree (for the ST2B-style moving-object join)."""
+
+from repro.index.bptree import BPlusTree
+
+__all__ = ["BPlusTree"]

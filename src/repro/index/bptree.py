@@ -1,0 +1,296 @@
+"""An in-memory B+-Tree over (int64 key, int64 value) entries.
+
+Substrate for the ST2B-style moving-object index baseline (§2.2 of the
+paper): the ST2B-Tree "maps all objects on a uniform grid and indexes
+each object along with its identifier in a B+-Tree (cell identifiers are
+assigned based on a space-filling curve)".  Joining through such an
+index means running many small range scans per time step, and its
+maintenance cost is per-object deletes/inserts — the overheads the
+paper contrasts with THERMAL-JOIN's grid recycling.
+
+This is a real B+-Tree, not a dict in disguise:
+
+* sorted keys in every node, ``bisect``-based descent;
+* leaf splitting and (on deletion) borrowing/merging with siblings,
+  maintaining the minimum-occupancy invariant;
+* leaves linked left-to-right so range scans stream across them;
+* duplicate keys allowed — entries are unique on ``(key, value)``.
+
+The implementation favours clarity over micro-optimisation; the join
+baselines batch their work per cell so tree operations are not the
+bottleneck at reproduction scale.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+__all__ = ["BPlusTree"]
+
+
+class _Leaf:
+    __slots__ = ("entries", "next")
+
+    def __init__(self):
+        #: sorted list of (key, value) tuples
+        self.entries = []
+        #: next leaf in key order (the leaf chain for range scans)
+        self.next = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        #: separator keys — composite ``(key, value)`` tuples so that
+        #: duplicate keys route deterministically: ``children[i]`` holds
+        #: entries < ``keys[i]``, ``children[i+1]`` entries >= ``keys[i]``.
+        self.keys = []
+        self.children = []
+
+
+class BPlusTree:
+    """B+-Tree mapping ``int`` keys to sets of ``int`` values.
+
+    Parameters
+    ----------
+    order:
+        Maximum entries per leaf and children per internal node; nodes
+        split when they exceed it and merge/borrow below ``order // 2``.
+    """
+
+    def __init__(self, order=32):
+        if order < 4:
+            raise ValueError(f"order must be at least 4, got {order}")
+        self.order = int(order)
+        self._root = _Leaf()
+        self._size = 0
+        self._height = 1
+
+    def __len__(self):
+        return self._size
+
+    @property
+    def height(self):
+        """Tree height in levels (1 = a single leaf)."""
+        return self._height
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def _descend(self, route_key):
+        """Return (leaf, path) for a composite ``(key, value)`` route key;
+        path is [(internal, child_idx), ...]."""
+        node = self._root
+        path = []
+        while isinstance(node, _Internal):
+            idx = bisect_right(node.keys, route_key)
+            path.append((node, idx))
+            node = node.children[idx]
+        return node, path
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key, value):
+        """Insert entry ``(key, value)``; returns False if already present."""
+        key = int(key)
+        value = int(value)
+        entry = (key, value)
+        leaf, path = self._descend(entry)
+        idx = bisect_left(leaf.entries, entry)
+        if idx < len(leaf.entries) and leaf.entries[idx] == entry:
+            return False
+        leaf.entries.insert(idx, entry)
+        self._size += 1
+        if len(leaf.entries) > self.order:
+            self._split(leaf, path)
+        return True
+
+    def _split(self, node, path):
+        """Split an overfull node, propagating up the recorded path."""
+        if isinstance(node, _Leaf):
+            sibling = _Leaf()
+            mid = len(node.entries) // 2
+            sibling.entries = node.entries[mid:]
+            node.entries = node.entries[:mid]
+            sibling.next = node.next
+            node.next = sibling
+            separator = sibling.entries[0]
+        else:
+            sibling = _Internal()
+            mid = len(node.children) // 2
+            separator = node.keys[mid - 1]
+            sibling.keys = node.keys[mid:]
+            sibling.children = node.children[mid:]
+            node.keys = node.keys[: mid - 1]
+            node.children = node.children[:mid]
+
+        if not path:
+            new_root = _Internal()
+            new_root.keys = [separator]
+            new_root.children = [node, sibling]
+            self._root = new_root
+            self._height += 1
+            return
+        parent, child_idx = path[-1]
+        parent.keys.insert(child_idx, separator)
+        parent.children.insert(child_idx + 1, sibling)
+        if len(parent.children) > self.order:
+            self._split(parent, path[:-1])
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, key, value):
+        """Remove entry ``(key, value)``; returns False if absent."""
+        key = int(key)
+        value = int(value)
+        entry = (key, value)
+        leaf, path = self._descend(entry)
+        idx = bisect_left(leaf.entries, entry)
+        if idx >= len(leaf.entries) or leaf.entries[idx] != entry:
+            return False
+        del leaf.entries[idx]
+        self._size -= 1
+        self._rebalance(leaf, path)
+        return True
+
+    def _min_fill(self):
+        return self.order // 2
+
+    def _rebalance(self, node, path):
+        """Restore minimum occupancy after a deletion."""
+        if not path:
+            # Root: collapse a childless internal root.
+            if isinstance(node, _Internal) and len(node.children) == 1:
+                self._root = node.children[0]
+                self._height -= 1
+            return
+        fill = (
+            len(node.entries) if isinstance(node, _Leaf) else len(node.children)
+        )
+        if fill >= self._min_fill():
+            return
+        parent, idx = path[-1]
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+
+        if isinstance(node, _Leaf):
+            if left is not None and len(left.entries) > self._min_fill():
+                node.entries.insert(0, left.entries.pop())
+                parent.keys[idx - 1] = node.entries[0]
+                return
+            if right is not None and len(right.entries) > self._min_fill():
+                node.entries.append(right.entries.pop(0))
+                parent.keys[idx] = right.entries[0] if right.entries else parent.keys[idx]
+                return
+            # Merge with a sibling.
+            if left is not None:
+                left.entries.extend(node.entries)
+                left.next = node.next
+                del parent.children[idx]
+                del parent.keys[idx - 1]
+            else:
+                node.entries.extend(right.entries)
+                node.next = right.next
+                del parent.children[idx + 1]
+                del parent.keys[idx]
+        else:
+            if left is not None and len(left.children) > self._min_fill():
+                node.children.insert(0, left.children.pop())
+                node.keys.insert(0, parent.keys[idx - 1])
+                parent.keys[idx - 1] = left.keys.pop()
+                return
+            if right is not None and len(right.children) > self._min_fill():
+                node.children.append(right.children.pop(0))
+                node.keys.append(parent.keys[idx])
+                parent.keys[idx] = right.keys.pop(0)
+                return
+            if left is not None:
+                left.keys.append(parent.keys[idx - 1])
+                left.keys.extend(node.keys)
+                left.children.extend(node.children)
+                del parent.children[idx]
+                del parent.keys[idx - 1]
+            else:
+                node.keys.append(parent.keys[idx])
+                node.keys.extend(right.keys)
+                node.children.extend(right.children)
+                del parent.children[idx + 1]
+                del parent.keys[idx]
+        self._rebalance(parent, path[:-1])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_values(self, key_lo, key_hi):
+        """All values with ``key_lo <= key <= key_hi`` (leaf-chain scan)."""
+        key_lo = int(key_lo)
+        key_hi = int(key_hi)
+        leaf, _path = self._descend((key_lo, -(1 << 62)))
+        out = []
+        while leaf is not None:
+            entries = leaf.entries
+            idx = bisect_left(entries, (key_lo, -(1 << 62)))
+            while idx < len(entries):
+                key, value = entries[idx]
+                if key > key_hi:
+                    return out
+                out.append(value)
+                idx += 1
+            leaf = leaf.next
+        return out
+
+    def values_for(self, key):
+        """All values stored under exactly ``key``."""
+        return self.range_values(key, key)
+
+    def items(self):
+        """All ``(key, value)`` entries in key order (leaf-chain walk)."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        out = []
+        while node is not None:
+            out.extend(node.entries)
+            node = node.next
+        return out
+
+    def node_count(self):
+        """Total node count (footprint accounting)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if isinstance(node, _Internal):
+                stack.extend(node.children)
+        return count
+
+    def check_invariants(self):
+        """Validate structural invariants (test helper); raises on violation."""
+        entries = self.items()
+        if entries != sorted(entries):
+            raise AssertionError("leaf chain out of order")
+        if len(entries) != self._size:
+            raise AssertionError(
+                f"size mismatch: counted {len(entries)}, recorded {self._size}"
+            )
+        self._check_node(self._root, is_root=True)
+
+    def _check_node(self, node, is_root=False):
+        if isinstance(node, _Leaf):
+            if not is_root and len(node.entries) < self._min_fill():
+                raise AssertionError("underfull leaf")
+            if len(node.entries) > self.order:
+                raise AssertionError("overfull leaf")
+            return
+        if len(node.children) != len(node.keys) + 1:
+            raise AssertionError("key/children arity mismatch")
+        if not is_root and len(node.children) < self._min_fill():
+            raise AssertionError("underfull internal node")
+        if len(node.children) > self.order:
+            raise AssertionError("overfull internal node")
+        for child in node.children:
+            self._check_node(child)

@@ -1,0 +1,42 @@
+"""Baseline spatial self-join algorithms from the paper's evaluation.
+
+Static (rebuilt-per-step) joins: nested loop, plane sweep, PBSM, EGO,
+MX-CIF Octree, Loose Octree, synchronous R-Tree, CR-Tree, TOUCH, and the
+indexed nested-loop R-Tree.  Maintained moving-object index: the
+ST2B-style B+-Tree grid join.
+"""
+
+from repro.joins.base import (
+    JoinResult,
+    JoinStatistics,
+    SpatialJoinAlgorithm,
+)
+from repro.joins.crtree import CRTreeJoin
+from repro.joins.ego import EGOJoin
+from repro.joins.inl_rtree import IndexedNestedLoopRTreeJoin
+from repro.joins.loose_octree import LooseOctreeJoin
+from repro.joins.nested_loop import NestedLoopJoin
+from repro.joins.octree import MXCIFOctreeJoin
+from repro.joins.pbsm import PBSMJoin
+from repro.joins.plane_sweep import PlaneSweepJoin
+from repro.joins.rtree import STRTree, SynchronousRTreeJoin
+from repro.joins.st2b import ST2BJoin
+from repro.joins.touch import TouchJoin
+
+__all__ = [
+    "JoinResult",
+    "JoinStatistics",
+    "SpatialJoinAlgorithm",
+    "NestedLoopJoin",
+    "PlaneSweepJoin",
+    "PBSMJoin",
+    "EGOJoin",
+    "MXCIFOctreeJoin",
+    "LooseOctreeJoin",
+    "STRTree",
+    "SynchronousRTreeJoin",
+    "CRTreeJoin",
+    "TouchJoin",
+    "IndexedNestedLoopRTreeJoin",
+    "ST2BJoin",
+]

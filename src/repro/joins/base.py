@@ -1,0 +1,207 @@
+"""Common interface, statistics and accounting for all join algorithms.
+
+Every join in this repository — THERMAL-JOIN and the eight baselines —
+implements :class:`SpatialJoinAlgorithm`.  The contract mirrors the
+paper's methodology (Section 5.1.1):
+
+* the dataset is mutated in place by the simulation between steps and is
+  in a consistent state when :meth:`step` runs;
+* algorithms never reorder the dataset's object list; they refer to
+  objects by positional index;
+* per step, an algorithm (re)builds or refreshes its index and then
+  computes the full self-join, reporting canonical unique pairs;
+* algorithms are instrumented: pairwise overlap-test counts (the
+  machine-independent cost metric of Figure 7(c)), per-phase wall time,
+  and an analytic memory footprint in a C-struct cost model so the
+  footprint comparisons of Figures 7(d) and 10(b) are like-for-like
+  (Python object overhead would otherwise dominate and distort them).
+
+Footprint model constants correspond to the paper-era C++
+implementation: 8-byte pointers and identifiers, 3-D MBRs as six
+doubles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.geometry import PairAccumulator
+
+__all__ = [
+    "POINTER_BYTES",
+    "ID_BYTES",
+    "MBR_BYTES",
+    "FLOAT_BYTES",
+    "JoinStatistics",
+    "JoinResult",
+    "SpatialJoinAlgorithm",
+]
+
+#: Size of a pointer in the modelled C++ implementation.
+POINTER_BYTES = 8
+#: Size of an object/cell identifier.
+ID_BYTES = 8
+#: Size of a 3-D MBR stored as six IEEE doubles.
+MBR_BYTES = 48
+#: Size of one double-precision float.
+FLOAT_BYTES = 8
+
+
+@dataclass
+class JoinStatistics:
+    """Instrumentation for one join step.
+
+    Attributes
+    ----------
+    overlap_tests:
+        Number of pairwise MBR overlap predicates evaluated.  Hot-spot
+        emits and enclosure shortcuts produce results *without* tests,
+        which is exactly what the paper's Figure 7(c) measures.
+    build_seconds:
+        Wall time spent building or refreshing the index.
+    join_seconds:
+        Wall time spent computing the join proper.
+    memory_bytes:
+        Analytic index footprint right after the step (C-struct model).
+    phase_seconds:
+        Optional finer breakdown (THERMAL-JOIN reports ``internal`` and
+        ``external`` join phases for Figure 10(a)).
+    """
+
+    overlap_tests: int = 0
+    build_seconds: float = 0.0
+    join_seconds: float = 0.0
+    memory_bytes: int = 0
+    phase_seconds: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self):
+        """Build plus join wall time for the step."""
+        return self.build_seconds + self.join_seconds
+
+
+@dataclass
+class JoinResult:
+    """Result of one self-join step.
+
+    ``pairs`` holds canonical ``(i, j)`` index arrays (``i < j``, unique),
+    or ``None`` when the algorithm ran in count-only mode; ``n_results``
+    is always populated.
+    """
+
+    n_results: int
+    stats: JoinStatistics
+    pairs: tuple = None
+
+
+class SpatialJoinAlgorithm:
+    """Base class for all self-join algorithms.
+
+    Subclasses implement :meth:`_build` (index construction or refresh
+    for the dataset's current positions) and :meth:`_join` (emit pairs
+    into an accumulator and return the overlap-test count).  Subclasses
+    must emit each qualifying pair exactly once and no others; the test
+    suite enforces this against a brute-force oracle.
+
+    Parameters
+    ----------
+    count_only:
+        When true, result pairs are counted but not materialised — used
+        by large benchmark sweeps where the pair lists would dominate
+        memory (the paper similarly reports counts, not result dumps).
+    """
+
+    #: Human-readable algorithm name used by the experiment harness.
+    name = "abstract"
+
+    def __init__(self, count_only=False):
+        self.count_only = count_only
+        self.stats = JoinStatistics()
+
+    # ------------------------------------------------------------------
+    # Subclass responsibilities
+    # ------------------------------------------------------------------
+    def _build(self, dataset):
+        """(Re)build or refresh the index for the dataset's current state."""
+        raise NotImplementedError
+
+    def _join(self, dataset, accumulator):
+        """Compute the self-join, emitting pairs; return the test count."""
+        raise NotImplementedError
+
+    def memory_footprint(self):
+        """Index footprint in bytes under the C-struct cost model.
+
+        Excludes the raw object list itself (shared by all algorithms;
+        see :meth:`SpatialDataset.memory_nbytes`), matching the paper's
+        per-index footprint comparison.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def step(self, dataset):
+        """Run one full self-join step: build/refresh, join, instrument.
+
+        Returns a :class:`JoinResult`.
+        """
+        t0 = time.perf_counter()
+        self._build(dataset)
+        t1 = time.perf_counter()
+        accumulator = PairAccumulator(count_only=self.count_only)
+        tests = self._join(dataset, accumulator)
+        t2 = time.perf_counter()
+
+        self.stats = JoinStatistics(
+            overlap_tests=int(tests),
+            build_seconds=t1 - t0,
+            join_seconds=t2 - t1,
+            memory_bytes=self.memory_footprint(),
+            phase_seconds=dict(self._phase_seconds()),
+        )
+        pairs = None
+        if not self.count_only:
+            pairs = accumulator.as_arrays()
+        return JoinResult(n_results=len(accumulator), stats=self.stats, pairs=pairs)
+
+    def join_pairs(self, dataset):
+        """Convenience: run a step and return sorted unique ``(i, j)`` arrays."""
+        if self.count_only:
+            raise RuntimeError("algorithm was created count_only")
+        result = self.step(dataset)
+        from repro.geometry import unique_pairs
+
+        return unique_pairs(*result.pairs, len(dataset))
+
+    def distance_join(self, dataset, distance):
+        """Self-join with a distance predicate (the paper's §3.1 reduction).
+
+        Pairs of objects within ``distance`` of each other (per-dimension,
+        on their MBRs) are found by enlarging every extent by ``distance``
+        and running the ordinary overlap join.  Returns a
+        :class:`JoinResult` expressed in the original dataset's indices.
+        """
+        return self.step(dataset.with_enlarged_extent(distance))
+
+    def neighbors(self, dataset):
+        """Per-object neighbour lists in CSR form (offsets, neighbors).
+
+        The representation simulations iterate over: object ``k``'s
+        overlap partners are ``neighbors[offsets[k]:offsets[k + 1]]``.
+        """
+        if self.count_only:
+            raise RuntimeError("algorithm was created count_only")
+        result = self.step(dataset)
+        from repro.geometry import pairs_to_adjacency, unique_pairs
+
+        i_idx, j_idx = unique_pairs(*result.pairs, len(dataset))
+        return pairs_to_adjacency(i_idx, j_idx, len(dataset))
+
+    def _phase_seconds(self):
+        """Optional finer phase breakdown; subclasses may override."""
+        return {}
+
+    def __repr__(self):
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,49 @@
+"""Nested-loop self-join: the quadratic, index-free baseline.
+
+Evaluates the overlap predicate for every one of the ``n (n - 1) / 2``
+object pairs.  The paper uses it in Figure 2 as the floor that indexed
+approaches degenerate towards when join selectivity grows.  The
+predicate evaluation is blocked and vectorised, but the test count is
+the exact quadratic number.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import mbr
+from repro.joins.base import SpatialJoinAlgorithm
+
+__all__ = ["NestedLoopJoin"]
+
+
+class NestedLoopJoin(SpatialJoinAlgorithm):
+    """Exhaustive pairwise comparison; no index, no build phase."""
+
+    name = "nested-loop"
+
+    def __init__(self, count_only=False, chunk_size=1024):
+        super().__init__(count_only=count_only)
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
+
+    def _build(self, dataset):
+        # No index to build.
+        return None
+
+    def _join(self, dataset, accumulator):
+        lo, hi = dataset.boxes()
+        n = len(dataset)
+        for start in range(0, n, self.chunk_size):
+            stop = min(start + self.chunk_size, n)
+            block = mbr.overlap_matrix(
+                lo[start:stop], hi[start:stop], lo[start:], hi[start:]
+            )
+            bi, bj = np.nonzero(block)
+            keep = bj > bi
+            accumulator.extend_canonical(bi[keep] + start, bj[keep] + start)
+        return n * (n - 1) // 2
+
+    def memory_footprint(self):
+        return 0

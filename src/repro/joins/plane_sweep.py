@@ -1,0 +1,42 @@
+"""Global plane-sweep self-join (Preparata & Shamos [29]).
+
+Sorts the dataset by lower x bound each step (no persistent structures)
+and runs the forward sweep: every pair whose x-intervals overlap has its
+remaining dimensions tested.  Efficient for low selectivity; degenerates
+towards the nested loop as objects grow (Figure 2), which is precisely
+the regime THERMAL-JOIN targets.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import sort_by_x, sweep_self
+from repro.joins.base import ID_BYTES, SpatialJoinAlgorithm
+
+__all__ = ["PlaneSweepJoin"]
+
+
+class PlaneSweepJoin(SpatialJoinAlgorithm):
+    """Forward plane sweep over the x-sorted dataset."""
+
+    name = "plane-sweep"
+
+    def __init__(self, count_only=False):
+        super().__init__(count_only=count_only)
+        self._sorted = None
+
+    def _build(self, dataset):
+        lo, hi = dataset.boxes()
+        self._sorted = sort_by_x(lo, hi)
+
+    def _join(self, dataset, accumulator):
+        lo, hi, ids = self._sorted
+        i_ids, j_ids, tests = sweep_self(lo, hi, ids)
+        accumulator.extend(i_ids, j_ids)
+        self._sorted = None  # throw-away, like the paper's variant
+        return tests
+
+    def memory_footprint(self):
+        # Only the transient sort permutation is held during a step.
+        if self._sorted is None:
+            return 0
+        return self._sorted[2].size * ID_BYTES

@@ -1,0 +1,277 @@
+"""R-Tree substrate: STR bulk-loading and the synchronous-traversal join.
+
+The paper's strongest tree-based competitor is the synchronous R-Tree
+traversal join [5] over a bulk-loaded tree, identified by Sowell et
+al. [34] as the fastest in-memory approach when the tree is rebuilt
+every step.  This module implements:
+
+* **STR bulk-loading** (Leutenegger et al. [22]): the classic
+  sort-tile-recursive packing — sort by x into slabs, by y into runs,
+  by z into leaves — yielding a packed tree with contiguous children.
+* **Synchronous traversal self-join**: the tree is traversed against
+  itself level by level; a frontier of node pairs ``(i, j)``, ``i <= j``,
+  is expanded to child pairs filtered by MBR overlap, and object pairs
+  are evaluated exactly at the leaves.
+
+Overlap-test accounting: both directory-node MBR tests and leaf-level
+object MBR tests are charged — the directory tests are the work the
+R-Tree trades for pruning, and the object tests dominate at high
+selectivity (the regime of the paper's evaluation).
+
+:class:`CRTreeJoin` (see ``crtree.py``) subclasses the traversal and
+swaps the directory boxes for quantized ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry import window_pairs
+from repro.joins.base import (
+    MBR_BYTES,
+    POINTER_BYTES,
+    SpatialJoinAlgorithm,
+)
+
+__all__ = ["STRTree", "SynchronousRTreeJoin"]
+
+
+class STRTree:
+    """STR bulk-loaded, level-wise (structure-of-arrays) R-Tree.
+
+    Levels are stored bottom-up: ``levels[0]`` are the leaves and
+    ``levels[-1]`` the top directory level (at most ``fanout`` nodes).
+    Packing is contiguous, so node ``i`` of level ``l`` owns nodes
+    ``[i * fanout, (i + 1) * fanout)`` of level ``l - 1``, and leaf ``k``
+    owns objects ``leaf_order[k * leaf_capacity : (k + 1) * leaf_capacity]``.
+    """
+
+    def __init__(self, lo, hi, fanout):
+        if fanout < 2:
+            raise ValueError(f"fanout must be at least 2, got {fanout}")
+        self.fanout = int(fanout)
+        n = lo.shape[0]
+        self.n_objects = n
+        self.leaf_order = _str_order(lo, hi, self.fanout)
+
+        # Leaf level: MBRs over each leaf's object slice.
+        n_leaves = max(1, math.ceil(n / self.fanout))
+        leaf_lo = np.empty((n_leaves, 3))
+        leaf_hi = np.empty((n_leaves, 3))
+        ordered_lo = lo[self.leaf_order]
+        ordered_hi = hi[self.leaf_order]
+        starts = np.arange(n_leaves, dtype=np.int64) * self.fanout
+        np.minimum.reduceat(ordered_lo, starts, axis=0, out=leaf_lo)
+        np.maximum.reduceat(ordered_hi, starts, axis=0, out=leaf_hi)
+
+        self.level_lo = [leaf_lo]
+        self.level_hi = [leaf_hi]
+        while self.level_lo[-1].shape[0] > self.fanout:
+            below_lo = self.level_lo[-1]
+            below_hi = self.level_hi[-1]
+            count = math.ceil(below_lo.shape[0] / self.fanout)
+            starts = np.arange(count, dtype=np.int64) * self.fanout
+            self.level_lo.append(np.minimum.reduceat(below_lo, starts, axis=0))
+            self.level_hi.append(np.maximum.reduceat(below_hi, starts, axis=0))
+
+    @property
+    def n_levels(self):
+        """Number of directory levels, leaves included."""
+        return len(self.level_lo)
+
+    def n_nodes(self):
+        """Total node count across all levels."""
+        return sum(level.shape[0] for level in self.level_lo)
+
+    def children_range(self, level, node):
+        """Child index range of ``node`` at ``level`` (level > 0)."""
+        below = self.level_lo[level - 1].shape[0]
+        start = node * self.fanout
+        return start, min(start + self.fanout, below)
+
+    def leaf_object_range(self, leaf):
+        """Object slice (into ``leaf_order``) owned by ``leaf``."""
+        start = leaf * self.fanout
+        return start, min(start + self.fanout, self.n_objects)
+
+
+def _str_order(lo, hi, leaf_capacity):
+    """Sort-tile-recursive object ordering for leaf packing.
+
+    Returns a permutation placing spatially adjacent objects into the
+    same (and neighbouring) leaves of capacity ``leaf_capacity``.
+    """
+    n = lo.shape[0]
+    centers = (lo + hi) / 2.0
+    n_leaves = math.ceil(n / leaf_capacity)
+    s = max(1, math.ceil(n_leaves ** (1.0 / 3.0)))
+
+    order = np.argsort(centers[:, 0], kind="stable")
+    slab = leaf_capacity * s * s
+    run = leaf_capacity * s
+    for slab_start in range(0, n, slab):
+        slab_idx = order[slab_start : slab_start + slab]
+        slab_idx = slab_idx[np.argsort(centers[slab_idx, 1], kind="stable")]
+        for run_start in range(0, slab_idx.size, run):
+            run_idx = slab_idx[run_start : run_start + run]
+            slab_idx[run_start : run_start + run] = run_idx[
+                np.argsort(centers[run_idx, 2], kind="stable")
+            ]
+        order[slab_start : slab_start + slab] = slab_idx
+    return order.astype(np.int64)
+
+
+def _expand_pairs(pair_i, pair_j, fanout, below_count):
+    """Expand node pairs to all child pairs ``(ci <= cj)`` of the level below.
+
+    Distinct parents expand to the full cross product of their child
+    ranges (already ordered because packing is contiguous); identical
+    parents expand to the triangle including the diagonal.
+    """
+    starts_i = pair_i * fanout
+    stops_i = np.minimum(starts_i + fanout, below_count)
+    starts_j = pair_j * fanout
+    stops_j = np.minimum(starts_j + fanout, below_count)
+
+    eq = pair_i == pair_j
+    out_i = []
+    out_j = []
+    if (~eq).any():
+        ci_n = (stops_i - starts_i)[~eq]
+        cj_n = (stops_j - starts_j)[~eq]
+        counts = ci_n * cj_n
+        total = int(counts.sum())
+        rep = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+        ends = np.cumsum(counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+        a_off = within // cj_n[rep]
+        b_off = within - a_off * cj_n[rep]
+        out_i.append(starts_i[~eq][rep] + a_off)
+        out_j.append(starts_j[~eq][rep] + b_off)
+    if eq.any():
+        e_starts = starts_i[eq]
+        e_stops = stops_i[eq]
+        sizes = e_stops - e_starts
+        _rows, positions = window_pairs(e_starts, e_stops)
+        left_row, right = window_pairs(positions, np.repeat(e_stops, sizes))
+        out_i.append(positions[left_row])
+        out_j.append(right)
+    if not out_i:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    return np.concatenate(out_i), np.concatenate(out_j)
+
+
+class SynchronousRTreeJoin(SpatialJoinAlgorithm):
+    """Self-join by synchronous traversal of an STR bulk-loaded R-Tree.
+
+    The tree is rebuilt from scratch at every time step (the
+    throw-away-index strategy the paper finds cheaper than updating).
+
+    Parameters
+    ----------
+    fanout:
+        Node capacity (children per directory node, objects per leaf).
+    """
+
+    name = "rtree-sync"
+    #: Bytes per directory entry (exact MBR + child pointer).
+    entry_bytes = MBR_BYTES + POINTER_BYTES
+
+    def __init__(self, count_only=False, fanout=16):
+        super().__init__(count_only=count_only)
+        self.fanout = int(fanout)
+        self._tree = None
+        self._boxes = None
+
+    def _build(self, dataset):
+        lo, hi = dataset.boxes()
+        self._boxes = (lo, hi)
+        self._tree = STRTree(lo, hi, self.fanout)
+
+    def _directory_boxes(self, level):
+        """Boxes used for directory-level overlap tests (exact here;
+        the CR-Tree overrides with quantized, conservative boxes)."""
+        return self._tree.level_lo[level], self._tree.level_hi[level]
+
+    def _join(self, dataset, accumulator):
+        tree = self._tree
+        lo, hi = self._boxes
+        tests = 0
+
+        # Initial frontier: all (i <= j) pairs of the top level.
+        top = tree.n_levels - 1
+        count_top = tree.level_lo[top].shape[0]
+        pair_i, pair_j = np.triu_indices(count_top)
+        pair_i = pair_i.astype(np.int64)
+        pair_j = pair_j.astype(np.int64)
+
+        for level in range(top, -1, -1):
+            box_lo, box_hi = self._directory_boxes(level)
+            distinct = pair_i != pair_j
+            tests += int(distinct.sum())
+            keep = np.logical_and(
+                (box_lo[pair_i] < box_hi[pair_j]).all(axis=1),
+                (box_lo[pair_j] < box_hi[pair_i]).all(axis=1),
+            )
+            keep |= ~distinct  # a node always joins itself
+            pair_i = pair_i[keep]
+            pair_j = pair_j[keep]
+            if pair_i.size == 0:
+                return tests
+            if level > 0:
+                pair_i, pair_j = _expand_pairs(
+                    pair_i, pair_j, tree.fanout, tree.level_lo[level - 1].shape[0]
+                )
+
+        # Leaf level reached: evaluate object pairs exactly.
+        order = tree.leaf_order
+        starts_i = pair_i * tree.fanout
+        stops_i = np.minimum(starts_i + tree.fanout, tree.n_objects)
+        eq = pair_i == pair_j
+        obj_left = []
+        obj_right = []
+        if (~eq).any():
+            starts_j = pair_j[~eq] * tree.fanout
+            stops_j = np.minimum(starts_j + tree.fanout, tree.n_objects)
+            ci_n = (stops_i - starts_i)[~eq]
+            cj_n = stops_j - starts_j
+            counts = ci_n * cj_n
+            total = int(counts.sum())
+            rep = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+            ends = np.cumsum(counts)
+            within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+            a_off = within // cj_n[rep]
+            b_off = within - a_off * cj_n[rep]
+            obj_left.append(order[starts_i[~eq][rep] + a_off])
+            obj_right.append(order[starts_j[rep] + b_off])
+        if eq.any():
+            e_starts = starts_i[eq]
+            e_stops = stops_i[eq]
+            sizes = e_stops - e_starts
+            _rows, positions = window_pairs(e_starts, e_stops)
+            left_row, right = window_pairs(positions + 1, np.repeat(e_stops, sizes))
+            obj_left.append(order[positions[left_row]])
+            obj_right.append(order[right])
+        if not obj_left:
+            return tests
+        left = np.concatenate(obj_left)
+        right = np.concatenate(obj_right)
+        tests += int(left.size)
+        overlap = np.logical_and(
+            (lo[left] < hi[right]).all(axis=1), (lo[right] < hi[left]).all(axis=1)
+        )
+        accumulator.extend(left[overlap], right[overlap])
+        return tests
+
+    def memory_footprint(self):
+        if self._tree is None:
+            return 0
+        # Every node contributes one entry in its parent (or the root
+        # list); leaves additionally hold one pointer per object.
+        return (
+            self._tree.n_nodes() * self.entry_bytes
+            + self._tree.n_objects * POINTER_BYTES
+        )

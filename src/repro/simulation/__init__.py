@@ -1,0 +1,13 @@
+"""Simulation driver and metric aggregation."""
+
+from repro.simulation.metrics import converged_at, series, speedup, speedup_table
+from repro.simulation.runner import SimulationRunner, StepRecord
+
+__all__ = [
+    "SimulationRunner",
+    "StepRecord",
+    "series",
+    "speedup",
+    "speedup_table",
+    "converged_at",
+]

@@ -1,0 +1,67 @@
+"""Aggregation helpers over simulation records (speedups, series)."""
+
+from __future__ import annotations
+
+__all__ = ["series", "speedup", "speedup_table", "converged_at"]
+
+
+def series(records, field):
+    """Extract one per-step metric as a list (Figure-7-style series).
+
+    ``field`` is any :class:`~repro.simulation.runner.StepRecord`
+    attribute name, or ``"total_seconds"``.
+    """
+    return [getattr(record, field) for record in records]
+
+
+def speedup(baseline_records, candidate_records):
+    """Total-join-time speedup of ``candidate`` over ``baseline``.
+
+    Ratios above 1 mean the candidate is faster; this is the quantity
+    behind the paper's "8 to 12x" headline claims.
+    """
+    baseline_total = sum(r.total_seconds for r in baseline_records)
+    candidate_total = sum(r.total_seconds for r in candidate_records)
+    if candidate_total <= 0:
+        raise ValueError("candidate total time must be positive")
+    return baseline_total / candidate_total
+
+
+def speedup_table(records_by_name, reference_name):
+    """Speedups of ``reference_name`` over every other recorded algorithm.
+
+    Returns ``{name: speedup}`` excluding the reference itself, with the
+    best (smallest) competitor ratio answering "speedup over the state of
+    the art".
+    """
+    if reference_name not in records_by_name:
+        raise KeyError(f"unknown reference {reference_name!r}")
+    reference = records_by_name[reference_name]
+    return {
+        name: speedup(records, reference)
+        for name, records in records_by_name.items()
+        if name != reference_name
+    }
+
+
+def converged_at(values, threshold=0.1, window=2):
+    """First index where ``values`` stays within ``threshold`` relative
+    change for ``window`` consecutive steps (tuning-convergence probe).
+
+    Returns ``None`` when the series never settles.
+    """
+    if window < 1:
+        raise ValueError(f"window must be at least 1, got {window}")
+    stable = 0
+    for k in range(1, len(values)):
+        previous = values[k - 1]
+        if previous == 0:
+            stable = 0
+            continue
+        if abs(values[k] - previous) / abs(previous) <= threshold:
+            stable += 1
+            if stable >= window:
+                return k - window + 1
+        else:
+            stable = 0
+    return None

@@ -1,0 +1,150 @@
+"""Tests for the analytical selectivity models and dataset I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    expected_cell_occupancy,
+    expected_hot_spot_pair_fraction,
+    expected_join_results,
+    expected_partners_per_object,
+    measured_selectivity,
+)
+from repro.datasets import SpatialDataset, make_neural_dataset, make_uniform_dataset
+from repro.datasets.io import load_dataset, save_dataset
+from repro.geometry import brute_force_pairs
+
+
+class TestSelectivityModel:
+    def test_matches_measured_on_uniform(self):
+        # The closed form should predict the brute-force count within the
+        # sampling tolerance of a uniform workload.
+        n, width, side = 3000, 10.0, 200.0
+        dataset = make_uniform_dataset(
+            n, width=width, bounds=(np.zeros(3), np.full(3, side)), seed=5
+        )
+        i_idx, _j = brute_force_pairs(*dataset.boxes())
+        predicted = expected_join_results(n, width, side**3)
+        assert i_idx.size == pytest.approx(predicted, rel=0.15)
+
+    def test_partner_scaling_with_width(self):
+        # Partner count scales with the cube of the width.
+        base = expected_partners_per_object(10_000, 10.0, 1000.0**3)
+        doubled = expected_partners_per_object(10_000, 20.0, 1000.0**3)
+        assert doubled == pytest.approx(8.0 * base)
+
+    def test_paper_default_regime(self):
+        # The paper's uniform default: 10M objects, width 15, 1000^3.
+        partners = expected_partners_per_object(10_000_000, 15.0, 1000.0**3)
+        assert 250 < partners < 280  # the high-selectivity regime
+
+    def test_degenerate_inputs(self):
+        assert expected_partners_per_object(1, 5.0, 100.0) == 0.0
+        with pytest.raises(ValueError):
+            expected_partners_per_object(10, 0.0, 100.0)
+
+    def test_cell_occupancy(self):
+        occupancy = expected_cell_occupancy(10_000_000, 15.0, 1000.0**3, 1.0)
+        assert occupancy == pytest.approx(0.01 * 15.0**3)
+        with pytest.raises(ValueError):
+            expected_cell_occupancy(10, 1.0, 100.0, resolution=0.0)
+
+    def test_hot_spot_fraction_bounds(self):
+        # At r = 1 at most 1/8 of the pairs are same-cell pairs.
+        assert expected_hot_spot_pair_fraction(1.0) == pytest.approx(0.125)
+        assert expected_hot_spot_pair_fraction(0.5) < 0.125
+        with pytest.raises(ValueError):
+            expected_hot_spot_pair_fraction(1.5)
+
+    def test_measured_selectivity_sampling(self):
+        dataset = make_uniform_dataset(
+            2000, width=12.0, bounds=(np.zeros(3), np.full(3, 150.0)), seed=9
+        )
+        i_idx, _j = brute_force_pairs(*dataset.boxes())
+        exact = 2.0 * i_idx.size / len(dataset)
+        sampled = measured_selectivity(dataset, sample=512, seed=1)
+        assert sampled == pytest.approx(exact, rel=0.25)
+
+    def test_measured_selectivity_small_inputs(self):
+        assert measured_selectivity(SpatialDataset(np.zeros((1, 3)), 1.0)) == 0.0
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tmp_path):
+        dataset, labels = make_neural_dataset(400, seed=3)
+        dataset.attributes["mass"] = np.arange(400, dtype=np.float64)
+        path = tmp_path / "snapshot.npz"
+        save_dataset(path, dataset, labels=labels)
+        loaded, loaded_labels = load_dataset(path)
+        assert np.array_equal(loaded.centers, dataset.centers)
+        assert np.array_equal(loaded.widths, dataset.widths)
+        assert np.array_equal(loaded_labels, labels)
+        assert np.array_equal(loaded.attributes["mass"], dataset.attributes["mass"])
+        lo_a, hi_a = dataset.bounds
+        lo_b, hi_b = loaded.bounds
+        assert np.array_equal(lo_a, lo_b) and np.array_equal(hi_a, hi_b)
+
+    def test_roundtrip_without_labels(self, tmp_path):
+        dataset = make_uniform_dataset(100, seed=1)
+        path = tmp_path / "plain.npz"
+        save_dataset(path, dataset)
+        loaded, labels = load_dataset(path)
+        assert labels is None
+        assert len(loaded) == 100
+
+    def test_joins_identical_after_reload(self, tmp_path):
+        from repro.core import ThermalJoin
+
+        dataset, _labels = make_neural_dataset(500, seed=7)
+        path = tmp_path / "join.npz"
+        save_dataset(path, dataset)
+        loaded, _ = load_dataset(path)
+        original = ThermalJoin(resolution=1.0).step(dataset)
+        reloaded = ThermalJoin(resolution=1.0).step(loaded)
+        assert original.n_results == reloaded.n_results
+
+    def test_label_length_mismatch_rejected(self, tmp_path):
+        dataset = make_uniform_dataset(10, seed=1)
+        with pytest.raises(ValueError):
+            save_dataset(tmp_path / "x.npz", dataset, labels=np.arange(5))
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(ValueError):
+            load_dataset(path)
+
+
+class TestValidateCLI:
+    def test_agreeing_algorithms(self):
+        from repro.validate import validate
+
+        messages = []
+        ok = validate(
+            workload="uniform",
+            n=400,
+            steps=2,
+            algorithms=["thermal-join", "cr-tree", "ego"],
+            use_oracle=True,
+            log=messages.append,
+        )
+        assert ok
+        assert any("agree" in m for m in messages)
+
+    def test_unknown_inputs_rejected(self):
+        from repro.validate import validate
+
+        with pytest.raises(ValueError):
+            validate(workload="bogus")
+        with pytest.raises(ValueError):
+            validate(algorithms=["not-a-join"])
+
+    def test_cli_exit_code(self):
+        from repro.validate import main
+
+        assert main([
+            "--workload", "uniform", "--n", "300", "--steps", "1",
+            "--algorithms", "thermal-join", "pbsm",
+        ]) == 0

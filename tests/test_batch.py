@@ -1,0 +1,229 @@
+"""Tests for the batched group-join primitives (repro.geometry.batch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    cross_join_groups,
+    group_by_keys,
+    mbr,
+    self_join_groups,
+)
+
+
+def make_groups(rng, n_objects, n_groups, span=50.0, width=6.0):
+    """Random boxes partitioned into groups; returns grouping + boxes."""
+    centers = rng.uniform(0, span, size=(n_objects, 3))
+    lo, hi = mbr.boxes_from_centers(centers, width)
+    keys = rng.integers(0, n_groups, size=n_objects)
+    cat, starts, stops, unique_keys = group_by_keys(keys, secondary_sort=lo[:, 0])
+    return lo, hi, cat, starts, stops, unique_keys
+
+
+class Collector:
+    def __init__(self):
+        self.pairs = set()
+        self.groups = []
+
+    def __call__(self, left, right, groups):
+        for a, b, g in zip(left.tolist(), right.tolist(), groups.tolist()):
+            self.pairs.add((a, b))
+            self.groups.append(g)
+
+
+def naive_cross(lo, hi, members_a, members_b):
+    out = set()
+    for a in members_a:
+        for b in members_b:
+            if mbr.overlap_single(lo[a], hi[a], lo[b], hi[b]):
+                out.add((a, b))
+    return out
+
+
+class TestCrossJoinGroups:
+    def test_matches_naive_per_pair(self, rng):
+        lo, hi, cat, starts, stops, keys = make_groups(rng, 120, 6)
+        n_groups = keys.size
+        pair_a = []
+        pair_b = []
+        expected = set()
+        for ga in range(n_groups):
+            for gb in range(n_groups):
+                if ga == gb:
+                    continue
+                pair_a.append(ga)
+                pair_b.append(gb)
+                expected |= naive_cross(
+                    lo, hi, cat[starts[ga]:stops[ga]], cat[starts[gb]:stops[gb]]
+                )
+        collector = Collector()
+        tests = cross_join_groups(
+            lo, hi, cat, starts, stops, cat, starts, stops,
+            np.asarray(pair_a), np.asarray(pair_b), collector, count="full",
+        )
+        assert collector.pairs == expected
+        # Full accounting: every candidate charged.
+        sizes = stops - starts
+        assert tests == int(
+            (sizes[np.asarray(pair_a)] * sizes[np.asarray(pair_b)]).sum()
+        )
+
+    def test_sweep_count_is_cheaper(self, rng):
+        lo, hi, cat, starts, stops, keys = make_groups(rng, 150, 4, span=80.0)
+        pair_a = np.asarray([0, 1, 2])
+        pair_b = np.asarray([1, 2, 3])
+        full_collector = Collector()
+        sweep_collector = Collector()
+        full = cross_join_groups(
+            lo, hi, cat, starts, stops, cat, starts, stops,
+            pair_a, pair_b, full_collector, count="full",
+        )
+        swept = cross_join_groups(
+            lo, hi, cat, starts, stops, cat, starts, stops,
+            pair_a, pair_b, sweep_collector, count="x-sweep",
+        )
+        assert sweep_collector.pairs == full_collector.pairs
+        assert swept <= full
+
+    def test_chunking_invariance(self, rng):
+        lo, hi, cat, starts, stops, keys = make_groups(rng, 200, 5)
+        pair_a = np.arange(4)
+        pair_b = np.arange(1, 5)
+        big = Collector()
+        small = Collector()
+        cross_join_groups(
+            lo, hi, cat, starts, stops, cat, starts, stops,
+            pair_a, pair_b, big, chunk_candidates=10**9,
+        )
+        cross_join_groups(
+            lo, hi, cat, starts, stops, cat, starts, stops,
+            pair_a, pair_b, small, chunk_candidates=7,
+        )
+        assert big.pairs == small.pairs
+
+    def test_pair_group_indices_point_into_pair_list(self, rng):
+        lo, hi, cat, starts, stops, keys = make_groups(rng, 80, 3, span=20.0)
+        pair_a = np.asarray([0, 2])
+        pair_b = np.asarray([1, 1])
+        collector = Collector()
+        cross_join_groups(
+            lo, hi, cat, starts, stops, cat, starts, stops,
+            pair_a, pair_b, collector,
+        )
+        assert set(collector.groups) <= {0, 1}
+
+    def test_empty_pair_list(self, rng):
+        lo, hi, cat, starts, stops, _keys = make_groups(rng, 30, 2)
+        collector = Collector()
+        assert cross_join_groups(
+            lo, hi, cat, starts, stops, cat, starts, stops,
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), collector,
+        ) == 0
+        assert collector.pairs == set()
+
+    def test_unknown_count_mode(self, rng):
+        lo, hi, cat, starts, stops, _keys = make_groups(rng, 30, 2)
+        with pytest.raises(ValueError):
+            cross_join_groups(
+                lo, hi, cat, starts, stops, cat, starts, stops,
+                np.asarray([0]), np.asarray([1]), Collector(), count="bogus",
+            )
+
+
+class TestSelfJoinGroups:
+    def test_matches_naive(self, rng):
+        lo, hi, cat, starts, stops, keys = make_groups(rng, 120, 5)
+        expected = set()
+        for g in range(keys.size):
+            members = cat[starts[g]:stops[g]]
+            for x in range(members.size):
+                for y in range(x + 1, members.size):
+                    a, b = members[x], members[y]
+                    if mbr.overlap_single(lo[a], hi[a], lo[b], hi[b]):
+                        expected.add((int(a), int(b)))
+        collector = Collector()
+        tests = self_join_groups(
+            lo, hi, cat, starts, stops,
+            np.arange(keys.size), collector, count="full",
+        )
+        assert collector.pairs == expected
+        sizes = stops - starts
+        assert tests == int((sizes * (sizes - 1) // 2).sum())
+
+    def test_sweep_accounting_requires_sorted_lists(self, rng):
+        # make_groups sorts group members by x-lo, so the sweep count is
+        # valid and bounded by the full count.
+        lo, hi, cat, starts, stops, keys = make_groups(rng, 150, 4)
+        groups = np.arange(keys.size)
+        full = self_join_groups(
+            lo, hi, cat, starts, stops, groups, Collector(), count="full"
+        )
+        swept = self_join_groups(
+            lo, hi, cat, starts, stops, groups, Collector(), count="x-sweep"
+        )
+        assert swept <= full
+
+    def test_subset_of_groups(self, rng):
+        lo, hi, cat, starts, stops, keys = make_groups(rng, 100, 6)
+        all_collector = Collector()
+        some_collector = Collector()
+        self_join_groups(
+            lo, hi, cat, starts, stops, np.arange(keys.size), all_collector
+        )
+        self_join_groups(
+            lo, hi, cat, starts, stops, np.asarray([0, 2]), some_collector
+        )
+        assert some_collector.pairs <= all_collector.pairs
+
+    def test_empty_groups_list(self, rng):
+        lo, hi, cat, starts, stops, _keys = make_groups(rng, 30, 2)
+        assert self_join_groups(
+            lo, hi, cat, starts, stops, np.empty(0, dtype=np.int64), Collector()
+        ) == 0
+
+    def test_chunking_invariance(self, rng):
+        lo, hi, cat, starts, stops, keys = make_groups(rng, 180, 3)
+        groups = np.arange(keys.size)
+        big = Collector()
+        small = Collector()
+        self_join_groups(
+            lo, hi, cat, starts, stops, groups, big, chunk_candidates=10**9
+        )
+        self_join_groups(
+            lo, hi, cat, starts, stops, groups, small, chunk_candidates=5
+        )
+        assert big.pairs == small.pairs
+
+
+class TestGroupByKeys:
+    def test_groups_cover_all_ids(self, rng):
+        keys = rng.integers(0, 10, size=100)
+        cat, starts, stops, unique_keys = group_by_keys(keys)
+        assert np.array_equal(np.sort(cat), np.arange(100))
+        assert unique_keys.tolist() == sorted(set(keys.tolist()))
+
+    def test_secondary_sort_within_groups(self, rng):
+        keys = rng.integers(0, 5, size=60)
+        order_key = rng.uniform(size=60)
+        cat, starts, stops, _unique = group_by_keys(keys, secondary_sort=order_key)
+        for g in range(starts.size):
+            values = order_key[cat[starts[g]:stops[g]]]
+            assert (np.diff(values) >= 0).all()
+
+    def test_custom_ids(self):
+        cat, starts, stops, unique = group_by_keys(
+            np.asarray([2, 1, 2]), ids=np.asarray([10, 20, 30])
+        )
+        assert unique.tolist() == [1, 2]
+        assert cat[starts[0]:stops[0]].tolist() == [20]
+        assert sorted(cat[starts[1]:stops[1]].tolist()) == [10, 30]
+
+    def test_empty_input(self):
+        cat, starts, stops, unique = group_by_keys(np.empty(0, dtype=np.int64))
+        assert cat.size == starts.size == stops.size == unique.size == 0
+
+    def test_mismatched_ids_raise(self):
+        with pytest.raises(ValueError):
+            group_by_keys(np.asarray([1, 2]), ids=np.asarray([1]))

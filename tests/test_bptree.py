@@ -1,0 +1,135 @@
+"""Unit and fuzz tests for the B+-Tree substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.index import BPlusTree
+
+
+class TestBasics:
+    def test_insert_and_lookup(self):
+        tree = BPlusTree(order=4)
+        assert tree.insert(5, 100)
+        assert tree.insert(5, 101)
+        assert sorted(tree.values_for(5)) == [100, 101]
+        assert len(tree) == 2
+
+    def test_duplicate_entry_rejected(self):
+        tree = BPlusTree(order=4)
+        assert tree.insert(1, 1)
+        assert not tree.insert(1, 1)
+        assert len(tree) == 1
+
+    def test_delete(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, 1)
+        assert tree.delete(1, 1)
+        assert not tree.delete(1, 1)
+        assert len(tree) == 0
+        assert tree.values_for(1) == []
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_items_sorted(self):
+        tree = BPlusTree(order=4)
+        for k in (9, 3, 7, 1, 5):
+            tree.insert(k, 0)
+        assert [k for k, _v in tree.items()] == [1, 3, 5, 7, 9]
+
+    def test_height_grows_with_size(self):
+        tree = BPlusTree(order=4)
+        assert tree.height == 1
+        for k in range(100):
+            tree.insert(k, 0)
+        assert tree.height >= 3
+        assert tree.node_count() > 10
+
+
+class TestRangeScans:
+    def test_inclusive_bounds(self):
+        tree = BPlusTree(order=4)
+        for k in range(20):
+            tree.insert(k, k * 10)
+        assert sorted(tree.range_values(5, 8)) == [50, 60, 70, 80]
+
+    def test_empty_range(self):
+        tree = BPlusTree(order=4)
+        for k in (1, 2, 10):
+            tree.insert(k, k)
+        assert tree.range_values(4, 9) == []
+
+    def test_range_with_duplicates(self):
+        tree = BPlusTree(order=4)
+        for v in range(15):
+            tree.insert(7, v)
+        assert sorted(tree.range_values(7, 7)) == list(range(15))
+
+    def test_scan_crosses_many_leaves(self):
+        tree = BPlusTree(order=4)
+        for k in range(200):
+            tree.insert(k, k)
+        assert sorted(tree.range_values(0, 199)) == list(range(200))
+
+
+class TestInvariantsUnderChurn:
+    def test_fuzz_against_reference_set(self):
+        rng = random.Random(42)
+        tree = BPlusTree(order=6)
+        reference = set()
+        for step in range(20000):
+            key = rng.randrange(0, 300)
+            value = rng.randrange(0, 8)
+            if rng.random() < 0.6:
+                assert tree.insert(key, value) == ((key, value) not in reference)
+                reference.add((key, value))
+            else:
+                assert tree.delete(key, value) == ((key, value) in reference)
+                reference.discard((key, value))
+            if step % 2500 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert tree.items() == sorted(reference)
+
+    def test_range_scans_after_churn(self):
+        rng = random.Random(7)
+        tree = BPlusTree(order=8)
+        reference = set()
+        for _ in range(5000):
+            key = rng.randrange(0, 100)
+            value = rng.randrange(0, 6)
+            if rng.random() < 0.65:
+                tree.insert(key, value)
+                reference.add((key, value))
+            else:
+                tree.delete(key, value)
+                reference.discard((key, value))
+        for _ in range(100):
+            a, b = sorted((rng.randrange(0, 100), rng.randrange(0, 100)))
+            expected = sorted(v for (k, v) in reference if a <= k <= b)
+            assert sorted(tree.range_values(a, b)) == expected
+
+    def test_drain_to_empty(self):
+        tree = BPlusTree(order=4)
+        entries = [(k, v) for k in range(50) for v in range(3)]
+        for key, value in entries:
+            tree.insert(key, value)
+        random.Random(1).shuffle(entries)
+        for key, value in entries:
+            assert tree.delete(key, value)
+        tree.check_invariants()
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_monotone_bulk_then_reverse_delete(self):
+        tree = BPlusTree(order=4)
+        for k in range(300):
+            tree.insert(k, 0)
+        for k in reversed(range(300)):
+            assert tree.delete(k, 0)
+        assert len(tree) == 0
+        tree.check_invariants()

@@ -1,0 +1,222 @@
+"""Tests for THERMAL-JOIN's batched cell-pair kernels (repro.core.celljoin)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.celljoin import (
+    _bisect_runs,
+    emit_hot_cells_batched,
+    join_cell_pairs_batched,
+    join_sorted_lists,
+)
+from repro.geometry import (
+    PairAccumulator,
+    all_combinations,
+    group_by_keys,
+    mbr,
+    pack_pairs,
+    unique_pairs,
+)
+
+
+def make_grouped_boxes(rng, n=150, n_groups=6, span=40.0, width=6.0):
+    centers = rng.uniform(0, span, size=(n, 3))
+    lo, hi = mbr.boxes_from_centers(centers, width)
+    keys = rng.integers(0, n_groups, size=n)
+    cat, starts, stops, _unique = group_by_keys(keys, secondary_sort=lo[:, 0])
+    # Tight center bounds per group (what PGrid.refresh provides).
+    center_lo = np.stack(
+        [centers[cat[starts[g]:stops[g]]].min(axis=0) for g in range(starts.size)]
+    )
+    center_hi = np.stack(
+        [centers[cat[starts[g]:stops[g]]].max(axis=0) for g in range(starts.size)]
+    )
+    return lo, hi, centers, cat, starts, stops, center_lo, center_hi
+
+
+class TestBisectRuns:
+    def test_matches_searchsorted_per_run(self, rng):
+        # Build several sorted runs inside one array.
+        runs = [np.sort(rng.uniform(0, 100, size=rng.integers(1, 30))) for _ in range(20)]
+        values = np.concatenate(runs)
+        bounds = np.cumsum([0] + [r.size for r in runs])
+        row_lo = []
+        row_hi = []
+        targets = []
+        expected_left = []
+        expected_right = []
+        for k, run in enumerate(runs):
+            for _ in range(3):
+                t = float(rng.uniform(-10, 110))
+                row_lo.append(bounds[k])
+                row_hi.append(bounds[k + 1])
+                targets.append(t)
+                expected_left.append(bounds[k] + np.searchsorted(run, t, side="left"))
+                expected_right.append(bounds[k] + np.searchsorted(run, t, side="right"))
+        row_lo = np.asarray(row_lo, dtype=np.int64)
+        row_hi = np.asarray(row_hi, dtype=np.int64)
+        targets = np.asarray(targets)
+        got_geq = _bisect_runs(values, targets, row_lo, row_hi, strict=False)
+        got_gt = _bisect_runs(values, targets, row_lo, row_hi, strict=True)
+        assert got_geq.tolist() == expected_left
+        assert got_gt.tolist() == expected_right
+
+    def test_empty_rows(self):
+        values = np.asarray([1.0, 2.0, 3.0])
+        out = _bisect_runs(
+            values,
+            np.asarray([5.0]),
+            np.asarray([2], dtype=np.int64),
+            np.asarray([2], dtype=np.int64),
+            strict=False,
+        )
+        assert out.tolist() == [2]
+
+    def test_no_rows(self):
+        out = _bisect_runs(
+            np.asarray([1.0]),
+            np.empty(0),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            strict=False,
+        )
+        assert out.size == 0
+
+
+class TestJoinCellPairsBatched:
+    def _expected_pairs(self, lo, hi, cat, starts, stops, pair_a, pair_b, n):
+        expected = set()
+        for ga, gb in zip(pair_a, pair_b):
+            for a in cat[starts[ga]:stops[ga]]:
+                for b in cat[starts[gb]:stops[gb]]:
+                    if a != b and mbr.overlap_single(lo[a], hi[a], lo[b], hi[b]):
+                        expected.add((min(a, b), max(a, b)))
+        return expected
+
+    def _run(self, rng, **kwargs):
+        lo, hi, centers, cat, starts, stops, c_lo, c_hi = make_grouped_boxes(rng)
+        n_groups = starts.size
+        pair_a = []
+        pair_b = []
+        for ga in range(n_groups):
+            for gb in range(ga + 1, n_groups):
+                pair_a.append(ga)
+                pair_b.append(gb)
+        acc = PairAccumulator()
+        tests, shortcuts = join_cell_pairs_batched(
+            lo, hi, cat, starts, stops, c_lo, c_hi,
+            np.asarray(pair_a), np.asarray(pair_b), acc, **kwargs,
+        )
+        n = lo.shape[0]
+        got = set(zip(*(arr.tolist() for arr in unique_pairs(*acc.as_arrays(), n))))
+        expected = self._expected_pairs(lo, hi, cat, starts, stops, pair_a, pair_b, n)
+        return got, expected, tests, shortcuts, len(acc)
+
+    def test_matches_naive(self, rng):
+        got, expected, _t, _s, emitted = self._run(rng)
+        assert got == expected
+        assert emitted == len(expected)  # no duplicate emissions
+
+    def test_enclosure_off_same_results_more_tests(self, rng):
+        got_on, exp, tests_on, shortcuts_on, _ = self._run(rng)
+        rng2 = np.random.default_rng(1234)  # same fixture seed
+        got_off, _exp, tests_off, shortcuts_off, _ = self._run(
+            rng2, enclosure_shortcut=False
+        )
+        assert got_on == got_off
+        assert shortcuts_off == 0
+        assert tests_off >= tests_on
+
+    def test_parallel_equals_serial(self, rng):
+        got_serial, expected, tests_serial, s_serial, _ = self._run(rng)
+        rng2 = np.random.default_rng(1234)
+        got_par, _exp, tests_par, s_par, _ = self._run(
+            rng2, n_workers=4, chunk_candidates=64
+        )
+        assert got_serial == got_par == expected
+        assert tests_serial == tests_par
+        assert s_serial == s_par
+
+    def test_chunking_invariance(self, rng):
+        got_big, expected, tests_big, _s, _ = self._run(rng, chunk_candidates=10**9)
+        rng2 = np.random.default_rng(1234)
+        got_small, _exp, tests_small, _s2, _ = self._run(rng2, chunk_candidates=16)
+        assert got_big == got_small == expected
+        assert tests_big == tests_small
+
+    def test_matches_sequential_join_sorted_lists(self, rng):
+        """The batched kernel is semantically the per-pair sequential
+        join (same pairs, same plane-sweep test accounting)."""
+        lo, hi, centers, cat, starts, stops, c_lo, c_hi = make_grouped_boxes(
+            rng, n=80, n_groups=4
+        )
+        pair_a = np.asarray([0, 1, 2])
+        pair_b = np.asarray([1, 2, 3])
+        batched_acc = PairAccumulator()
+        batched_tests, batched_shortcuts = join_cell_pairs_batched(
+            lo, hi, cat, starts, stops, c_lo, c_hi, pair_a, pair_b, batched_acc
+        )
+        seq_acc = PairAccumulator()
+        seq_tests = 0
+        seq_shortcuts = 0
+        for ga, gb in zip(pair_a, pair_b):
+            t, s = join_sorted_lists(
+                lo,
+                hi,
+                cat[starts[ga]:stops[ga]],
+                cat[starts[gb]:stops[gb]],
+                c_lo[gb],
+                c_hi[gb],
+                seq_acc,
+            )
+            seq_tests += t
+            seq_shortcuts += s
+        n = lo.shape[0]
+        assert np.array_equal(
+            pack_pairs(*batched_acc.as_unique_arrays(n), n),
+            pack_pairs(*seq_acc.as_unique_arrays(n), n),
+        )
+        assert batched_tests == seq_tests
+        assert batched_shortcuts == seq_shortcuts
+
+    def test_empty_pairs(self, rng):
+        lo, hi, _c, cat, starts, stops, c_lo, c_hi = make_grouped_boxes(rng, n=20)
+        acc = PairAccumulator()
+        assert join_cell_pairs_batched(
+            lo, hi, cat, starts, stops, c_lo, c_hi,
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), acc,
+        ) == (0, 0)
+
+
+class TestEmitHotCells:
+    def test_matches_per_cell_all_combinations(self, rng):
+        lo, hi, _c, cat, starts, stops, _cl, _ch = make_grouped_boxes(rng, n=60)
+        acc_batched = PairAccumulator()
+        hot = np.arange(starts.size)
+        emitted = emit_hot_cells_batched(cat, starts, stops, hot, acc_batched)
+        acc_per_cell = PairAccumulator()
+        for g in range(starts.size):
+            i_ids, j_ids = all_combinations(cat[starts[g]:stops[g]])
+            acc_per_cell.extend_canonical(i_ids, j_ids)
+        n = lo.shape[0]
+        assert emitted == len(acc_per_cell)
+        assert np.array_equal(
+            pack_pairs(*acc_batched.as_unique_arrays(n), n),
+            pack_pairs(*acc_per_cell.as_unique_arrays(n), n),
+        )
+
+    def test_no_hot_cells(self, rng):
+        lo, hi, _c, cat, starts, stops, _cl, _ch = make_grouped_boxes(rng, n=20)
+        acc = PairAccumulator()
+        assert emit_hot_cells_batched(
+            cat, starts, stops, np.empty(0, dtype=np.int64), acc
+        ) == 0
+
+    def test_single_member_cells_emit_nothing(self):
+        cat = np.arange(3, dtype=np.int64)
+        starts = np.asarray([0, 1, 2], dtype=np.int64)
+        stops = np.asarray([1, 2, 3], dtype=np.int64)
+        acc = PairAccumulator()
+        assert emit_hot_cells_batched(cat, starts, stops, np.arange(3), acc) == 0

@@ -1,0 +1,101 @@
+"""Unit tests for P-Grid cell records and id packing (repro.core.cells)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PGridCell,
+    half_neighborhood_offsets,
+    pack_cell_id_scalar,
+    pack_cell_ids,
+    unpack_cell_id,
+)
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        coords = np.array([[0, 0, 0], [1, -2, 3], [-100, 50, 7]], dtype=np.int64)
+        packed = pack_cell_ids(coords)
+        for k in range(coords.shape[0]):
+            assert unpack_cell_id(packed[k]) == tuple(coords[k])
+
+    def test_scalar_matches_vectorized(self):
+        rng = np.random.default_rng(0)
+        coords = rng.integers(-1000, 1000, size=(100, 3))
+        packed = pack_cell_ids(coords)
+        for k in range(100):
+            assert pack_cell_id_scalar(*coords[k]) == packed[k]
+
+    def test_distinct_coords_distinct_ids(self):
+        rng = np.random.default_rng(1)
+        coords = np.unique(rng.integers(-50, 50, size=(500, 3)), axis=0)
+        packed = pack_cell_ids(coords)
+        assert np.unique(packed).size == coords.shape[0]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            pack_cell_ids(np.array([[1 << 21, 0, 0]]))
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            pack_cell_ids(np.array([1, 2, 3]))
+
+
+class TestHalfNeighborhood:
+    def test_one_layer_has_13_offsets(self):
+        # The paper: 13 adjacent cells in 3-D when cell width equals the
+        # largest object width (Figure 4a).
+        assert len(half_neighborhood_offsets(1)) == 13
+
+    def test_count_formula(self):
+        for layers in (1, 2, 3):
+            expected = ((2 * layers + 1) ** 3 - 1) // 2
+            assert len(half_neighborhood_offsets(layers)) == expected
+
+    def test_no_offset_and_its_negation(self):
+        offsets = set(half_neighborhood_offsets(2))
+        for ox, oy, oz in offsets:
+            assert (-ox, -oy, -oz) not in offsets
+
+    def test_union_with_negation_covers_neighborhood(self):
+        offsets = half_neighborhood_offsets(1)
+        full = set(offsets) | {(-x, -y, -z) for x, y, z in offsets}
+        assert len(full) == 26
+        assert (0, 0, 0) not in full
+
+    def test_per_dimension_layers(self):
+        offsets = half_neighborhood_offsets((2, 1, 1))
+        assert len(offsets) == ((5 * 3 * 3) - 1) // 2
+        assert max(abs(o[0]) for o in offsets) == 2
+        assert max(abs(o[1]) for o in offsets) == 1
+
+    def test_zero_layers(self):
+        assert half_neighborhood_offsets(0) == []
+
+    def test_negative_layers_raise(self):
+        with pytest.raises(ValueError):
+            half_neighborhood_offsets(-1)
+
+
+class TestPGridCell:
+    def test_new_cell_is_vacant(self):
+        cell = PGridCell((0, 0, 0), np.zeros(3), np.ones(3))
+        assert cell.is_vacant
+        assert cell.slot == -1
+
+    def test_clear_resets_assignment(self):
+        cell = PGridCell((0, 0, 0), np.zeros(3), np.ones(3))
+        cell.object_idx = np.array([1, 2], dtype=np.int64)
+        cell.slot = 5
+        assert not cell.is_vacant
+        cell.clear()
+        assert cell.is_vacant
+        assert cell.slot == -1
+        assert cell.min_obj_width is None
+
+    def test_repr_counts_objects(self):
+        cell = PGridCell((1, 2, 3), np.zeros(3), np.ones(3))
+        cell.object_idx = np.arange(4)
+        assert "n=4" in repr(cell)

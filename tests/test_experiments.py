@@ -1,0 +1,127 @@
+"""Smoke tests for the experiment harness at the ``tiny`` scale.
+
+These execute every figure driver end to end (tiny workloads, quiet
+mode) and validate the structure of what they return — catching
+harness regressions without paying benchmark runtimes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures, run_experiment
+
+
+class TestFigureDrivers:
+    def test_fig2_structure(self):
+        out = figures.fig2(scale="tiny", time_budget=30.0, quiet=True)
+        assert out["x"] == [10.0, 15.0, 20.0, 25.0, 30.0]
+        assert set(out["series"]) == set(figures.FIG2_ALGORITHMS)
+        for values in out["series"].values():
+            assert len(values) == len(out["x"])
+        assert "Figure 2" in out["table"]
+
+    def test_fig6_structure(self):
+        out = figures.fig6(scale="tiny", quiet=True)
+        assert len(out["x"]) == 11
+        assert len(out["series"]) == 4
+        for values in out["series"].values():
+            assert all(v >= 0 for v in values)
+
+    def test_fig7_structure(self):
+        out = figures.fig7(scale="tiny", time_budget=60.0, quiet=True)
+        assert set(out["totals"]) == set(figures.FIG7_ALGORITHMS)
+        panels = out["panels"]
+        assert len(panels) == 4
+        # All methods computed identical result series (panel a).
+        results_panel = panels["a) join results"]
+        series = {tuple(v) for v in results_panel.values()}
+        assert len(series) == 1
+
+    def test_fig8_structure(self):
+        out = figures.fig8(scale="tiny", time_budget=60.0, quiet=True)
+        assert len(out["sizes"]) == 2
+        assert set(out["panel_a"]) == set(figures.FIG7_ALGORITHMS)
+        assert set(out["panel_b"]) == set(figures.FIG7_ALGORITHMS)
+
+    def test_fig10_structure(self):
+        out = figures.fig10(scale="tiny", quiet=True)
+        assert set(out["breakdown"]) == {"building", "internal", "external"}
+        # Footprint falls monotonically with r (Figure 10b).
+        footprint = out["footprint"]
+        assert footprint == sorted(footprint, reverse=True)
+
+    def test_speedups_structure(self):
+        out = figures.speedups(scale="tiny", time_budget=60.0, quiet=True)
+        assert set(out["speedups"]) == set(figures.FIG7_ALGORITHMS) - {"thermal-join"}
+        assert all(v > 0 for v in out["speedups"].values())
+
+    def test_tuning_structure(self):
+        # Convergence itself is asserted at a meaningful scale in
+        # bench_tuning.py; at 600 objects the cost signal is too noisy
+        # for a stable optimum, so only the trace structure is checked.
+        out = figures.tuning(scale="tiny", quiet=True)
+        assert out["tuning_steps"] >= 1
+        assert len(out["resolutions"]) == len(out["costs"]) == 24
+        assert all(0.2 <= r <= 2.0 for r in out["resolutions"])
+        assert all(cost >= 0 for cost in out["costs"])
+
+    def test_ablations_structure(self):
+        out = figures.ablations(scale="tiny", quiet=True)
+        labels = [row[0] for row in out["rows"]]
+        assert labels == [
+            "full",
+            "no hot spots",
+            "no enclosure shortcut",
+            "rebuild each step",
+            "gc off",
+        ]
+        # GC off retains at least as many cells as the 35% policy.
+        full_cells = out["rows"][0][5]
+        gc_off_cells = out["rows"][4][5]
+        assert gc_off_cells >= full_cells
+
+
+@pytest.mark.slow
+class TestFig9Driver:
+    def test_fig9_structure(self):
+        out = figures.fig9(scale="tiny", time_budget=30.0, quiet=True)
+        panels = [key for key in out if key.startswith("Figure 9")]
+        assert len(panels) == 6
+        for key in panels:
+            panel = out[key]
+            assert set(panel["series"]) == set(figures.FIG9_ALGORITHMS)
+
+
+class TestRunExperiment:
+    def test_dispatch(self):
+        out = run_experiment("fig10", scale="tiny", quiet=True)
+        assert "footprint" in out
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("nope", scale="tiny")
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("fig2", "fig7", "speedups", "ablations"):
+            assert experiment_id in out
+
+    def test_single_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig10", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10a" in out
+        assert "done in" in out
+
+    def test_rejects_unknown_scale(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["fig10", "--scale", "galactic"])

@@ -1,0 +1,62 @@
+"""Tests for experiment-result export (JSON/CSV)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+
+from repro.experiments.export import jsonable, write_csv_series, write_json
+
+
+class TestJsonable:
+    def test_numpy_scalars_and_arrays(self):
+        out = jsonable(
+            {"count": np.int64(5), "ratio": np.float64(0.5), "xs": np.arange(3)}
+        )
+        assert out == {"count": 5, "ratio": 0.5, "xs": [0, 1, 2]}
+        json.dumps(out)  # must be serialisable
+
+    def test_non_data_objects_dropped(self):
+        class Runner:
+            pass
+
+        out = jsonable({"keep": 1, "runners": {"a": Runner()}, "list": [Runner(), 2]})
+        assert out == {"keep": 1, "runners": {}, "list": [2]}
+
+    def test_none_and_nested(self):
+        out = jsonable({"a": [None, 1.5, {"b": (np.float32(2.0),)}]})
+        assert out == {"a": [None, 1.5, {"b": [2.0]}]}
+
+    def test_real_figure_output_serialises(self):
+        from repro.experiments import figures
+
+        result = figures.fig10(scale="tiny", quiet=True)
+        json.dumps(jsonable(result))
+
+
+class TestWriters:
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_json({"x": [1, 2], "series": {"a": [np.float64(0.5), None]}}, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["series"]["a"] == [0.5, None]
+
+    def test_write_csv_series(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv_series(
+            path, [10, 20], {"fast": [1.0, 2.0], "slow": [5.0, None]}, x_label="n"
+        )
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["n", "fast", "slow"]
+        assert rows[1] == ["10", "1.0", "5.0"]
+        assert rows[2] == ["20", "2.0", ""]  # DNF -> empty cell
+
+    def test_csv_pads_short_series(self, tmp_path):
+        path = tmp_path / "short.csv"
+        write_csv_series(path, [1, 2, 3], {"a": [1.0]})
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[2][1] == "" and rows[3][1] == ""

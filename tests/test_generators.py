@@ -1,0 +1,172 @@
+"""Tests for the workload generators (uniform, clustered, neural)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    UNIFORM_BOUNDS,
+    make_clustered_dataset,
+    make_clustered_workload,
+    make_neural_dataset,
+    make_neural_workload,
+    make_uniform_dataset,
+    make_uniform_workload,
+)
+from repro.geometry import width_from_volume
+
+
+class TestUniform:
+    def test_size_and_width(self):
+        ds = make_uniform_dataset(500, width=15.0, seed=1)
+        assert len(ds) == 500
+        assert ds.max_width == pytest.approx(15.0)
+        assert ds.min_width == pytest.approx(15.0)
+
+    def test_centers_inside_bounds(self):
+        ds = make_uniform_dataset(1000, seed=2)
+        lo, hi = UNIFORM_BOUNDS
+        assert (ds.centers >= lo).all()
+        assert (ds.centers <= hi).all()
+
+    def test_reproducible_by_seed(self):
+        a = make_uniform_dataset(100, seed=5)
+        b = make_uniform_dataset(100, seed=5)
+        assert np.array_equal(a.centers, b.centers)
+
+    def test_different_seed_differs(self):
+        a = make_uniform_dataset(100, seed=5)
+        b = make_uniform_dataset(100, seed=6)
+        assert not np.array_equal(a.centers, b.centers)
+
+    def test_width_range_variation(self):
+        ds = make_uniform_dataset(2000, width_range=(13.0, 17.0), seed=3)
+        assert 13.0 <= ds.min_width <= 14.0
+        assert 16.0 <= ds.max_width <= 17.0
+
+    def test_invalid_width_range_raises(self):
+        with pytest.raises(ValueError):
+            make_uniform_dataset(10, width_range=(5.0, 3.0))
+
+    def test_nonpositive_n_raises(self):
+        with pytest.raises(ValueError):
+            make_uniform_dataset(0)
+
+    def test_workload_motion_moves_everything(self):
+        ds, motion = make_uniform_workload(200, translation=10.0, seed=4)
+        before = ds.centers.copy()
+        motion.step(ds)
+        displacement = np.linalg.norm(ds.centers - before, axis=1)
+        # All objects moved, and interior objects moved by exactly 10 units.
+        assert (displacement > 0).all()
+        assert np.median(displacement) == pytest.approx(10.0, rel=1e-6)
+
+    def test_motion_respects_bounds(self):
+        ds, motion = make_uniform_workload(300, translation=50.0, seed=9)
+        for _ in range(20):
+            motion.step(ds)
+        lo, hi = ds.bounds
+        assert (ds.centers >= lo).all()
+        assert (ds.centers <= hi).all()
+
+
+class TestClustered:
+    def test_labels_cover_all_clusters(self):
+        _ds, labels = make_clustered_dataset(100, n_clusters=4, sd=2.0, seed=1)
+        assert set(labels.tolist()) == {0, 1, 2, 3}
+
+    def test_objects_divided_evenly(self):
+        _ds, labels = make_clustered_dataset(103, n_clusters=4, sd=2.0, seed=1)
+        counts = np.bincount(labels)
+        assert counts.max() - counts.min() <= 1
+        assert counts.sum() == 103
+
+    def test_cluster_spread_matches_sd(self):
+        ds, labels = make_clustered_dataset(4000, n_clusters=1, sd=3.0, seed=2)
+        spread = ds.centers.std(axis=0)
+        assert np.allclose(spread, 3.0, rtol=0.15)
+
+    def test_smaller_sd_is_denser(self):
+        tight, _ = make_clustered_dataset(1000, n_clusters=1, sd=1.0, seed=3)
+        loose, _ = make_clustered_dataset(1000, n_clusters=1, sd=5.0, seed=3)
+        assert tight.centers.std(axis=0).mean() < loose.centers.std(axis=0).mean()
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            make_clustered_dataset(0)
+        with pytest.raises(ValueError):
+            make_clustered_dataset(10, n_clusters=0)
+        with pytest.raises(ValueError):
+            make_clustered_dataset(10, sd=0.0)
+
+    def test_cluster_motion_preserves_distribution(self):
+        ds, motion, labels = make_clustered_workload(
+            600, n_clusters=2, sd=2.0, translation=5.0, seed=4
+        )
+        spread_before = np.array(
+            [ds.centers[labels == c].std() for c in range(2)]
+        )
+        for _ in range(5):
+            motion.step(ds)
+        spread_after = np.array(
+            [ds.centers[labels == c].std() for c in range(2)]
+        )
+        # Coherent motion: within-cluster spread unchanged (away from walls).
+        assert np.allclose(spread_before, spread_after, rtol=0.2)
+
+
+class TestNeural:
+    def test_requested_object_count(self):
+        ds, labels = make_neural_dataset(750, seed=1)
+        assert len(ds) == 750
+        assert labels.shape == (750,)
+
+    def test_extent_from_volume(self):
+        ds, _ = make_neural_dataset(300, object_volume=15.0, seed=2)
+        assert ds.max_width == pytest.approx(width_from_volume(15.0))
+
+    def test_centers_inside_bounds(self):
+        ds, _ = make_neural_dataset(500, seed=3)
+        lo, hi = ds.bounds
+        assert (ds.centers >= lo).all()
+        assert (ds.centers <= hi).all()
+
+    def test_branch_locality(self):
+        # Consecutive objects of one neuron lie close together (branch
+        # structure), unlike a uniform scatter.
+        ds, labels = make_neural_dataset(1000, seed=4)
+        same_neuron = labels[1:] == labels[:-1]
+        step_dist = np.linalg.norm(np.diff(ds.centers, axis=0), axis=1)
+        assert np.median(step_dist[same_neuron]) < 3.0
+
+    def test_multiple_neurons_at_scale(self):
+        _ds, labels = make_neural_dataset(5000, segments_per_neuron=500, seed=5)
+        assert len(set(labels.tolist())) >= 8
+
+    def test_reproducible_by_seed(self):
+        a, _ = make_neural_dataset(400, seed=6)
+        b, _ = make_neural_dataset(400, seed=6)
+        assert np.array_equal(a.centers, b.centers)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            make_neural_dataset(0)
+        with pytest.raises(ValueError):
+            make_neural_dataset(10, object_volume=-1.0)
+
+    def test_neural_motion_changes_every_object(self):
+        ds, motion, _labels = make_neural_workload(800, seed=7)
+        before = ds.centers.copy()
+        motion.step(ds)
+        assert (np.linalg.norm(ds.centers - before, axis=1) > 0).all()
+
+    def test_neural_density_creates_selectivity(self):
+        # The workload must exhibit neural-tissue selectivity: each object
+        # overlaps many partners on average (the regime the paper targets).
+        from repro.geometry import brute_force_pairs
+
+        ds, _ = make_neural_dataset(2000, object_volume=15.0, seed=8)
+        i_idx, _j = brute_force_pairs(*ds.boxes())
+        partners_per_object = 2.0 * i_idx.size / len(ds)
+        assert partners_per_object > 10.0

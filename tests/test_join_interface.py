@@ -1,0 +1,93 @@
+"""Tests for the shared SpatialJoinAlgorithm conveniences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ThermalJoin
+from repro.datasets import SpatialDataset, make_uniform_dataset
+from repro.geometry import brute_force_pairs, mbr, pairs_to_adjacency
+from repro.joins import CRTreeJoin, PlaneSweepJoin
+
+
+@pytest.fixture
+def line_dataset():
+    """Objects on a line with known distance structure."""
+    x = np.array([0.0, 3.0, 6.0, 20.0])
+    centers = np.stack([x, np.full(4, 5.0), np.full(4, 5.0)], axis=1)
+    return SpatialDataset(centers, 2.0, bounds=(np.zeros(3), np.full(3, 30.0)))
+
+
+class TestDistanceJoin:
+    def test_predicate_widens_with_distance(self, line_dataset):
+        join = ThermalJoin(resolution=1.0)
+        # Width 2 boxes 3 apart: disjoint at d=0, joined at d>=1.
+        assert join.distance_join(line_dataset, 0.0).n_results == 0
+        within_two = ThermalJoin(resolution=1.0).distance_join(line_dataset, 2.0)
+        assert within_two.n_results == 2  # (0,1) and (1,2)
+
+    def test_matches_manual_enlargement(self, line_dataset):
+        manual = ThermalJoin(resolution=1.0).step(
+            line_dataset.with_enlarged_extent(2.0)
+        )
+        convenient = ThermalJoin(resolution=1.0).distance_join(line_dataset, 2.0)
+        assert manual.n_results == convenient.n_results
+
+    def test_all_algorithms_agree_on_distance_join(self, line_dataset):
+        counts = {
+            algo.name: algo.distance_join(line_dataset, 5.0).n_results
+            for algo in (ThermalJoin(resolution=1.0), CRTreeJoin(), PlaneSweepJoin())
+        }
+        assert len(set(counts.values())) == 1
+
+
+class TestNeighbors:
+    def test_csr_matches_oracle(self):
+        dataset = make_uniform_dataset(
+            200, width=15.0, bounds=(np.zeros(3), np.full(3, 90.0)), seed=2
+        )
+        offsets, neighbors = ThermalJoin(resolution=1.0).neighbors(dataset)
+        lo, hi = dataset.boxes()
+        exp_i, exp_j = brute_force_pairs(lo, hi)
+        expected = set(zip(exp_i.tolist(), exp_j.tolist()))
+        rebuilt = set()
+        for obj in range(len(dataset)):
+            mine = neighbors[offsets[obj]:offsets[obj + 1]]
+            for other in mine.tolist():
+                rebuilt.add((min(obj, other), max(obj, other)))
+            # Each neighbour genuinely overlaps.
+            for other in mine.tolist():
+                assert mbr.overlap_single(lo[obj], hi[obj], lo[other], hi[other])
+        assert rebuilt == expected
+
+    def test_degree_sums_to_twice_pairs(self):
+        dataset = make_uniform_dataset(
+            150, width=15.0, bounds=(np.zeros(3), np.full(3, 80.0)), seed=3
+        )
+        join = ThermalJoin(resolution=1.0)
+        offsets, neighbors = join.neighbors(dataset)
+        result = ThermalJoin(resolution=1.0).step(dataset)
+        assert neighbors.size == 2 * result.n_results
+        assert offsets[-1] == neighbors.size
+
+    def test_count_only_rejected(self, line_dataset):
+        join = ThermalJoin(resolution=1.0, count_only=True)
+        with pytest.raises(RuntimeError):
+            join.neighbors(line_dataset)
+
+
+class TestPairsToAdjacencyValidation:
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            pairs_to_adjacency(np.asarray([0]), np.asarray([1]), 0)
+
+
+class TestDatasetEdgeCases:
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialDataset(np.empty((0, 3)), 1.0)
+
+    def test_nan_width_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialDataset(np.zeros((2, 3)), np.asarray([1.0, np.nan]))

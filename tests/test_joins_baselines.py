@@ -1,0 +1,163 @@
+"""Correctness tests for all indexed baseline joins against the oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpatialDataset, make_uniform_workload
+from repro.geometry import brute_force_pairs, pack_pairs, unique_pairs
+from repro.joins import (
+    CRTreeJoin,
+    EGOJoin,
+    LooseOctreeJoin,
+    MXCIFOctreeJoin,
+    PBSMJoin,
+    SynchronousRTreeJoin,
+    TouchJoin,
+)
+from tests.conftest import assert_matches_oracle
+
+INDEXED_ALGORITHMS = [
+    PBSMJoin,
+    EGOJoin,
+    MXCIFOctreeJoin,
+    LooseOctreeJoin,
+    SynchronousRTreeJoin,
+    CRTreeJoin,
+    TouchJoin,
+]
+
+
+@pytest.mark.parametrize("algorithm_cls", INDEXED_ALGORITHMS)
+class TestAgainstOracle:
+    def test_uniform(self, algorithm_cls, uniform_small):
+        assert_matches_oracle(algorithm_cls(), uniform_small)
+
+    def test_varied_widths(self, algorithm_cls, uniform_varied):
+        assert_matches_oracle(algorithm_cls(), uniform_varied)
+
+    def test_clustered(self, algorithm_cls, clustered_small):
+        assert_matches_oracle(algorithm_cls(), clustered_small)
+
+    def test_neural(self, algorithm_cls, neural_small):
+        assert_matches_oracle(algorithm_cls(), neural_small)
+
+    def test_no_overlaps(self, algorithm_cls):
+        centers = np.arange(27, dtype=np.float64).reshape(-1, 1) * 100.0
+        centers = np.repeat(centers, 3, axis=1)
+        ds = SpatialDataset(centers, 1.0)
+        assert algorithm_cls().step(ds).n_results == 0
+
+    def test_complete_clique(self, algorithm_cls):
+        rng = np.random.default_rng(0)
+        ds = SpatialDataset(rng.uniform(0, 0.5, size=(12, 3)), 10.0)
+        assert algorithm_cls().step(ds).n_results == 12 * 11 // 2
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 9, 17])
+    def test_tiny_datasets(self, algorithm_cls, n):
+        rng = np.random.default_rng(n)
+        ds = SpatialDataset(rng.uniform(0, 10.0, size=(n, 3)), 3.0)
+        assert_matches_oracle(algorithm_cls(), ds)
+
+    def test_correct_across_simulation_steps(self, algorithm_cls):
+        dataset, motion = make_uniform_workload(
+            300, width=15.0, bounds=(np.zeros(3), np.full(3, 110.0)), seed=41
+        )
+        algo = algorithm_cls()
+        n = len(dataset)
+        for _ in range(4):
+            result = algo.step(dataset)
+            got = pack_pairs(*unique_pairs(*result.pairs, n), n)
+            exp = pack_pairs(*brute_force_pairs(*dataset.boxes()), n)
+            assert np.array_equal(got, exp)
+            motion.step(dataset)
+
+    def test_count_only_matches(self, algorithm_cls, uniform_small):
+        full = algorithm_cls().step(uniform_small)
+        counted = algorithm_cls(count_only=True).step(uniform_small)
+        assert counted.n_results == full.n_results
+
+    def test_footprint_positive(self, algorithm_cls, uniform_small):
+        algo = algorithm_cls()
+        result = algo.step(uniform_small)
+        assert result.stats.memory_bytes > 0
+
+
+class TestConfigurationValidation:
+    def test_pbsm_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            PBSMJoin(partition_factor=0.0)
+
+    def test_ego_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            EGOJoin(epsilon_factor=-1.0)
+
+    def test_octree_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            MXCIFOctreeJoin(max_depth=0)
+
+    def test_loose_octree_rejects_negative_looseness(self):
+        with pytest.raises(ValueError):
+            LooseOctreeJoin(looseness=-0.1)
+
+    def test_rtree_rejects_tiny_fanout(self, uniform_small):
+        algo = SynchronousRTreeJoin(fanout=1)
+        with pytest.raises(ValueError):
+            algo.step(uniform_small)
+
+
+class TestAlgorithmCharacteristics:
+    """Behavioural properties the paper's discussion relies on."""
+
+    def test_pbsm_replication_inflates_tests(self, uniform_small):
+        # Duplicate tests across partitions: more tests than the sweep,
+        # same results.
+        from repro.joins import PlaneSweepJoin
+
+        pbsm = PBSMJoin().step(uniform_small)
+        sweep = PlaneSweepJoin().step(uniform_small)
+        assert pbsm.n_results == sweep.n_results
+
+    def test_crtree_smaller_than_rtree(self, uniform_small):
+        # Quantization shrinks the footprint (the CR-Tree's design goal).
+        r = SynchronousRTreeJoin(fanout=11)
+        c = CRTreeJoin(fanout=11)
+        r_result = r.step(uniform_small)
+        c_result = c.step(uniform_small)
+        assert c_result.stats.memory_bytes < r_result.stats.memory_bytes
+
+    def test_crtree_never_fewer_node_visits(self, uniform_small):
+        # Conservative quantized MBRs can only add overlap, never remove.
+        r = SynchronousRTreeJoin(fanout=11).step(uniform_small)
+        c = CRTreeJoin(fanout=11).step(uniform_small)
+        assert c.stats.overlap_tests >= r.stats.overlap_tests
+
+    def test_octree_root_pinning(self):
+        # Objects straddling the central planes pin to the root: the
+        # MX-CIF octree must still answer correctly (and pays for it).
+        rng = np.random.default_rng(5)
+        centers = rng.uniform(45.0, 55.0, size=(60, 3))  # around the center
+        ds = SpatialDataset(centers, 12.0, bounds=(np.zeros(3), np.full(3, 100.0)))
+        assert_matches_oracle(MXCIFOctreeJoin(), ds)
+
+    def test_loose_octree_pushes_objects_deeper(self, uniform_small):
+        # With looseness, strictly fewer objects stay near the root than
+        # in the rigid MX-CIF tree, so fewer ancestor comparisons happen.
+        rigid = MXCIFOctreeJoin().step(uniform_small)
+        loose = LooseOctreeJoin(looseness=0.5).step(uniform_small)
+        assert loose.n_results == rigid.n_results
+
+    def test_touch_tests_below_octrees(self, uniform_small):
+        # TOUCH "reduces the number of overlap tests considerably" (§2.1).
+        touch = TouchJoin().step(uniform_small)
+        octree = MXCIFOctreeJoin().step(uniform_small)
+        assert touch.stats.overlap_tests < octree.stats.overlap_tests
+
+    def test_ego_memory_lean(self, uniform_small):
+        # EGO's single flat grid stays below the hierarchical loose
+        # octree's footprint (§5.2.1: "no hierarchical structure is used,
+        # making it memory efficient").
+        ego = EGOJoin().step(uniform_small)
+        loose = LooseOctreeJoin().step(uniform_small)
+        assert ego.stats.memory_bytes < loose.stats.memory_bytes

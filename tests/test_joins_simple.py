@@ -1,0 +1,79 @@
+"""Correctness tests for the index-free baselines (nested loop, plane sweep)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpatialDataset
+from repro.joins import NestedLoopJoin, PlaneSweepJoin
+from tests.conftest import assert_matches_oracle
+
+ALGORITHMS = [NestedLoopJoin, PlaneSweepJoin]
+
+
+@pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+class TestAgainstOracle:
+    def test_uniform(self, algorithm_cls, uniform_small):
+        assert_matches_oracle(algorithm_cls(), uniform_small)
+
+    def test_varied_widths(self, algorithm_cls, uniform_varied):
+        assert_matches_oracle(algorithm_cls(), uniform_varied)
+
+    def test_clustered(self, algorithm_cls, clustered_small):
+        assert_matches_oracle(algorithm_cls(), clustered_small)
+
+    def test_neural(self, algorithm_cls, neural_small):
+        assert_matches_oracle(algorithm_cls(), neural_small)
+
+    def test_no_overlaps(self, algorithm_cls):
+        # Widely separated unit boxes: empty result.
+        centers = np.arange(27, dtype=np.float64).reshape(-1, 1) * 100.0
+        centers = np.repeat(centers, 3, axis=1)
+        ds = SpatialDataset(centers, 1.0)
+        result = algorithm_cls().step(ds)
+        assert result.n_results == 0
+
+    def test_complete_clique(self, algorithm_cls):
+        rng = np.random.default_rng(0)
+        centers = rng.uniform(0, 0.5, size=(12, 3))
+        ds = SpatialDataset(centers, 10.0)
+        result = algorithm_cls().step(ds)
+        assert result.n_results == 12 * 11 // 2
+
+    def test_single_object(self, algorithm_cls):
+        ds = SpatialDataset(np.zeros((1, 3)), 1.0)
+        result = algorithm_cls().step(ds)
+        assert result.n_results == 0
+
+    def test_count_only_matches(self, algorithm_cls, uniform_small):
+        full = algorithm_cls().step(uniform_small)
+        counted = algorithm_cls(count_only=True).step(uniform_small)
+        assert counted.n_results == full.n_results
+        assert counted.pairs is None
+
+
+class TestStatistics:
+    def test_nested_loop_test_count_is_quadratic(self, uniform_small):
+        n = len(uniform_small)
+        result = NestedLoopJoin().step(uniform_small)
+        assert result.stats.overlap_tests == n * (n - 1) // 2
+
+    def test_plane_sweep_tests_fewer_than_nested_loop(self, uniform_small):
+        n = len(uniform_small)
+        result = PlaneSweepJoin().step(uniform_small)
+        assert 0 < result.stats.overlap_tests < n * (n - 1) // 2
+
+    def test_timings_populated(self, uniform_small):
+        result = PlaneSweepJoin().step(uniform_small)
+        assert result.stats.join_seconds >= 0.0
+        assert result.stats.total_seconds >= result.stats.join_seconds
+
+    def test_join_pairs_convenience(self, uniform_small):
+        algo = NestedLoopJoin()
+        i_idx, j_idx = algo.join_pairs(uniform_small)
+        assert (i_idx < j_idx).all()
+
+    def test_join_pairs_rejects_count_only(self, uniform_small):
+        with pytest.raises(RuntimeError):
+            NestedLoopJoin(count_only=True).join_pairs(uniform_small)

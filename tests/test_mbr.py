@@ -1,0 +1,208 @@
+"""Unit tests for the MBR substrate (repro.geometry.mbr)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import mbr
+
+
+class TestBoxConstruction:
+    def test_scalar_width(self):
+        centers = np.array([[0.0, 0.0, 0.0], [10.0, 10.0, 10.0]])
+        lo, hi = mbr.boxes_from_centers(centers, 4.0)
+        assert np.allclose(lo, centers - 2.0)
+        assert np.allclose(hi, centers + 2.0)
+
+    def test_per_object_cubic_widths(self):
+        centers = np.zeros((3, 3))
+        widths = np.array([2.0, 4.0, 6.0])
+        lo, hi = mbr.boxes_from_centers(centers, widths)
+        assert np.allclose(hi - lo, widths[:, None])
+
+    def test_per_dimension_widths(self):
+        centers = np.zeros((2, 3))
+        widths = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        lo, hi = mbr.boxes_from_centers(centers, widths)
+        assert np.allclose(hi - lo, widths)
+
+    def test_roundtrip_centers_widths(self):
+        rng = np.random.default_rng(0)
+        centers = rng.uniform(-5, 5, size=(20, 3))
+        widths = rng.uniform(0.5, 3.0, size=(20, 3))
+        lo, hi = mbr.boxes_from_centers(centers, widths)
+        assert np.allclose(mbr.centers_from_boxes(lo, hi), centers)
+        assert np.allclose(mbr.widths_from_boxes(lo, hi), widths)
+
+    def test_mismatched_width_length_raises(self):
+        with pytest.raises(ValueError):
+            mbr.boxes_from_centers(np.zeros((3, 3)), np.ones(2))
+
+    def test_mismatched_width_shape_raises(self):
+        with pytest.raises(ValueError):
+            mbr.boxes_from_centers(np.zeros((3, 3)), np.ones((2, 3)))
+
+    def test_non_2d_centers_raises(self):
+        with pytest.raises(ValueError):
+            mbr.boxes_from_centers(np.zeros(3), 1.0)
+
+
+class TestValidation:
+    def test_valid_boxes_pass(self):
+        lo = np.zeros((2, 3))
+        hi = np.ones((2, 3))
+        mbr.validate_boxes(lo, hi)  # must not raise
+
+    def test_degenerate_box_rejected(self):
+        lo = np.zeros((1, 3))
+        hi = np.array([[1.0, 0.0, 1.0]])  # zero extent in y
+        with pytest.raises(ValueError):
+            mbr.validate_boxes(lo, hi)
+
+    def test_inverted_box_rejected(self):
+        with pytest.raises(ValueError):
+            mbr.validate_boxes(np.ones((1, 3)), np.zeros((1, 3)))
+
+    def test_nan_rejected(self):
+        lo = np.zeros((1, 3))
+        hi = np.array([[1.0, np.nan, 1.0]])
+        with pytest.raises(ValueError):
+            mbr.validate_boxes(lo, hi)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mbr.validate_boxes(np.zeros((2, 3)), np.ones((3, 3)))
+
+
+class TestOverlap:
+    def test_overlapping_boxes(self):
+        assert mbr.overlap_single([0, 0, 0], [2, 2, 2], [1, 1, 1], [3, 3, 3])
+
+    def test_disjoint_boxes(self):
+        assert not mbr.overlap_single([0, 0, 0], [1, 1, 1], [2, 2, 2], [3, 3, 3])
+
+    def test_touching_faces_do_not_overlap(self):
+        # Strict positive-volume semantics: face contact is not a join result.
+        assert not mbr.overlap_single([0, 0, 0], [1, 1, 1], [1, 0, 0], [2, 1, 1])
+
+    def test_touching_edge_does_not_overlap(self):
+        assert not mbr.overlap_single([0, 0, 0], [1, 1, 1], [1, 1, 0], [2, 2, 1])
+
+    def test_containment_is_overlap(self):
+        assert mbr.overlap_single([0, 0, 0], [10, 10, 10], [4, 4, 4], [5, 5, 5])
+
+    def test_overlap_is_symmetric(self):
+        a = ([0.0, 0.0, 0.0], [2.0, 2.0, 2.0])
+        b = ([1.5, 1.5, 1.5], [4.0, 4.0, 4.0])
+        assert mbr.overlap_single(*a, *b) == mbr.overlap_single(*b, *a)
+
+    def test_elementwise_matches_single(self):
+        rng = np.random.default_rng(1)
+        centers_a = rng.uniform(0, 10, size=(50, 3))
+        centers_b = rng.uniform(0, 10, size=(50, 3))
+        lo_a, hi_a = mbr.boxes_from_centers(centers_a, 3.0)
+        lo_b, hi_b = mbr.boxes_from_centers(centers_b, 3.0)
+        got = mbr.overlap_elementwise(lo_a, hi_a, lo_b, hi_b)
+        for k in range(50):
+            assert got[k] == mbr.overlap_single(lo_a[k], hi_a[k], lo_b[k], hi_b[k])
+
+    def test_matrix_matches_single(self):
+        rng = np.random.default_rng(2)
+        lo_a, hi_a = mbr.boxes_from_centers(rng.uniform(0, 10, (8, 3)), 3.0)
+        lo_b, hi_b = mbr.boxes_from_centers(rng.uniform(0, 10, (9, 3)), 3.0)
+        matrix = mbr.overlap_matrix(lo_a, hi_a, lo_b, hi_b)
+        assert matrix.shape == (8, 9)
+        for i in range(8):
+            for j in range(9):
+                assert matrix[i, j] == mbr.overlap_single(
+                    lo_a[i], hi_a[i], lo_b[j], hi_b[j]
+                )
+
+
+class TestEnclosure:
+    def test_encloses_inner_box(self):
+        assert mbr.encloses_single([0, 0, 0], [10, 10, 10], [2, 2, 2], [3, 3, 3])
+
+    def test_does_not_enclose_protruding_box(self):
+        assert not mbr.encloses_single([0, 0, 0], [10, 10, 10], [9, 9, 9], [11, 11, 11])
+
+    def test_encloses_itself(self):
+        assert mbr.encloses_single([0, 0, 0], [1, 1, 1], [0, 0, 0], [1, 1, 1])
+
+    def test_rowwise_broadcast_against_single_inner(self):
+        outer_lo = np.array([[0.0, 0.0, 0.0], [5.0, 5.0, 5.0]])
+        outer_hi = np.array([[10.0, 10.0, 10.0], [6.0, 6.0, 6.0]])
+        inner_lo = np.array([1.0, 1.0, 1.0])
+        inner_hi = np.array([2.0, 2.0, 2.0])
+        got = mbr.encloses(outer_lo, outer_hi, inner_lo, inner_hi)
+        assert got.tolist() == [True, False]
+
+    def test_contains_points_half_open(self):
+        points = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0], [0.5, 0.5, 0.5]])
+        got = mbr.contains_points([0, 0, 0], [1, 1, 1], points)
+        # lo inclusive, hi exclusive
+        assert got.tolist() == [True, False, True]
+
+
+class TestVolumes:
+    def test_box_volume(self):
+        lo = np.array([[0.0, 0.0, 0.0]])
+        hi = np.array([[2.0, 3.0, 4.0]])
+        assert mbr.box_volume(lo, hi)[0] == pytest.approx(24.0)
+
+    def test_width_volume_roundtrip(self):
+        for volume in (10.0, 15.0, 20.0, 30.0):
+            width = mbr.width_from_volume(volume)
+            assert mbr.volume_from_width(width) == pytest.approx(volume)
+
+    def test_width_from_volume_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mbr.width_from_volume(0.0)
+
+    def test_intersection_volume_positive_overlap(self):
+        vol = mbr.intersection_volume([0, 0, 0], [2, 2, 2], [1, 1, 1], [3, 3, 3])
+        assert vol == pytest.approx(1.0)
+
+    def test_intersection_volume_zero_when_disjoint(self):
+        vol = mbr.intersection_volume([0, 0, 0], [1, 1, 1], [5, 5, 5], [6, 6, 6])
+        assert vol == 0.0
+
+    def test_union_bounds(self):
+        lo = np.array([[0.0, 1.0, 2.0], [-1.0, 5.0, 0.0]])
+        hi = np.array([[1.0, 2.0, 3.0], [0.0, 6.0, 9.0]])
+        u_lo, u_hi = mbr.union_bounds(lo, hi)
+        assert u_lo.tolist() == [-1.0, 1.0, 0.0]
+        assert u_hi.tolist() == [1.0, 6.0, 9.0]
+
+    def test_union_bounds_empty_raises(self):
+        with pytest.raises(ValueError):
+            mbr.union_bounds(np.empty((0, 3)), np.empty((0, 3)))
+
+
+class TestEnlarge:
+    def test_enlarge_grows_each_side(self):
+        lo, hi = mbr.enlarge_boxes(np.zeros((1, 3)), np.ones((1, 3)), 0.5)
+        assert np.allclose(lo, -0.5)
+        assert np.allclose(hi, 1.5)
+
+    def test_enlarge_zero_is_identity(self):
+        orig_lo = np.zeros((1, 3))
+        orig_hi = np.ones((1, 3))
+        lo, hi = mbr.enlarge_boxes(orig_lo, orig_hi, 0.0)
+        assert np.array_equal(lo, orig_lo)
+        assert np.array_equal(hi, orig_hi)
+
+    def test_enlarge_negative_raises(self):
+        with pytest.raises(ValueError):
+            mbr.enlarge_boxes(np.zeros((1, 3)), np.ones((1, 3)), -1.0)
+
+    def test_distance_join_reduction(self):
+        # Two unit boxes 1 apart: within distance 1.5, not within 0.5.
+        lo_a = np.array([[0.0, 0.0, 0.0]])
+        hi_a = np.array([[1.0, 1.0, 1.0]])
+        lo_b = np.array([[2.0, 0.0, 0.0]])
+        hi_b = np.array([[3.0, 1.0, 1.0]])
+        for d, expected in ((1.5, True), (0.5, False)):
+            e_lo, e_hi = mbr.enlarge_boxes(lo_a, hi_a, d)
+            assert mbr.overlap_single(e_lo[0], e_hi[0], lo_b[0], hi_b[0]) is expected

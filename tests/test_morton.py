@@ -1,0 +1,70 @@
+"""Unit tests for the Morton space-filling-curve encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.morton import MORTON_COORD_BITS, morton_decode, morton_encode
+
+
+class TestRoundtrip:
+    def test_small_coordinates(self):
+        coords = np.array([[0, 0, 0], [1, 2, 3], [7, 7, 7]], dtype=np.int64)
+        assert np.array_equal(morton_decode(morton_encode(coords)), coords)
+
+    def test_random_coordinates(self):
+        rng = np.random.default_rng(0)
+        coords = rng.integers(0, 1 << MORTON_COORD_BITS, size=(500, 3))
+        assert np.array_equal(morton_decode(morton_encode(coords)), coords)
+
+    def test_extreme_coordinates(self):
+        top = (1 << MORTON_COORD_BITS) - 1
+        coords = np.array([[top, top, top], [top, 0, 0], [0, top, 0]], dtype=np.int64)
+        assert np.array_equal(morton_decode(morton_encode(coords)), coords)
+
+
+class TestEncoding:
+    def test_keys_are_unique(self):
+        rng = np.random.default_rng(1)
+        coords = np.unique(rng.integers(0, 1000, size=(800, 3)), axis=0)
+        keys = morton_encode(coords)
+        assert np.unique(keys).size == coords.shape[0]
+
+    def test_unit_axes_interleave(self):
+        # Bit interleaving: x occupies bit 0, y bit 1, z bit 2.
+        assert morton_encode(np.array([[1, 0, 0]]))[0] == 1
+        assert morton_encode(np.array([[0, 1, 0]]))[0] == 2
+        assert morton_encode(np.array([[0, 0, 1]]))[0] == 4
+
+    def test_locality_of_curve(self):
+        # Coordinates inside one octant share their high key bits with
+        # the octant: the key of (x, y, z) and (x+1, y, z) within an
+        # aligned block differ less than across distant blocks.
+        near_a = morton_encode(np.array([[4, 4, 4]]))[0]
+        near_b = morton_encode(np.array([[5, 4, 4]]))[0]
+        far = morton_encode(np.array([[1000, 1000, 1000]]))[0]
+        assert abs(int(near_a) - int(near_b)) < abs(int(near_a) - int(far))
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([[-1, 0, 0]]))
+
+    def test_oversized_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([[1 << MORTON_COORD_BITS, 0, 0]]))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([1, 2, 3]))
+
+    def test_keys_sorted_like_z_order(self):
+        # Within a 2x2x2 block the canonical Z-order visits (0,0,0),
+        # (1,0,0), (0,1,0), (1,1,0), (0,0,1), ...
+        block = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0],
+             [0, 0, 1], [1, 0, 1], [0, 1, 1], [1, 1, 1]],
+            dtype=np.int64,
+        )
+        keys = morton_encode(block)
+        assert keys.tolist() == list(range(8))

@@ -1,0 +1,258 @@
+"""Unit tests for the P-Grid (build, maintenance, GC, hyperlinks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PGrid
+from repro.core.cells import pack_cell_id_scalar
+from repro.datasets import make_uniform_dataset
+
+
+def refresh_grid(grid, dataset):
+    lo, _hi = dataset.boxes()
+    return grid.refresh(
+        dataset.centers, lo[:, 0], dataset.widths, dataset.max_width
+    )
+
+
+def small_dataset(n=200, width=10.0, side=100.0, seed=0):
+    return make_uniform_dataset(
+        n, width=width, bounds=(np.zeros(3), np.full(3, side)), seed=seed
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PGrid(0.0, np.zeros(3))
+        with pytest.raises(ValueError):
+            PGrid(1.0, np.zeros(3), gc_threshold=0.0)
+        with pytest.raises(ValueError):
+            PGrid(1.0, np.zeros(2))
+
+    def test_required_layers(self):
+        grid = PGrid(10.0, np.zeros(3))
+        assert grid.required_layers(10.0) == 1  # r = 1 -> one layer
+        assert grid.required_layers(5.0) == 1  # coarser than objects
+        assert grid.required_layers(20.0) == 2  # r = 0.5 -> two layers
+        assert grid.required_layers(25.0) == 3
+
+
+class TestBuild:
+    def test_every_object_assigned_once(self):
+        ds = small_dataset(300)
+        grid = PGrid(10.0, np.zeros(3))
+        occupied = refresh_grid(grid, ds)
+        seen = np.concatenate([cell.object_idx for cell in occupied])
+        assert np.array_equal(np.sort(seen), np.arange(300))
+
+    def test_objects_assigned_by_center(self):
+        ds = small_dataset(300)
+        grid = PGrid(10.0, np.zeros(3))
+        occupied = refresh_grid(grid, ds)
+        for cell in occupied:
+            centers = ds.centers[cell.object_idx]
+            assert (centers >= cell.lo).all()
+            assert (centers < cell.hi).all()
+
+    def test_object_lists_sorted_by_x_lo(self):
+        ds = small_dataset(500)
+        grid = PGrid(10.0, np.zeros(3))
+        lo, _hi = ds.boxes()
+        for cell in refresh_grid(grid, ds):
+            xlo = lo[cell.object_idx, 0]
+            assert (np.diff(xlo) >= 0).all()
+
+    def test_only_nonempty_cells_materialized(self):
+        ds = small_dataset(10, side=1000.0)
+        grid = PGrid(10.0, np.zeros(3))
+        refresh_grid(grid, ds)
+        assert len(grid.cells) <= 10  # far fewer than the 100^3 virtual cells
+
+    def test_cell_metadata(self):
+        ds = make_uniform_dataset(
+            300,
+            width_range=(5.0, 15.0),
+            bounds=(np.zeros(3), np.full(3, 80.0)),
+            seed=1,
+        )
+        grid = PGrid(15.0, np.zeros(3))
+        for cell in refresh_grid(grid, ds):
+            widths = ds.widths[cell.object_idx]
+            centers = ds.centers[cell.object_idx]
+            assert np.allclose(cell.min_obj_width, widths.min(axis=0))
+            assert np.allclose(cell.max_obj_width, widths.max(axis=0))
+            assert np.allclose(cell.center_lo, centers.min(axis=0))
+            assert np.allclose(cell.center_hi, centers.max(axis=0))
+
+    def test_slots_align_with_occupied_list(self):
+        ds = small_dataset(200)
+        grid = PGrid(10.0, np.zeros(3))
+        occupied = refresh_grid(grid, ds)
+        for slot, cell in enumerate(occupied):
+            assert cell.slot == slot
+            start = grid.cell_starts[slot]
+            stop = grid.cell_stops[slot]
+            assert np.array_equal(grid.cat[start:stop], cell.object_idx)
+
+
+class TestHyperlinks:
+    def test_each_adjacent_pair_linked_exactly_once(self):
+        ds = small_dataset(400, width=10.0, side=60.0)
+        grid = PGrid(10.0, np.zeros(3))
+        refresh_grid(grid, ds)
+        linked = set()
+        for cell_id, cell in grid.cells.items():
+            for neighbor in cell.hyperlinks:
+                key = frozenset((cell_id, pack_cell_id_scalar(*neighbor.coords)))
+                assert key not in linked, "cell pair linked twice"
+                linked.add(key)
+        # Every adjacent occupied pair must be covered.
+        for cell_id, cell in grid.cells.items():
+            cx, cy, cz = cell.coords
+            for other_id, other in grid.cells.items():
+                if other_id <= cell_id:
+                    continue
+                ox, oy, oz = other.coords
+                if max(abs(cx - ox), abs(cy - oy), abs(cz - oz)) <= grid.layers:
+                    assert frozenset((cell_id, other_id)) in linked
+
+    def test_links_point_to_adjacent_cells_only(self):
+        ds = small_dataset(300, width=10.0, side=80.0)
+        grid = PGrid(10.0, np.zeros(3))
+        refresh_grid(grid, ds)
+        for cell in grid.cells.values():
+            for neighbor in cell.hyperlinks:
+                delta = np.abs(np.subtract(cell.coords, neighbor.coords))
+                assert delta.max() <= grid.layers
+
+    def test_multiple_layers_when_cells_finer_than_objects(self):
+        ds = small_dataset(300, width=20.0, side=80.0)
+        grid = PGrid(10.0, np.zeros(3))  # cell width = half the object width
+        refresh_grid(grid, ds)
+        assert grid.layers == 2
+
+    def test_incremental_new_cells_get_links(self):
+        ds = small_dataset(300, width=10.0, side=60.0, seed=2)
+        grid = PGrid(10.0, np.zeros(3))
+        refresh_grid(grid, ds)
+        # Move everything, creating new cells next to old ones.
+        ds.translate(np.full((300, 3), 7.0))
+        refresh_grid(grid, ds)
+        linked = set()
+        for cell_id, cell in grid.cells.items():
+            for neighbor in cell.hyperlinks:
+                key = frozenset((cell_id, pack_cell_id_scalar(*neighbor.coords)))
+                assert key not in linked
+                linked.add(key)
+        for cell_id, cell in grid.cells.items():
+            cx, cy, cz = cell.coords
+            for other_id, other in grid.cells.items():
+                if other_id <= cell_id:
+                    continue
+                ox, oy, oz = other.coords
+                if max(abs(cx - ox), abs(cy - oy), abs(cz - oz)) <= grid.layers:
+                    assert frozenset((cell_id, other_id)) in linked
+
+
+class TestIncrementalMaintenance:
+    def test_cells_recycled_when_objects_stay(self):
+        ds = small_dataset(300)
+        grid = PGrid(10.0, np.zeros(3))
+        refresh_grid(grid, ds)
+        created_first = grid.cells_created
+        refresh_grid(grid, ds)  # same positions: all cells recycled
+        assert grid.cells_created == created_first
+        assert grid.cells_recycled >= created_first
+
+    def test_vacated_cells_kept_and_aged(self):
+        ds = small_dataset(50, width=5.0, side=30.0, seed=3)
+        grid = PGrid(5.0, np.zeros(3), gc_threshold=0.99)
+        refresh_grid(grid, ds)
+        n_before = len(grid.cells)
+        ds.translate(np.full((50, 3), 11.0))  # everyone moves 2+ cells
+        refresh_grid(grid, ds)
+        assert grid.n_vacant > 0
+        assert len(grid.cells) >= n_before  # vacants kept (GC off)
+        ages = [cell.age for cell in grid.cells.values() if cell.is_vacant]
+        assert all(age >= 1 for age in ages)
+
+    def test_vacant_cell_reused_on_return(self):
+        ds = small_dataset(50, width=5.0, side=30.0, seed=4)
+        grid = PGrid(5.0, np.zeros(3), gc_threshold=0.99)
+        refresh_grid(grid, ds)
+        ids_before = set(grid.cells)
+        shift = np.full((50, 3), 11.0)
+        ds.translate(shift)
+        refresh_grid(grid, ds)
+        created_mid = grid.cells_created
+        ds.translate(-shift)  # everyone returns home
+        refresh_grid(grid, ds)
+        assert grid.cells_created == created_mid  # nothing new created
+        assert set(grid.cells) >= ids_before
+
+    def test_layer_change_forces_rebuild(self):
+        ds = small_dataset(100, width=10.0)
+        grid = PGrid(10.0, np.zeros(3))
+        refresh_grid(grid, ds)
+        assert grid.layers == 1
+        lo, _hi = ds.boxes()
+        # Same grid, but objects now twice as wide: two layers needed.
+        wide = np.full_like(ds.widths, 20.0)
+        grid.refresh(ds.centers, lo[:, 0], wide, 20.0)
+        assert grid.layers == 2
+
+
+class TestGarbageCollection:
+    def _scatter(self, grid, ds, repeats):
+        rng = np.random.default_rng(9)
+        for _ in range(repeats):
+            ds.update_positions(rng.uniform(0, 30.0, size=ds.centers.shape))
+            refresh_grid(grid, ds)
+
+    def test_triggered_above_threshold(self):
+        ds = small_dataset(30, width=5.0, side=30.0, seed=5)
+        grid = PGrid(5.0, np.zeros(3), gc_threshold=0.35)
+        self._scatter(grid, ds, 10)
+        total = len(grid.cells)
+        assert grid.n_vacant <= 0.35 * total + 1
+        assert grid.gc_runs > 0
+
+    def test_gc_dissolves_stale_hyperlinks(self):
+        ds = small_dataset(30, width=5.0, side=30.0, seed=6)
+        grid = PGrid(5.0, np.zeros(3), gc_threshold=0.35)
+        self._scatter(grid, ds, 10)
+        live = set(map(id, grid.cells.values()))
+        for cell in grid.cells.values():
+            for neighbor in cell.hyperlinks:
+                assert id(neighbor) in live
+
+    def test_high_threshold_never_collects(self):
+        ds = small_dataset(30, width=5.0, side=30.0, seed=7)
+        grid = PGrid(5.0, np.zeros(3), gc_threshold=1.0)
+        self._scatter(grid, ds, 6)
+        assert grid.gc_runs == 0
+
+
+class TestFootprint:
+    def test_footprint_grows_with_cells(self):
+        small = small_dataset(50, side=50.0)
+        large = small_dataset(1000, side=200.0)
+        grid_s = PGrid(10.0, np.zeros(3))
+        grid_l = PGrid(10.0, np.zeros(3))
+        refresh_grid(grid_s, small)
+        refresh_grid(grid_l, large)
+        assert grid_l.memory_footprint() > grid_s.memory_footprint()
+
+    def test_empty_grid_has_zero_footprint(self):
+        assert PGrid(10.0, np.zeros(3)).memory_footprint() == 0
+
+    def test_finer_grid_uses_more_memory(self):
+        ds = small_dataset(500, width=10.0, side=100.0)
+        coarse = PGrid(10.0, np.zeros(3))
+        fine = PGrid(3.0, np.zeros(3))
+        refresh_grid(coarse, ds)
+        refresh_grid(fine, ds)
+        assert fine.memory_footprint() > coarse.memory_footprint()

@@ -1,0 +1,70 @@
+"""Tests for the ASCII chart rendering."""
+
+from __future__ import annotations
+
+from repro.experiments.plots import render_chart, render_sparkline
+
+
+class TestRenderChart:
+    def test_contains_all_series_marks(self):
+        chart = render_chart(
+            [1, 2, 3],
+            {"fast": [1.0, 2.0, 3.0], "slow": [10.0, 20.0, 30.0]},
+        )
+        assert "o fast" in chart
+        assert "* slow" in chart
+        plot_body = "".join(line for line in chart.splitlines() if "|" in line)
+        assert "o" in plot_body and "*" in plot_body
+
+    def test_log_scale_separates_magnitudes(self):
+        # On a log axis, 1 and 1000 land at opposite edges.
+        chart = render_chart([0, 1], {"a": [1.0, 1000.0]}, height=10)
+        lines = chart.splitlines()
+        plot_rows = [l for l in lines if "|" in l]
+        assert "o" in plot_rows[0]  # top row: the 1000
+        assert "o" in plot_rows[-1]  # bottom row: the 1
+
+    def test_none_values_skipped(self):
+        chart = render_chart([1, 2, 3], {"a": [1.0, None, 3.0]})
+        assert chart.count("o") >= 2
+
+    def test_all_none_handled(self):
+        chart = render_chart([1, 2], {"a": [None, None]}, title="T")
+        assert "(no data)" in chart
+
+    def test_title_and_label(self):
+        chart = render_chart(
+            [1, 2], {"a": [1.0, 2.0]}, title="My chart", y_label="seconds"
+        )
+        assert chart.startswith("My chart")
+        assert "seconds" in chart
+
+    def test_nonpositive_values_force_linear(self):
+        chart = render_chart([1, 2], {"a": [0.0, 5.0]}, log_y=True)
+        assert "log scale" not in chart
+
+    def test_constant_series(self):
+        chart = render_chart([1, 2, 3], {"a": [2.0, 2.0, 2.0]})
+        assert "o" in chart
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = render_sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series(self):
+        line = render_sparkline([3, 3, 3])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_none_becomes_gap(self):
+        assert " " in render_sparkline([1, None, 3])
+
+    def test_empty(self):
+        assert render_sparkline([None, None]) == ""
+
+    def test_width_resampling(self):
+        line = render_sparkline(list(range(100)), width=10)
+        assert len(line) == 10

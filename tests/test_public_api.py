@@ -1,0 +1,102 @@
+"""Guard rails on the public API surface.
+
+Downstream users import from ``repro`` directly; this test pins the
+names that constitute the supported surface so an accidental removal or
+rename fails loudly here rather than in user code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+EXPECTED_ROOT_API = [
+    # core
+    "ThermalJoin",
+    "PGrid",
+    "TGrid",
+    "HillClimbingTuner",
+    # joins
+    "SpatialJoinAlgorithm",
+    "JoinResult",
+    "JoinStatistics",
+    "NestedLoopJoin",
+    "PlaneSweepJoin",
+    "PBSMJoin",
+    "EGOJoin",
+    "MXCIFOctreeJoin",
+    "LooseOctreeJoin",
+    "SynchronousRTreeJoin",
+    "CRTreeJoin",
+    "TouchJoin",
+    "IndexedNestedLoopRTreeJoin",
+    "ST2BJoin",
+    "STRTree",
+    "BPlusTree",
+    # datasets
+    "SpatialDataset",
+    "RandomTranslation",
+    "ClusterDrift",
+    "BranchJitter",
+    "make_uniform_workload",
+    "make_clustered_workload",
+    "make_neural_workload",
+    "save_dataset",
+    "load_dataset",
+    # simulation
+    "SimulationRunner",
+    "StepRecord",
+    "speedup",
+    "speedup_table",
+    # analysis
+    "expected_partners_per_object",
+    "measured_selectivity",
+]
+
+
+@pytest.mark.parametrize("name", EXPECTED_ROOT_API)
+def test_root_export_present(name):
+    import repro
+
+    assert getattr(repro, name) is not None
+
+
+def test_unknown_attribute_raises_attributeerror():
+    import repro
+
+    with pytest.raises(AttributeError):
+        repro.DoesNotExist  # noqa: B018
+
+    with pytest.raises(AttributeError):
+        repro._private_thing  # noqa: B018
+
+
+def test_join_algorithms_share_interface():
+    """Every join exposes the full SpatialJoinAlgorithm contract."""
+    import repro
+
+    algorithms = [
+        repro.ThermalJoin,
+        repro.NestedLoopJoin,
+        repro.PlaneSweepJoin,
+        repro.PBSMJoin,
+        repro.EGOJoin,
+        repro.MXCIFOctreeJoin,
+        repro.LooseOctreeJoin,
+        repro.SynchronousRTreeJoin,
+        repro.CRTreeJoin,
+        repro.TouchJoin,
+        repro.IndexedNestedLoopRTreeJoin,
+        repro.ST2BJoin,
+    ]
+    for cls in algorithms:
+        for method in ("step", "join_pairs", "distance_join", "neighbors",
+                       "memory_footprint"):
+            assert callable(getattr(cls, method)), f"{cls.__name__}.{method}"
+        assert isinstance(cls.name, str) and cls.name
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,110 @@
+"""Tests for the harness's table rendering and workload presets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import (
+    format_value,
+    render_series_table,
+    render_speedups,
+    render_table,
+)
+from repro.experiments.workloads import (
+    PAPER_UNIFORM_DENSITY,
+    SCALES,
+    scaled_clustered,
+    scaled_neural,
+    scaled_uniform,
+)
+
+
+class TestFormatting:
+    def test_none_renders_as_dash(self):
+        assert format_value(None) == "-"
+
+    def test_integers_get_thousands_separators(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_floats_compact(self):
+        assert format_value(0.12345) == "0.123"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(0.0) == "0"
+
+    def test_strings_pass_through(self):
+        assert format_value("abc") == "abc"
+
+
+class TestTables:
+    def test_columns_aligned(self):
+        table = render_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_title_included(self):
+        assert render_table(["x"], [[1]], title="T").startswith("T\n")
+
+    def test_series_table_with_missing_values(self):
+        table = render_series_table(
+            "n", [1, 2, 3], {"algo": [0.5, None, 2.0]}
+        )
+        assert "-" in table
+
+    def test_series_table_shorter_series_padded(self):
+        table = render_series_table("n", [1, 2], {"algo": [1.0]})
+        assert table.count("-") >= 1
+
+    def test_speedups_sorted_ascending(self):
+        table = render_speedups({"b": 9.0, "a": 2.0})
+        lines = table.splitlines()
+        assert lines.index([l for l in lines if "a" in l and "2.0x" in l][0]) < (
+            lines.index([l for l in lines if "b" in l and "9.0x" in l][0])
+        )
+
+
+class TestWorkloadPresets:
+    def test_all_scales_define_required_keys(self):
+        required = {"neural_n", "uniform_n", "clustered_n", "fig7_steps"}
+        for name, preset in SCALES.items():
+            assert required <= set(preset), name
+
+    def test_scaled_uniform_preserves_paper_density(self):
+        for n in (2_000, 16_000):
+            dataset, _motion = scaled_uniform(n, seed=1)
+            lo, hi = dataset.bounds
+            volume = float(np.prod(hi - lo))
+            assert n / volume == pytest.approx(PAPER_UNIFORM_DENSITY, rel=1e-6)
+
+    def test_scaled_uniform_width_range(self):
+        dataset, _motion = scaled_uniform(2_000, width_range=(10.0, 20.0), seed=2)
+        assert dataset.min_width >= 10.0
+        assert dataset.max_width <= 20.0
+
+    def test_scaled_clustered_sd_factor_shrinks_spread(self):
+        tight, _m, _l = scaled_clustered(2_000, sd_factor=0.5, seed=3)
+        loose, _m, _l = scaled_clustered(2_000, sd_factor=1.5, seed=3)
+        assert tight.centers.std(axis=0).mean() < loose.centers.std(axis=0).mean()
+
+    def test_scaled_neural_returns_labels(self):
+        dataset, motion, labels = scaled_neural(1_500, seed=4)
+        assert len(dataset) == 1_500
+        assert labels.shape == (1_500,)
+        before = dataset.centers.copy()
+        motion.step(dataset)
+        assert not np.array_equal(before, dataset.centers)
+
+
+class TestRegistry:
+    def test_every_experiment_listed(self):
+        from repro.experiments import EXPERIMENTS, list_experiments
+
+        listed = dict(list_experiments())
+        assert set(listed) == set(EXPERIMENTS)
+        assert all(desc for desc in listed.values())
+
+    def test_unknown_experiment_raises(self):
+        from repro.experiments import run_experiment
+
+        with pytest.raises(KeyError):
+            run_experiment("fig99")

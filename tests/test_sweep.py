@@ -1,0 +1,147 @@
+"""Unit tests for the plane-sweep primitives (repro.geometry.sweep)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import (
+    brute_force_pairs,
+    mbr,
+    pack_pairs,
+    sort_by_x,
+    sweep_between,
+    sweep_self,
+    unique_pairs,
+    window_pairs,
+)
+from tests.conftest import random_boxes
+
+
+class TestWindowPairs:
+    def test_basic_expansion(self):
+        left, right = window_pairs([1, 0, 3], [3, 0, 5])
+        assert left.tolist() == [0, 0, 2, 2]
+        assert right.tolist() == [1, 2, 3, 4]
+
+    def test_empty_windows(self):
+        left, right = window_pairs([2, 5], [2, 5])
+        assert left.size == 0 and right.size == 0
+
+    def test_inverted_window_clipped(self):
+        left, right = window_pairs([5], [2])
+        assert left.size == 0
+
+    def test_total_count(self):
+        starts = np.array([0, 2, 4])
+        stops = np.array([3, 2, 10])
+        left, _right = window_pairs(starts, stops)
+        assert left.size == 3 + 0 + 6
+
+
+class TestSweepSelf:
+    def test_matches_oracle_random(self, rng):
+        lo, hi = random_boxes(rng, 200, span=60.0)
+        exp = pack_pairs(*brute_force_pairs(lo, hi), 200)
+        s_lo, s_hi, ids = sort_by_x(lo, hi)
+        i_ids, j_ids, tests = sweep_self(s_lo, s_hi, ids)
+        got = pack_pairs(*unique_pairs(i_ids, j_ids, 200), 200)
+        assert np.array_equal(got, exp)
+        assert tests >= exp.size  # every found pair was tested
+
+    def test_no_duplicates(self, rng):
+        lo, hi = random_boxes(rng, 150, span=40.0)
+        s_lo, s_hi, ids = sort_by_x(lo, hi)
+        i_ids, j_ids, _tests = sweep_self(s_lo, s_hi, ids)
+        keys = pack_pairs(*unique_pairs(i_ids, j_ids, 150), 150)
+        assert keys.size == i_ids.size  # emission already duplicate-free
+
+    def test_identical_x_bounds(self):
+        # All boxes share the same x interval: ties must not drop pairs.
+        centers = np.array([[0.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 50.0, 0.0]])
+        lo, hi = mbr.boxes_from_centers(centers, 4.0)
+        i_ids, j_ids, _ = sweep_self(*sort_by_x(lo, hi))
+        got = set(zip(*unique_pairs(i_ids, j_ids, 3)))
+        assert got == {(0, 1)}
+
+    def test_fewer_than_two_boxes(self):
+        lo = np.array([[0.0, 0.0, 0.0]])
+        hi = np.array([[1.0, 1.0, 1.0]])
+        i_ids, j_ids, tests = sweep_self(lo, hi)
+        assert i_ids.size == 0 and tests == 0
+
+    def test_test_count_bounded_by_x_overlaps(self, rng):
+        lo, hi = random_boxes(rng, 100, span=30.0)
+        s_lo, s_hi, ids = sort_by_x(lo, hi)
+        _, _, tests = sweep_self(s_lo, s_hi, ids)
+        # Count pairs with overlapping x intervals by brute force.
+        x_overlaps = 0
+        for a in range(100):
+            for b in range(a + 1, 100):
+                if s_lo[a, 0] < s_hi[b, 0] and s_lo[b, 0] < s_hi[a, 0]:
+                    x_overlaps += 1
+        assert tests == x_overlaps
+
+
+class TestSweepBetween:
+    def _cross_oracle(self, lo_a, hi_a, lo_b, hi_b):
+        matrix = mbr.overlap_matrix(lo_a, hi_a, lo_b, hi_b)
+        return set(zip(*np.nonzero(matrix)))
+
+    def test_matches_cross_oracle(self, rng):
+        lo_a, hi_a = random_boxes(rng, 80, span=30.0)
+        lo_b, hi_b = random_boxes(rng, 90, span=30.0)
+        sa = sort_by_x(lo_a, hi_a)
+        sb = sort_by_x(lo_b, hi_b)
+        a_ids, b_ids, tests = sweep_between(*sa, *sb)
+        got = set(zip(a_ids.tolist(), b_ids.tolist()))
+        exp = self._cross_oracle(lo_a, hi_a, lo_b, hi_b)
+        assert got == exp
+        assert len(got) == a_ids.size  # no duplicates
+        assert tests >= len(exp)
+
+    def test_tied_x_bounds_counted_once(self):
+        # a and b boxes with identical lower x bounds.
+        lo_a = np.array([[0.0, 0.0, 0.0]])
+        hi_a = np.array([[2.0, 2.0, 2.0]])
+        lo_b = np.array([[0.0, 1.0, 1.0]])
+        hi_b = np.array([[2.0, 3.0, 3.0]])
+        a_ids, b_ids, _ = sweep_between(
+            lo_a, hi_a, np.array([0]), lo_b, hi_b, np.array([0])
+        )
+        assert a_ids.size == 1
+
+    def test_empty_side(self):
+        lo = np.array([[0.0, 0.0, 0.0]])
+        hi = np.array([[1.0, 1.0, 1.0]])
+        empty = np.empty((0, 3))
+        a_ids, b_ids, tests = sweep_between(
+            lo, hi, np.array([0]), empty, empty, np.empty(0, dtype=np.int64)
+        )
+        assert a_ids.size == 0 and tests == 0
+
+    def test_global_ids_passed_through(self, rng):
+        lo_a, hi_a = random_boxes(rng, 20, span=10.0)
+        lo_b, hi_b = random_boxes(rng, 20, span=10.0)
+        ids_a = np.arange(100, 120, dtype=np.int64)
+        ids_b = np.arange(500, 520, dtype=np.int64)
+        sa = sort_by_x(lo_a, hi_a, ids_a)
+        sb = sort_by_x(lo_b, hi_b, ids_b)
+        a_out, b_out, _ = sweep_between(*sa, *sb)
+        assert set(a_out.tolist()) <= set(ids_a.tolist())
+        assert set(b_out.tolist()) <= set(ids_b.tolist())
+
+
+class TestSortByX:
+    def test_sorts_by_lower_x(self, rng):
+        lo, hi = random_boxes(rng, 50, span=20.0)
+        s_lo, s_hi, ids = sort_by_x(lo, hi)
+        assert (np.diff(s_lo[:, 0]) >= 0).all()
+        assert np.array_equal(s_lo, lo[ids])
+        assert np.array_equal(s_hi, hi[ids])
+
+    def test_custom_ids_follow_boxes(self):
+        lo = np.array([[3.0, 0, 0], [1.0, 0, 0], [2.0, 0, 0]])
+        hi = lo + 1.0
+        ids = np.array([30, 10, 20], dtype=np.int64)
+        _s_lo, _s_hi, s_ids = sort_by_x(lo, hi, ids)
+        assert s_ids.tolist() == [10, 20, 30]

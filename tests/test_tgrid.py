@@ -1,0 +1,126 @@
+"""Unit tests for the batched T-Grid planner (repro.core.tgrid)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PGrid, TGrid
+from repro.datasets import SpatialDataset
+from repro.geometry import PairAccumulator, mbr, pack_pairs, unique_pairs
+
+
+def build_cells(dataset, resolution=2.0):
+    """Build a coarse P-Grid and return its multi-member cells."""
+    lo, _hi = dataset.boxes()
+    grid = PGrid(resolution * dataset.max_width, dataset.bounds[0])
+    grid.refresh(dataset.centers, lo[:, 0], dataset.widths, dataset.max_width)
+    return [cell for cell in grid.occupied if cell.object_idx.size > 1]
+
+
+def naive_internal_pairs(dataset, cells):
+    """Oracle: all overlapping pairs *within* each cell."""
+    lo, hi = dataset.boxes()
+    expected = set()
+    for cell in cells:
+        members = cell.object_idx
+        for a in range(members.size):
+            for b in range(a + 1, members.size):
+                i, j = int(members[a]), int(members[b])
+                if mbr.overlap_single(lo[i], hi[i], lo[j], hi[j]):
+                    expected.add((min(i, j), max(i, j)))
+    return expected
+
+
+def varied_dataset(n=300, seed=0, width_low=2.0, width_high=9.0, side=60.0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0, side, size=(n, 3))
+    widths = rng.uniform(width_low, width_high, size=(n, 3))
+    return SpatialDataset(centers, widths, bounds=(np.zeros(3), np.full(3, side)))
+
+
+class TestJoinCells:
+    def test_matches_naive_within_cell_join(self):
+        dataset = varied_dataset(seed=1)
+        cells = build_cells(dataset)
+        assert cells, "fixture produced no multi-member cells"
+        lo, hi = dataset.boxes()
+        acc = PairAccumulator()
+        TGrid().join_cells(cells, lo, hi, dataset.centers, dataset.widths, acc)
+        n = len(dataset)
+        got = set(zip(*(a.tolist() for a in unique_pairs(*acc.as_arrays(), n))))
+        assert got == naive_internal_pairs(dataset, cells)
+
+    def test_no_duplicate_emissions(self):
+        dataset = varied_dataset(seed=2)
+        cells = build_cells(dataset)
+        lo, hi = dataset.boxes()
+        acc = PairAccumulator()
+        TGrid().join_cells(cells, lo, hi, dataset.centers, dataset.widths, acc)
+        i_idx, j_idx = acc.as_arrays()
+        n = len(dataset)
+        keys = pack_pairs(i_idx, j_idx, n)
+        assert np.unique(keys).size == keys.size
+
+    def test_fallback_on_degenerate_resolution(self):
+        # One minuscule object among giants would demand a huge T-Grid;
+        # the budget forces the sweep fallback, results stay exact.
+        rng = np.random.default_rng(3)
+        centers = rng.uniform(20.0, 30.0, size=(40, 3))
+        widths = np.full((40, 3), 20.0)
+        widths[0] = 0.01
+        dataset = SpatialDataset(
+            centers, widths, bounds=(np.zeros(3), np.full(3, 50.0))
+        )
+        cells = build_cells(dataset, resolution=2.0)
+        lo, hi = dataset.boxes()
+        tgrid = TGrid(max_cells_per_object=4)
+        acc = PairAccumulator()
+        tgrid.join_cells(cells, lo, hi, dataset.centers, dataset.widths, acc)
+        assert tgrid.fallbacks > 0
+        n = len(dataset)
+        got = set(zip(*(a.tolist() for a in unique_pairs(*acc.as_arrays(), n))))
+        assert got == naive_internal_pairs(dataset, cells)
+
+    def test_peak_cells_tracked(self):
+        dataset = varied_dataset(seed=4)
+        cells = build_cells(dataset)
+        lo, hi = dataset.boxes()
+        tgrid = TGrid()
+        tgrid.join_cells(cells, lo, hi, dataset.centers, dataset.widths, acc := PairAccumulator())
+        assert tgrid.peak_cells > 0
+        assert len(acc) >= 0
+
+    def test_single_member_cells_skipped(self):
+        dataset = varied_dataset(n=12, seed=5, side=200.0)
+        lo, _hi = dataset.boxes()
+        grid = PGrid(2.0 * dataset.max_width, dataset.bounds[0])
+        grid.refresh(dataset.centers, lo[:, 0], dataset.widths, dataset.max_width)
+        lo, hi = dataset.boxes()
+        acc = PairAccumulator()
+        tests, shortcuts = TGrid().join_cells(
+            grid.occupied, lo, hi, dataset.centers, dataset.widths, acc
+        )
+        # Sparse layout: nothing shares a cell, nothing to join.
+        expected = naive_internal_pairs(dataset, grid.occupied)
+        n = len(dataset)
+        got = set(zip(*(a.tolist() for a in unique_pairs(*acc.as_arrays(), n))))
+        assert got == expected
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            TGrid(max_cells_per_object=0)
+
+    def test_counts_are_deterministic(self):
+        dataset = varied_dataset(seed=6)
+        cells = build_cells(dataset)
+        lo, hi = dataset.boxes()
+        runs = []
+        for _ in range(2):
+            acc = PairAccumulator(count_only=True)
+            runs.append(
+                TGrid().join_cells(
+                    cells, lo, hi, dataset.centers, dataset.widths, acc
+                )
+            )
+        assert runs[0] == runs[1]

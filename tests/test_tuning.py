@@ -1,0 +1,153 @@
+"""Unit tests for the hill-climbing resolution tuner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HillClimbingTuner
+
+
+def run_on_function(tuner, fn, n_steps=50):
+    """Drive the tuner against a deterministic cost function."""
+    for _ in range(n_steps):
+        tuner.observe(fn(tuner.current_r))
+        if tuner.converged:
+            break
+    return tuner
+
+
+class TestValidation:
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            HillClimbingTuner(r_min=1.0, r_max=0.5)
+
+    def test_initial_outside_bounds(self):
+        with pytest.raises(ValueError):
+            HillClimbingTuner(initial=5.0, r_max=2.0)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            HillClimbingTuner(threshold=0.0)
+
+    def test_bad_steps(self):
+        with pytest.raises(ValueError):
+            HillClimbingTuner(initial_step=0.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            HillClimbingTuner().observe(-1.0)
+
+
+class TestClimbing:
+    def test_starts_at_one(self):
+        # The paper's protocol starts at r_1 = 1.
+        assert HillClimbingTuner().current_r == 1.0
+
+    def test_converges_on_convex_function(self):
+        # Convex with minimum at 0.5 (the shape of the paper's Figure 6).
+        tuner = run_on_function(HillClimbingTuner(), lambda r: 10 + 50 * (r - 0.5) ** 2)
+        assert tuner.converged
+        assert tuner.current_r < 1.0  # moved toward the optimum
+
+    def test_converges_quickly(self):
+        # Paper: convergence typically within 6-8 time steps at 10%.
+        tuner = run_on_function(HillClimbingTuner(), lambda r: 10 + 50 * (r - 0.6) ** 2)
+        assert tuner.tuning_steps <= 10
+
+    def test_climbs_upward_when_optimum_above_one(self):
+        tuner = run_on_function(HillClimbingTuner(), lambda r: 10 + 50 * (r - 1.6) ** 2)
+        assert tuner.converged
+        assert tuner.current_r > 1.0
+
+    def test_flat_function_converges_immediately(self):
+        tuner = run_on_function(HillClimbingTuner(), lambda r: 42.0)
+        assert tuner.converged
+        assert tuner.tuning_steps <= 2
+
+    def test_respects_bounds(self):
+        tuner = HillClimbingTuner(r_min=0.4, r_max=1.5)
+        run_on_function(tuner, lambda r: r)  # minimum at the lower bound
+        assert all(0.4 <= r <= 1.5 for r, _cost in tuner.history)
+
+    def test_history_records_observations(self):
+        tuner = run_on_function(HillClimbingTuner(), lambda r: 10 + (r - 0.5) ** 2)
+        assert len(tuner.history) == len(tuner.history)
+        assert all(cost > 0 for _r, cost in tuner.history)
+
+    def test_resolution_change_reported(self):
+        tuner = HillClimbingTuner()
+        changed = tuner.observe(100.0)  # first probe always moves
+        assert changed
+        assert tuner.current_r != 1.0
+
+
+class TestDriftRetuning:
+    def test_stable_cost_keeps_convergence(self):
+        tuner = run_on_function(HillClimbingTuner(), lambda r: 10 + 50 * (r - 0.8) ** 2)
+        assert tuner.converged
+        for _ in range(10):
+            tuner.observe(10.0)
+        assert tuner.converged
+        assert tuner.retunes == 0
+
+    def test_drift_triggers_retune(self):
+        # Converge on one cost landscape...
+        tuner = run_on_function(HillClimbingTuner(), lambda r: 10 + 50 * (r - 0.8) ** 2)
+        assert tuner.converged
+        tuner.observe(10.0)
+        # ...then the workload distribution changes: cost jumps > 10%.
+        tuner.observe(25.0)
+        assert not tuner.converged
+        assert tuner.retunes == 1
+
+    def test_retune_reconverges_on_new_landscape(self):
+        tuner = run_on_function(HillClimbingTuner(), lambda r: 10 + 50 * (r - 0.8) ** 2)
+        tuner.observe(10.0)
+        new_landscape = lambda r: 30 + 80 * (r - 1.2) ** 2  # noqa: E731
+        tuner.observe(new_landscape(tuner.current_r))  # triggers retune
+        run_on_function(tuner, new_landscape)
+        assert tuner.converged
+
+    def test_retune_returns_home_when_nothing_beats_it(self):
+        """Regression: a drift-triggered exploration that finds nothing
+        cheaper than the point it left must come back to it, not settle
+        on a worse plateau (or the clamped boundary)."""
+        # Converge at the optimum of a convex landscape...
+        landscape = lambda r: 100 + 400 * (r - 1.0) ** 2  # noqa: E731
+        tuner = run_on_function(HillClimbingTuner(), landscape)
+        assert tuner.converged
+        home = tuner.current_r
+        tuner.observe(landscape(tuner.current_r))  # fresh reference
+        # ...trigger a retune with a one-off 2x cost spike, then let the
+        # (unchanged) landscape answer the exploration.
+        tuner.observe(2.0 * landscape(tuner.current_r))
+        assert tuner.retunes == 1
+        for _ in range(40):
+            tuner.observe(landscape(tuner.current_r))
+            if tuner.converged:
+                break
+        assert tuner.converged
+        assert landscape(tuner.current_r) <= 1.5 * landscape(home)
+
+    def test_boundary_plateau_does_not_trap_the_climb(self):
+        """Regression: a flat-looking stretch at the clamp must not be
+        declared the optimum when a far better point was already seen."""
+        # Cost rises steeply toward r_min: best is near the start.
+        landscape = lambda r: 10.0 / r  # noqa: E731
+        tuner = HillClimbingTuner(r_min=0.2, r_max=2.0)
+        for _ in range(60):
+            tuner.observe(landscape(tuner.current_r))
+            if tuner.converged:
+                break
+        assert tuner.converged
+        # 10/r: anything at the low clamp costs 50; the walk must settle
+        # at least as cheap as its starting point (cost 10 at r = 1).
+        assert landscape(tuner.current_r) <= 1.5 * landscape(1.0)
+
+    def test_small_fluctuations_tolerated(self):
+        # ±3% alternation keeps successive changes below the 10% threshold.
+        tuner = run_on_function(HillClimbingTuner(), lambda r: 10 + 50 * (r - 0.8) ** 2)
+        base = 10.0
+        for k in range(10):
+            tuner.observe(base * (1.0 + 0.03 * (-1) ** k))
+        assert tuner.retunes == 0
