@@ -1,0 +1,106 @@
+"""Executor benchmark: serial vs threaded vs process engine backends.
+
+Two entry points:
+
+* under pytest-benchmark (``pytest benchmarks/bench_executors.py``) a
+  quick-scale comparison runs as part of the suite;
+* as a script (``PYTHONPATH=src python benchmarks/bench_executors.py``)
+  it sweeps the executors over a uniform workload of ``N >= 50k``
+  objects and appends a machine-readable report to
+  ``results/executors_uniform.txt``.
+
+The engine guarantees the executors are interchangeable — identical
+pair counts and overlap tests — so the report records wall time only,
+together with ``os.cpu_count()``: on single-core machines the parallel
+backends are expected to *lose* to serial (coordination overhead with
+no cores to spread over), and the report states whatever was measured.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.core import ThermalJoin  # noqa: E402
+from repro.experiments.workloads import scaled_uniform  # noqa: E402
+from repro.joins import PBSMJoin  # noqa: E402
+
+EXECUTORS = ("serial", "thread:2", "process:2")
+
+BENCH_N = 50_000
+BENCH_STEPS = 2
+
+
+def _algorithms(executor):
+    return {
+        "thermal-join": ThermalJoin(
+            resolution=1.0, count_only=True, executor=executor
+        ),
+        "pbsm": PBSMJoin(count_only=True, executor=executor),
+    }
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_thermal_step_by_executor(benchmark, executor, uniform_dataset):
+    """One quick-scale THERMAL-JOIN step per executor backend."""
+    join = ThermalJoin(resolution=1.0, count_only=True, executor=executor)
+    join.step(uniform_dataset)  # warm the index and any worker pool
+    result = benchmark(join.step, uniform_dataset)
+    assert result.n_results > 0
+    join.executor.close()
+
+
+def main(n=BENCH_N, out_path=None):
+    dataset, _motion = scaled_uniform(n, width=15.0, seed=42)
+    lines = [
+        f"# executor sweep: uniform n={n}, count_only, {BENCH_STEPS} timed "
+        f"steps (best reported), cpu_count={os.cpu_count()}",
+        f"# {'algorithm':<14} {'executor':<10} {'best_seconds':>12} "
+        f"{'n_results':>10} {'overlap_tests':>14}",
+    ]
+    reference = {}
+    for executor in EXECUTORS:
+        for name, join in _algorithms(executor).items():
+            join.step(dataset)  # warm-up: index build + pool spin-up
+            best, result = min(
+                (_timed_step(join, dataset) for _ in range(BENCH_STEPS)),
+                key=lambda pair: pair[0],
+            )
+            # Interchangeability check: every backend must reproduce the
+            # serial run's counts exactly.
+            key = (name, result.n_results, result.stats.overlap_tests)
+            reference.setdefault(name, key)
+            assert reference[name] == key, f"executor changed results: {key}"
+            lines.append(
+                f"{name:<16} {executor:<10} {best:>12.4f} "
+                f"{result.n_results:>10d} {result.stats.overlap_tests:>14d}"
+            )
+            join.executor.close()
+    report = "\n".join(lines)
+    print(report)
+    if out_path is not None:
+        out_path = Path(out_path)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(report + "\n")
+    return report
+
+
+def _timed_step(join, dataset):
+    started = time.perf_counter()
+    result = join.step(dataset)
+    return time.perf_counter() - started, result
+
+
+if __name__ == "__main__":
+    main(
+        n=int(sys.argv[1]) if len(sys.argv) > 1 else BENCH_N,
+        out_path=Path(__file__).resolve().parent.parent
+        / "results"
+        / "executors_uniform.txt",
+    )

@@ -20,6 +20,16 @@ from repro.core import (
     TGrid,
     ThermalJoin,
 )
+from repro.engine import (
+    Executor,
+    JoinPlan,
+    JoinTask,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    execute_step,
+    resolve_executor,
+)
 from repro.index import BPlusTree
 from repro.joins import (
     CRTreeJoin,
@@ -56,6 +66,14 @@ __all__ = [
     "JoinResult",
     "JoinStatistics",
     "SpatialJoinAlgorithm",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "JoinPlan",
+    "JoinTask",
+    "execute_step",
     "NestedLoopJoin",
     "PlaneSweepJoin",
     "PBSMJoin",

@@ -36,14 +36,21 @@ import time
 
 import numpy as np
 
-from repro.core.celljoin import emit_hot_cells_batched, join_cell_pairs_batched
 from repro.core.pgrid import PGrid
 from repro.core.tgrid import TGrid
 from repro.core.tuning import HillClimbingTuner
-from repro.geometry import self_join_groups
+from repro.engine import (
+    DEFAULT_PARTITION_TASKS,
+    CellPairSweepTask,
+    GroupSelfJoinTask,
+    HotCellsTask,
+    JoinPlan,
+    JoinTask,
+    chunk_by_volume,
+)
 from repro.joins.base import SpatialJoinAlgorithm
 
-__all__ = ["ThermalJoin"]
+__all__ = ["ThermalJoin", "TGridCellsTask"]
 
 # Weights of the deterministic operation-count cost model (used when
 # ``cost_model="operations"``): one unit per overlap test, plus charges
@@ -54,6 +61,31 @@ _OPS_CELL_PAIR = 2.0
 _OPS_CELL_CREATED = 8.0
 _OPS_CELL_VISIT = 2.0
 _OPS_RESULT = 0.05
+
+
+class TGridCellsTask(JoinTask):
+    """Internal join of the dense cells through a throw-away T-Grid.
+
+    The T-Grid object accumulates diagnostics (``fallbacks``,
+    ``peak_cells``) across the step, so this stays one task and is not
+    ``process_safe`` — the process executor runs it inline in the parent
+    while the pure-array tasks are out on the pool.
+    """
+
+    phase = "internal"
+    process_safe = False
+
+    def __init__(self, tgrid, cells, centers, widths):
+        self.tgrid = tgrid
+        self.cells = cells
+        self.centers = centers
+        self.widths = widths
+
+    def run(self, ctx, accumulator):
+        tests, shortcut_pairs = self.tgrid.join_cells(
+            self.cells, ctx["lo"], ctx["hi"], self.centers, self.widths, accumulator
+        )
+        return {"overlap_tests": int(tests), "shortcut_pairs": int(shortcut_pairs)}
 
 
 class ThermalJoin(SpatialJoinAlgorithm):
@@ -104,10 +136,14 @@ class ThermalJoin(SpatialJoinAlgorithm):
         observes the resulting costs, so it converges within the
         quota-feasible region.
     n_workers:
-        Threads for the external join's candidate batches (§2.1:
-        "THERMAL-JOIN ... can be parallelized like the aforementioned
-        approaches"; cell pairs are independent work units).  Results
+        Back-compat worker count (§2.1: "THERMAL-JOIN ... can be
+        parallelized like the aforementioned approaches"; cell pairs are
+        independent work units).  ``n_workers > 1`` with no explicit
+        ``executor`` selects a thread executor of that size.  Results
         and statistics are identical to the serial run.
+    executor:
+        Engine executor for the verify stage (see
+        :class:`~repro.joins.base.SpatialJoinAlgorithm`).
     """
 
     name = "thermal-join"
@@ -126,14 +162,17 @@ class ThermalJoin(SpatialJoinAlgorithm):
         incremental=True,
         memory_quota_bytes=None,
         n_workers=1,
+        executor=None,
     ):
-        super().__init__(count_only=count_only)
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be at least 1, got {n_workers}")
+        if executor is None and n_workers > 1:
+            executor = f"thread:{int(n_workers)}"
+        super().__init__(count_only=count_only, executor=executor)
         if memory_quota_bytes is not None and memory_quota_bytes <= 0:
             raise ValueError(
                 f"memory_quota_bytes must be positive, got {memory_quota_bytes}"
             )
-        if n_workers < 1:
-            raise ValueError(f"n_workers must be at least 1, got {n_workers}")
         if cost_model not in ("time", "operations"):
             raise ValueError(f"unknown cost_model {cost_model!r}")
         if resolution is not None and resolution <= 0:
@@ -160,8 +199,6 @@ class ThermalJoin(SpatialJoinAlgorithm):
         self.last_step_info = {}
         self._boxes = None
         self._build_seconds = 0.0
-        self._internal_seconds = 0.0
-        self._external_seconds = 0.0
         self._cells_created_before = 0
 
     # ------------------------------------------------------------------
@@ -221,20 +258,34 @@ class ThermalJoin(SpatialJoinAlgorithm):
         self._build_seconds = time.perf_counter() - t0
 
     # ------------------------------------------------------------------
-    # Join phase (Algorithm 2)
+    # Join phase (Algorithm 2), as an engine plan
     # ------------------------------------------------------------------
-    def _join(self, dataset, accumulator):
-        lo, hi = self._boxes
-        centers = dataset.centers
-        widths = dataset.widths
-        pgrid = self.pgrid
-        tgrid = self.tgrid
-        tests = 0
-        shortcut_pairs = 0
-        perf = time.perf_counter
+    def plan(self, dataset):
+        """Partition the step into external, hot-spot, sweep and T-Grid tasks.
 
-        # ---- External join: all hyperlinked cell pairs, batched. ----
-        t0 = perf()
+        The external join's hyperlinked cell pairs are split into
+        volume-balanced :class:`CellPairSweepTask` slices; hot-spot cells
+        emit through one :class:`HotCellsTask`; small non-hot cells sweep
+        through one :class:`GroupSelfJoinTask`; dense cells go through
+        one :class:`TGridCellsTask`.  The split is deterministic, so
+        every executor reproduces the serial run's pair set and
+        overlap-test total exactly.
+        """
+        lo, hi = self._boxes
+        pgrid = self.pgrid
+        context = {
+            "lo": lo,
+            "hi": hi,
+            "cat": pgrid.cat,
+            "starts": pgrid.cell_starts,
+            "stops": pgrid.cell_stops,
+            "center_lo": pgrid.cell_center_lo,
+            "center_hi": pgrid.cell_center_hi,
+        }
+        tasks = []
+        sizes = pgrid.cell_stops - pgrid.cell_starts
+
+        # ---- External join: all hyperlinked cell pairs, chunked. ----
         pair_a = []
         pair_b = []
         for cell in pgrid.occupied:
@@ -243,29 +294,24 @@ class ThermalJoin(SpatialJoinAlgorithm):
                 if neighbor.slot >= 0:
                     pair_a.append(slot)
                     pair_b.append(neighbor.slot)
-        cell_pair_joins = len(pair_a)
-        ext_tests, ext_shortcut = join_cell_pairs_batched(
-            lo,
-            hi,
-            pgrid.cat,
-            pgrid.cell_starts,
-            pgrid.cell_stops,
-            pgrid.cell_center_lo,
-            pgrid.cell_center_hi,
-            pair_a,
-            pair_b,
-            accumulator,
-            enclosure_shortcut=self.enclosure_shortcut,
-            n_workers=self.n_workers,
-        )
-        tests += ext_tests
-        shortcut_pairs += ext_shortcut
-        t1 = perf()
-        external_seconds = t1 - t0
+        pair_a = np.asarray(pair_a, dtype=np.int64)
+        pair_b = np.asarray(pair_b, dtype=np.int64)
+        cell_pair_joins = int(pair_a.size)
+        if pair_a.size:
+            weights = sizes[pair_a] * sizes[pair_b]
+            for start, stop in chunk_by_volume(weights, DEFAULT_PARTITION_TASKS):
+                tasks.append(
+                    CellPairSweepTask(
+                        pair_a=pair_a[start:stop],
+                        pair_b=pair_b[start:stop],
+                        enclosure_shortcut=self.enclosure_shortcut,
+                    )
+                )
 
-        # ---- Internal join: hot spots batched, T-Grids per cell. ----
-        sizes = pgrid.cell_stops - pgrid.cell_starts
+        # ---- Internal join: hot spots, small-cell sweeps, T-Grids. ----
         multi = sizes > 1
+        hot_spot_cells = 0
+        tgrid_cells = 0
         if self.hot_spots:
             spread_ok = (
                 (pgrid.cell_center_hi - pgrid.cell_center_lo) < pgrid.cell_min_width
@@ -273,91 +319,74 @@ class ThermalJoin(SpatialJoinAlgorithm):
             hot = np.logical_and(multi, spread_ok)
             hot_slots = np.flatnonzero(hot)
             hot_spot_cells = int(hot_slots.size)
-            shortcut_pairs += emit_hot_cells_batched(
-                pgrid.cat, pgrid.cell_starts, pgrid.cell_stops, hot_slots, accumulator
-            )
+            if hot_slots.size:
+                tasks.append(HotCellsTask(hot_slots=hot_slots))
             not_hot = np.logical_and(multi, ~spread_ok)
             # A T-Grid only pays off once the cell population is large
             # enough to amortise building it; small non-hot-spot cells
-            # take the in-cell plane sweep in one batched call (their
+            # take the in-cell plane sweep in one batched task (their
             # sweep cannot "degenerate into a nested-loop join" — the
             # degeneration the paper worries about needs a dense cell).
             large = np.logical_and(not_hot, sizes >= self.tgrid_min_objects)
             small_slots = np.flatnonzero(np.logical_and(not_hot, ~large))
             if small_slots.size:
-
-                def on_small(left, right, _groups):
-                    accumulator.extend(left, right)
-
-                tests += self_join_groups(
-                    lo,
-                    hi,
-                    pgrid.cat,
-                    pgrid.cell_starts,
-                    pgrid.cell_stops,
-                    small_slots,
-                    on_small,
-                    count="x-sweep",
+                tasks.append(
+                    GroupSelfJoinTask(
+                        groups=small_slots, count="x-sweep", phase="internal"
+                    )
                 )
             tgrid_slots = np.flatnonzero(large)
             tgrid_cells = int(tgrid_slots.size)
             if tgrid_cells:
                 occupied = pgrid.occupied
-                cell_tests, cell_shortcut = tgrid.join_cells(
-                    [occupied[slot] for slot in tgrid_slots],
-                    lo,
-                    hi,
-                    centers,
-                    widths,
-                    accumulator,
+                tasks.append(
+                    TGridCellsTask(
+                        self.tgrid,
+                        [occupied[slot] for slot in tgrid_slots],
+                        dataset.centers,
+                        dataset.widths,
+                    )
                 )
-                tests += cell_tests
-                shortcut_pairs += cell_shortcut
         else:
             # Ablation: plain plane sweep inside every cell (no hot spots,
             # no T-Grids).  Cell object lists are already x-sorted.
-            hot_spot_cells = 0
-            tgrid_cells = 0
+            sweep_slots = np.flatnonzero(multi)
+            if sweep_slots.size:
+                tasks.append(
+                    GroupSelfJoinTask(
+                        groups=sweep_slots, count="x-sweep", phase="internal"
+                    )
+                )
 
-            def on_pairs(left, right, _groups):
-                accumulator.extend(left, right)
-
-            tests += self_join_groups(
-                lo,
-                hi,
-                pgrid.cat,
-                pgrid.cell_starts,
-                pgrid.cell_stops,
-                np.flatnonzero(multi),
-                on_pairs,
-                count="x-sweep",
+        def on_complete(results):
+            shortcut_pairs = sum(
+                int(r.counters.get("shortcut_pairs", 0)) for r in results
             )
-        internal_seconds = perf() - t1
+            self.last_step_info = {
+                "resolution": self.current_resolution,
+                "cell_width": self.pgrid.cell_width,
+                "occupied_cells": len(self.pgrid.occupied),
+                "total_cells": len(self.pgrid.cells),
+                "vacant_cells": self.pgrid.n_vacant,
+                "hot_spot_cells": hot_spot_cells,
+                "tgrid_cells": tgrid_cells,
+                "tgrid_fallbacks": self.tgrid.fallbacks,
+                "cell_pair_joins": cell_pair_joins,
+                "shortcut_pairs": shortcut_pairs,
+                "cells_created": self._cells_created_this_step,
+                "gc_runs": self.pgrid.gc_runs,
+                "layers": self.pgrid.layers,
+            }
 
-        self._internal_seconds = internal_seconds
-        self._external_seconds = external_seconds
-        self.last_step_info = {
-            "resolution": self.current_resolution,
-            "cell_width": self.pgrid.cell_width,
-            "occupied_cells": len(self.pgrid.occupied),
-            "total_cells": len(self.pgrid.cells),
-            "vacant_cells": self.pgrid.n_vacant,
-            "hot_spot_cells": hot_spot_cells,
-            "tgrid_cells": tgrid_cells,
-            "tgrid_fallbacks": tgrid.fallbacks,
-            "cell_pair_joins": cell_pair_joins,
-            "shortcut_pairs": shortcut_pairs,
-            "cells_created": self._cells_created_this_step,
-            "gc_runs": self.pgrid.gc_runs,
-            "layers": self.pgrid.layers,
-        }
-        return tests
+        return JoinPlan(context=context, tasks=tasks, on_complete=on_complete)
 
     def _phase_seconds(self):
+        # The engine adds each task's wall time onto its phase; only the
+        # build phase is timed here.
         return {
             "building": self._build_seconds,
-            "internal": self._internal_seconds,
-            "external": self._external_seconds,
+            "internal": 0.0,
+            "external": 0.0,
         }
 
     # ------------------------------------------------------------------

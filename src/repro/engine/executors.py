@@ -1,0 +1,299 @@
+"""Pluggable task executors: serial, thread pool, process pool.
+
+An executor schedules a plan's tasks and returns one
+:class:`~repro.engine.plan.TaskResult` per task, in task order.  Every
+task emits into a private :class:`~repro.geometry.PairAccumulator`
+shard, so scheduling never changes the merged result — executors differ
+only in wall-clock behaviour:
+
+``SerialExecutor``
+    Runs tasks in order on the calling thread.  The default, and the
+    reference for the statistics every other executor must reproduce.
+``ThreadExecutor``
+    A ``ThreadPoolExecutor``; the numpy kernels behind the verify stage
+    release the GIL on their bulk operations, so independent tasks
+    overlap on multi-core machines.
+``ProcessExecutor``
+    A ``ProcessPoolExecutor`` over a persistent worker pool.  The plan's
+    context arrays (the MBR coordinate and grouping arrays) are published
+    once per step through :mod:`multiprocessing.shared_memory`; workers
+    attach and cache them for the step, so each task ships only its own
+    small index arrays.  Tasks that are not ``process_safe`` (closures
+    over live index objects) run inline in the parent.
+
+Selection
+---------
+``resolve_executor`` accepts an :class:`Executor` instance, a spec
+string (``"serial"``, ``"thread"``, ``"thread:4"``, ``"process"``,
+``"process:2"``), or ``None`` — which falls back to the
+``REPRO_EXECUTOR`` environment variable and finally to serial.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.engine.plan import TaskResult
+from repro.geometry import PairAccumulator
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+]
+
+#: Environment variable naming the default executor spec.
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+
+def _run_inline(task, ctx, count_only):
+    accumulator = PairAccumulator(count_only=count_only)
+    t0 = time.perf_counter()
+    counters = task.run(ctx, accumulator)
+    seconds = time.perf_counter() - t0
+    return TaskResult(
+        counters=counters,
+        seconds=seconds,
+        n_pairs=len(accumulator),
+        accumulator=accumulator,
+        phase=task.phase,
+    )
+
+
+class Executor:
+    """Scheduling strategy for a plan's independent join tasks."""
+
+    name = "abstract"
+
+    def run(self, tasks, ctx, count_only):
+        """Execute ``tasks`` against ``ctx``; return ordered TaskResults."""
+        raise NotImplementedError
+
+    def close(self):
+        """Release pooled resources (no-op for poolless executors)."""
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Run every task in order on the calling thread."""
+
+    name = "serial"
+
+    def run(self, tasks, ctx, count_only):
+        return [_run_inline(task, ctx, count_only) for task in tasks]
+
+
+def _default_workers():
+    return max(os.cpu_count() or 1, 1)
+
+
+class ThreadExecutor(Executor):
+    """Run tasks on a thread pool (GIL-releasing numpy kernels overlap)."""
+
+    name = "thread"
+
+    def __init__(self, n_workers=None):
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be at least 1, got {n_workers}")
+        self.n_workers = int(n_workers) if n_workers else _default_workers()
+
+    def run(self, tasks, ctx, count_only):
+        if len(tasks) < 2 or self.n_workers < 2:
+            return [_run_inline(task, ctx, count_only) for task in tasks]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            futures = [
+                pool.submit(_run_inline, task, ctx, count_only) for task in tasks
+            ]
+            return [future.result() for future in futures]
+
+    def __repr__(self):
+        return f"ThreadExecutor(n_workers={self.n_workers})"
+
+
+# ----------------------------------------------------------------------
+# Process executor: shared-memory context + persistent worker pool
+# ----------------------------------------------------------------------
+#: Worker-side cache of the current step's attached context arrays.
+_WORKER_STATE = {"token": None, "arrays": None, "segments": ()}
+
+
+def _attach_context(specs, token):
+    """Attach (and cache) the step's shared-memory context arrays."""
+    from multiprocessing import shared_memory
+
+    state = _WORKER_STATE
+    if state["token"] == token:
+        return state["arrays"]
+    for segment in state["segments"]:
+        try:
+            segment.close()
+        except (OSError, BufferError):  # pragma: no cover - platform cleanup
+            pass
+    arrays = {}
+    segments = []
+    for key, (name, shape, dtype) in specs.items():
+        segment = shared_memory.SharedMemory(name=name)
+        segments.append(segment)
+        arrays[key] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+    state["token"] = token
+    state["arrays"] = arrays
+    state["segments"] = tuple(segments)
+    return arrays
+
+
+def _process_worker(specs, token, task, count_only):
+    """Run one task in a worker process; return a picklable result."""
+    ctx = _attach_context(specs, token)
+    accumulator = PairAccumulator(count_only=count_only)
+    t0 = time.perf_counter()
+    counters = task.run(ctx, accumulator)
+    seconds = time.perf_counter() - t0
+    pairs = None if count_only else accumulator.as_arrays()
+    return counters, seconds, len(accumulator), pairs, task.phase
+
+
+class ProcessExecutor(Executor):
+    """Run process-safe tasks on a persistent ``ProcessPoolExecutor``.
+
+    The context arrays are copied into shared memory once per step and
+    unlinked after the step completes; workers cache their attachment
+    for the duration of the step (keyed by a per-step token).  Tasks
+    flagged ``process_safe=False`` run inline in the parent process.
+    """
+
+    name = "process"
+
+    def __init__(self, n_workers=None):
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be at least 1, got {n_workers}")
+        self.n_workers = int(n_workers) if n_workers else _default_workers()
+        self._pool = None
+        self._step_token = 0
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=context
+            )
+        return self._pool
+
+    def _publish_context(self, ctx):
+        """Copy context arrays into shared memory; return (specs, segments)."""
+        from multiprocessing import shared_memory
+
+        specs = {}
+        segments = []
+        for key, array in ctx.items():
+            array = np.ascontiguousarray(array)
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(array.nbytes, 1)
+            )
+            segments.append(segment)
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+            view[...] = array
+            specs[key] = (segment.name, array.shape, array.dtype.str)
+        return specs, segments
+
+    def run(self, tasks, ctx, count_only):
+        remote_idx = [k for k, task in enumerate(tasks) if task.process_safe]
+        if len(remote_idx) < 2 or self.n_workers < 2 or not ctx:
+            return [_run_inline(task, ctx, count_only) for task in tasks]
+
+        pool = self._ensure_pool()
+        self._step_token += 1
+        token = (os.getpid(), self._step_token)
+        specs, segments = self._publish_context(ctx)
+        results = [None] * len(tasks)
+        try:
+            futures = {
+                k: pool.submit(_process_worker, specs, token, tasks[k], count_only)
+                for k in remote_idx
+            }
+            # Inline tasks run in the parent while the pool works.
+            for k, task in enumerate(tasks):
+                if k not in futures:
+                    results[k] = _run_inline(task, ctx, count_only)
+            for k, future in futures.items():
+                counters, seconds, n_pairs, pairs, phase = future.result()
+                accumulator = PairAccumulator(count_only=count_only)
+                if pairs is not None:
+                    accumulator.extend_canonical(*pairs)
+                else:
+                    accumulator.add_count(n_pairs)
+                results[k] = TaskResult(
+                    counters=counters,
+                    seconds=seconds,
+                    n_pairs=n_pairs,
+                    accumulator=accumulator,
+                    phase=phase,
+                )
+        finally:
+            for segment in segments:
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        return results
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self):
+        return f"ProcessExecutor(n_workers={self.n_workers})"
+
+
+def resolve_executor(spec):
+    """Resolve an executor instance from ``spec``.
+
+    ``None`` consults the ``REPRO_EXECUTOR`` environment variable and
+    defaults to serial; strings take the form ``name`` or ``name:N``
+    with ``N`` the worker count.  Instances pass through unchanged (so
+    one pool can be shared by many algorithms).
+    """
+    if isinstance(spec, Executor):
+        return spec
+    if spec is None:
+        spec = os.environ.get(EXECUTOR_ENV_VAR) or "serial"
+    if not isinstance(spec, str):
+        raise TypeError(f"executor spec must be an Executor, str or None: {spec!r}")
+    name, _, workers = spec.partition(":")
+    name = name.strip().lower()
+    n_workers = None
+    if workers:
+        try:
+            n_workers = int(workers)
+        except ValueError:
+            raise ValueError(f"invalid executor worker count in {spec!r}") from None
+    if name == "serial":
+        return SerialExecutor()
+    if name in ("thread", "threads"):
+        return ThreadExecutor(n_workers)
+    if name in ("process", "processes"):
+        return ProcessExecutor(n_workers)
+    raise ValueError(
+        f"unknown executor {spec!r}; expected serial, thread[:N] or process[:N]"
+    )

@@ -1,0 +1,290 @@
+"""Join plans and the task vocabulary of the staged execution engine.
+
+A :class:`JoinPlan` is what an algorithm's ``partition`` stage produces:
+a *context* of shared, read-only numpy arrays (box coordinates, grouped
+object ids, per-group ranges — the arrays a process pool ships through
+shared memory once per step) and a list of independent :class:`JoinTask`
+units.  Tasks reference context arrays by key, carry only their own
+small index arrays, and emit result pairs through the accumulator they
+are handed — which is what makes them schedulable by any executor.
+
+Task types
+----------
+``GroupSelfJoinTask``   within-group pairs of a set of groups (grid
+                        cells, PBSM partitions, tree nodes).
+``GroupCrossJoinTask``  pairs across explicit (group A, group B) lists
+                        (EGO neighbour cells, octree ancestor levels).
+``CellPairSweepTask``   THERMAL-JOIN's external join over hyperlinked
+                        cell pairs (optimized sweep + enclosure
+                        shortcut).
+``HotCellsTask``        combinatorial hot-spot emission (no tests).
+``SweepStripTask``      one strip of a partitioned global plane sweep.
+``FallbackJoinTask``    wraps a legacy ``_join`` as one opaque task so
+                        every algorithm runs through the engine even
+                        before it is ported to emit partitions.
+
+Tasks declare ``process_safe``: whether they are pure functions of the
+context arrays (shippable to a worker process) or closures over live
+index objects (run inline in the parent by the process executor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.verify import verify_cross_groups, verify_self_groups
+from repro.geometry import window_pairs
+
+__all__ = [
+    "JoinPlan",
+    "JoinTask",
+    "TaskResult",
+    "FallbackJoinTask",
+    "GroupSelfJoinTask",
+    "GroupCrossJoinTask",
+    "CellPairSweepTask",
+    "HotCellsTask",
+    "SweepStripTask",
+    "chunk_by_volume",
+]
+
+
+def chunk_by_volume(counts, n_tasks):
+    """Split ``range(len(counts))`` into ≤ ``n_tasks`` contiguous slices
+    of roughly equal candidate volume.
+
+    Returns a list of ``(start, stop)`` index pairs covering the whole
+    range; empty input yields no slices.  Partitioning is deterministic
+    (independent of the executor), so statistics are reproducible.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size == 0 or n_tasks < 1:
+        return []
+    if n_tasks == 1 or counts.size == 1:
+        return [(0, int(counts.size))]
+    cum = np.cumsum(counts)
+    total = int(cum[-1])
+    if total == 0:
+        return [(0, int(counts.size))]
+    per_task = max(total // n_tasks, 1)
+    targets = np.arange(per_task, total, per_task, dtype=np.int64)[: n_tasks - 1]
+    inner = np.searchsorted(cum, targets, side="left") + 1
+    edges = np.unique(np.concatenate([[0], inner, [counts.size]]))
+    return [(int(edges[k]), int(edges[k + 1])) for k in range(len(edges) - 1)]
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one executed task: counters, wall time, pair shard."""
+
+    counters: dict
+    seconds: float
+    n_pairs: int
+    accumulator: object  # PairAccumulator shard (merged in task order)
+    phase: str
+
+
+@dataclass
+class JoinPlan:
+    """Partitioned description of one join step.
+
+    ``context`` maps names to numpy arrays shared by all tasks;
+    ``tasks`` are independent work units; ``on_complete`` (optional) is
+    called with the ordered :class:`TaskResult` list during the merge
+    stage, letting algorithms aggregate their own diagnostics.
+    """
+
+    context: dict = field(default_factory=dict)
+    tasks: list = field(default_factory=list)
+    on_complete: object = None
+
+
+class JoinTask:
+    """One independent unit of join work.
+
+    ``run(ctx, accumulator)`` executes against the plan's context arrays,
+    emits result pairs into the accumulator, and returns a counters dict
+    (``overlap_tests`` plus whatever the algorithm aggregates).
+    """
+
+    #: Tag merged into ``JoinStatistics.phase_seconds``.
+    phase = "join"
+    #: Whether the task may run in a worker process (pure function of
+    #: the context arrays and its own fields).
+    process_safe = False
+
+    def run(self, ctx, accumulator):
+        raise NotImplementedError
+
+
+@dataclass
+class FallbackJoinTask(JoinTask):
+    """Single-task plan wrapping an unported algorithm's ``_join``."""
+
+    algorithm: object
+    dataset: object
+    phase = "join"
+    process_safe = False
+
+    def run(self, ctx, accumulator):
+        tests = self.algorithm._join(self.dataset, accumulator)
+        return {"overlap_tests": int(tests)}
+
+
+@dataclass
+class GroupSelfJoinTask(JoinTask):
+    """All within-group pairs of ``groups``, via the shared verify kernel."""
+
+    groups: np.ndarray
+    count: str = "full"
+    pair_filter: str = None
+    keys: tuple = ("cat", "starts", "stops")
+    phase: str = "join"
+    process_safe = True
+
+    def run(self, ctx, accumulator):
+        cat_key, starts_key, stops_key = self.keys
+        tests = verify_self_groups(
+            ctx,
+            accumulator,
+            self.groups,
+            self.count,
+            pair_filter=self.pair_filter,
+            cat_key=cat_key,
+            starts_key=starts_key,
+            stops_key=stops_key,
+        )
+        return {"overlap_tests": int(tests)}
+
+
+@dataclass
+class GroupCrossJoinTask(JoinTask):
+    """Pairs across explicit (A-group, B-group) lists."""
+
+    pair_a: np.ndarray
+    pair_b: np.ndarray
+    count: str = "full"
+    a_keys: tuple = ("cat", "starts", "stops")
+    b_keys: tuple = ("cat", "starts", "stops")
+    phase: str = "join"
+    process_safe = True
+
+    def run(self, ctx, accumulator):
+        tests = verify_cross_groups(
+            ctx,
+            accumulator,
+            self.pair_a,
+            self.pair_b,
+            self.count,
+            a_keys=self.a_keys,
+            b_keys=self.b_keys,
+        )
+        return {"overlap_tests": int(tests)}
+
+
+@dataclass
+class CellPairSweepTask(JoinTask):
+    """External join over a slice of hyperlinked cell pairs.
+
+    Runs the optimized plane sweep with the enclosure shortcut
+    (:func:`repro.core.celljoin.join_cell_pairs_batched`) over its own
+    portion of the step's cell-pair list.
+    """
+
+    pair_a: np.ndarray
+    pair_b: np.ndarray
+    enclosure_shortcut: bool = True
+    phase: str = "external"
+    process_safe = True
+
+    def run(self, ctx, accumulator):
+        from repro.core.celljoin import join_cell_pairs_batched
+
+        tests, shortcuts = join_cell_pairs_batched(
+            ctx["lo"],
+            ctx["hi"],
+            ctx["cat"],
+            ctx["starts"],
+            ctx["stops"],
+            ctx["center_lo"],
+            ctx["center_hi"],
+            self.pair_a,
+            self.pair_b,
+            accumulator,
+            enclosure_shortcut=self.enclosure_shortcut,
+        )
+        return {"overlap_tests": int(tests), "shortcut_pairs": int(shortcuts)}
+
+
+@dataclass
+class HotCellsTask(JoinTask):
+    """Combinatorial emission for a set of hot-spot cells (zero tests)."""
+
+    hot_slots: np.ndarray
+    phase: str = "internal"
+    process_safe = True
+
+    def run(self, ctx, accumulator):
+        from repro.core.celljoin import emit_hot_cells_batched
+
+        emitted = emit_hot_cells_batched(
+            ctx["cat"], ctx["starts"], ctx["stops"], self.hot_slots, accumulator
+        )
+        return {"overlap_tests": 0, "shortcut_pairs": int(emitted)}
+
+
+@dataclass
+class SweepStripTask(JoinTask):
+    """One strip of the partitioned global plane sweep.
+
+    The dataset is x-sorted once at build; a strip owns the contiguous
+    sorted positions ``[start, stop)``.  It runs the forward sweep
+    within the strip plus the carried-in windows of earlier objects
+    whose x-extent reaches into the strip, so each x-overlapping pair is
+    charged exactly once, in the strip of its later object — the global
+    sweep's candidate set and test count, decomposed.
+    """
+
+    start: int
+    stop: int
+    carry: np.ndarray  # sorted positions < start with xhi > strip's first xlo
+    phase: str = "join"
+    process_safe = True
+
+    def run(self, ctx, accumulator):
+        from repro.geometry import sweep_self
+
+        lo = ctx["lo"]
+        hi = ctx["hi"]
+        ids = ctx["ids"]
+        start, stop = self.start, self.stop
+        i_ids, j_ids, tests = sweep_self(
+            lo[start:stop], hi[start:stop], ids[start:stop]
+        )
+        accumulator.extend(i_ids, j_ids)
+
+        carry = self.carry
+        if carry.size:
+            # Each carried object scans strip members while xlo < its xhi
+            # (members' xlo ≥ the carried xlo by sort order).
+            strip_xlo = lo[start:stop, 0]
+            windows = np.searchsorted(strip_xlo, hi[carry, 0], side="left")
+            left, right = window_pairs(
+                np.zeros(carry.size, dtype=np.int64), windows.astype(np.int64)
+            )
+            tests += int(left.size)
+            if left.size:
+                c_pos = carry[left]
+                s_pos = right + start
+                keep = np.logical_and(
+                    np.logical_and(
+                        lo[c_pos, 1] < hi[s_pos, 1], lo[s_pos, 1] < hi[c_pos, 1]
+                    ),
+                    np.logical_and(
+                        lo[c_pos, 2] < hi[s_pos, 2], lo[s_pos, 2] < hi[c_pos, 2]
+                    ),
+                )
+                accumulator.extend(ids[c_pos[keep]], ids[s_pos[keep]])
+        return {"overlap_tests": int(tests)}

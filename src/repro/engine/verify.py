@@ -1,0 +1,114 @@
+"""Shared candidate-verification kernel for engine tasks.
+
+Partition tasks describe *which* group pairs to compare; this module is
+the single place where candidates are actually tested and emitted.  It
+wraps the vectorised group-join primitives of :mod:`repro.geometry.batch`
+and layers the per-algorithm deduplication filters on top, so every
+algorithm's verification goes through identical code:
+
+* ``plain`` — emit every overlapping candidate (exactly-once plans);
+* ``reference-point`` — PBSM's duplicate suppression: a pair is reported
+  only by the partition containing the lower corner of the pair's
+  intersection box.
+
+Overlap-test accounting is inherited unchanged from the batch kernels
+(``count="full"`` nested-loop or ``count="x-sweep"`` forward-sweep
+accounting), so partitioning a join into tasks never changes its total
+test count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import cross_join_groups, self_join_groups
+
+__all__ = ["verify_self_groups", "verify_cross_groups"]
+
+
+def _plain_emitter(accumulator):
+    def on_pairs(left, right, _groups):
+        accumulator.extend(left, right)
+
+    return on_pairs
+
+
+def _reference_point_emitter(accumulator, lo, groups, part_lo, part_hi):
+    """PBSM reference-point filter over the task's ``groups`` subset.
+
+    ``self_join_groups`` reports each batch's pair positions relative to
+    the ``groups`` array it was handed; map them back to global partition
+    ids before testing the reference point against the partition bounds.
+    """
+
+    def on_pairs(left, right, group_pos):
+        partitions = groups[group_pos]
+        ref = np.maximum(lo[left], lo[right])
+        inside = np.logical_and(
+            (ref >= part_lo[partitions]).all(axis=1),
+            (ref < part_hi[partitions]).all(axis=1),
+        )
+        if inside.any():
+            accumulator.extend(left[inside], right[inside])
+
+    return on_pairs
+
+
+def verify_self_groups(
+    ctx,
+    accumulator,
+    groups,
+    count,
+    pair_filter=None,
+    cat_key="cat",
+    starts_key="starts",
+    stops_key="stops",
+):
+    """Verify all within-group candidates of ``groups``; return test count."""
+    lo = ctx["lo"]
+    if pair_filter is None:
+        on_pairs = _plain_emitter(accumulator)
+    elif pair_filter == "reference-point":
+        on_pairs = _reference_point_emitter(
+            accumulator, lo, groups, ctx["part_lo"], ctx["part_hi"]
+        )
+    else:
+        raise ValueError(f"unknown pair filter {pair_filter!r}")
+    return self_join_groups(
+        lo,
+        ctx["hi"],
+        ctx[cat_key],
+        ctx[starts_key],
+        ctx[stops_key],
+        groups,
+        on_pairs,
+        count=count,
+    )
+
+
+def verify_cross_groups(
+    ctx,
+    accumulator,
+    pair_a,
+    pair_b,
+    count,
+    a_keys=("cat", "starts", "stops"),
+    b_keys=("cat", "starts", "stops"),
+):
+    """Verify all cross-group candidates of the listed group pairs."""
+    cat_a, starts_a, stops_a = (ctx[key] for key in a_keys)
+    cat_b, starts_b, stops_b = (ctx[key] for key in b_keys)
+    return cross_join_groups(
+        ctx["lo"],
+        ctx["hi"],
+        cat_a,
+        starts_a,
+        stops_a,
+        cat_b,
+        starts_b,
+        stops_b,
+        pair_a,
+        pair_b,
+        _plain_emitter(accumulator),
+        count=count,
+    )

@@ -31,6 +31,15 @@ def main(argv=None):
         choices=("tiny", "quick", "default", "full"),
         help="workload scale preset (default: default)",
     )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        help=(
+            "engine executor for every algorithm: serial, thread[:N] or "
+            "process[:N] (default: the REPRO_EXECUTOR environment variable, "
+            "then serial)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -42,7 +51,7 @@ def main(argv=None):
     for name in names:
         started = time.perf_counter()
         print(f"=== {name} (scale={args.scale}) ===")
-        run_experiment(name, scale=args.scale)
+        run_experiment(name, scale=args.scale, executor=args.executor)
         print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
     return 0
 

@@ -64,27 +64,49 @@ __all__ = [
     "ablations",
 ]
 
-#: name -> factory(count_only) for every join algorithm in the evaluation.
+#: name -> factory(count_only, executor) for every join algorithm in the
+#: evaluation.  ``executor`` selects the engine's verify-stage executor
+#: (None honours the ``REPRO_EXECUTOR`` environment default).
 ALGORITHM_FACTORIES = {
-    "nested-loop": lambda count_only=True: NestedLoopJoin(count_only=count_only),
-    "plane-sweep": lambda count_only=True: PlaneSweepJoin(count_only=count_only),
-    "pbsm": lambda count_only=True: PBSMJoin(count_only=count_only),
-    "mxcif-octree": lambda count_only=True: MXCIFOctreeJoin(count_only=count_only),
-    "loose-octree": lambda count_only=True: LooseOctreeJoin(count_only=count_only),
-    "ego": lambda count_only=True: EGOJoin(count_only=count_only),
-    "touch": lambda count_only=True: TouchJoin(count_only=count_only),
-    "rtree-sync": lambda count_only=True: SynchronousRTreeJoin(count_only=count_only),
-    "inl-rtree": lambda count_only=True: IndexedNestedLoopRTreeJoin(
-        count_only=count_only
+    "nested-loop": lambda count_only=True, executor=None: NestedLoopJoin(
+        count_only=count_only, executor=executor
     ),
-    "st2b": lambda count_only=True: ST2BJoin(count_only=count_only),
-    "cr-tree": lambda count_only=True: CRTreeJoin(count_only=count_only),
+    "plane-sweep": lambda count_only=True, executor=None: PlaneSweepJoin(
+        count_only=count_only, executor=executor
+    ),
+    "pbsm": lambda count_only=True, executor=None: PBSMJoin(
+        count_only=count_only, executor=executor
+    ),
+    "mxcif-octree": lambda count_only=True, executor=None: MXCIFOctreeJoin(
+        count_only=count_only, executor=executor
+    ),
+    "loose-octree": lambda count_only=True, executor=None: LooseOctreeJoin(
+        count_only=count_only, executor=executor
+    ),
+    "ego": lambda count_only=True, executor=None: EGOJoin(
+        count_only=count_only, executor=executor
+    ),
+    "touch": lambda count_only=True, executor=None: TouchJoin(
+        count_only=count_only, executor=executor
+    ),
+    "rtree-sync": lambda count_only=True, executor=None: SynchronousRTreeJoin(
+        count_only=count_only, executor=executor
+    ),
+    "inl-rtree": lambda count_only=True, executor=None: IndexedNestedLoopRTreeJoin(
+        count_only=count_only, executor=executor
+    ),
+    "st2b": lambda count_only=True, executor=None: ST2BJoin(
+        count_only=count_only, executor=executor
+    ),
+    "cr-tree": lambda count_only=True, executor=None: CRTreeJoin(
+        count_only=count_only, executor=executor
+    ),
     # The tuner consumes the deterministic operation-count cost signal:
     # wall-time noise on a shared machine would otherwise trip the 10%
     # drift trigger spuriously (the paper tunes on wall time on a quiet
     # dedicated box; the protocol is identical either way).
-    "thermal-join": lambda count_only=True: ThermalJoin(
-        count_only=count_only, cost_model="operations"
+    "thermal-join": lambda count_only=True, executor=None: ThermalJoin(
+        count_only=count_only, cost_model="operations", executor=executor
     ),
 }
 
@@ -105,11 +127,14 @@ FIG7_ALGORITHMS = ["ego", "touch", "cr-tree", "loose-octree", "thermal-join"]
 FIG9_ALGORITHMS = ["loose-octree", "touch", "cr-tree", "thermal-join"]
 
 
-def _simulate_matrix(workload_factory, algorithms, n_steps, time_budget):
+def _simulate_matrix(workload_factory, algorithms, n_steps, time_budget,
+                     executor=None):
     """Run several algorithms over identical workload replays.
 
     ``workload_factory(seed_offset)`` must build a *fresh* (dataset,
     motion) pair so every algorithm sees the same motion sequence.
+    ``executor`` is threaded into every algorithm factory, so one flag
+    sweeps the whole comparison between serial and parallel execution.
     Returns ``{name: runner}``; runners that exhausted the budget carry
     ``timed_out=True`` and partial records.
     """
@@ -117,7 +142,10 @@ def _simulate_matrix(workload_factory, algorithms, n_steps, time_budget):
     for name in algorithms:
         dataset, motion = workload_factory()
         runner = SimulationRunner(
-            dataset, motion, ALGORITHM_FACTORIES[name](), time_budget=time_budget
+            dataset,
+            motion,
+            ALGORITHM_FACTORIES[name](executor=executor),
+            time_budget=time_budget,
         )
         runner.run(n_steps)
         runners[name] = runner
@@ -134,7 +162,7 @@ def _total_or_none(runner):
 # ----------------------------------------------------------------------
 # Figure 2 — motivation: join selectivity vs static join time
 # ----------------------------------------------------------------------
-def fig2(scale="default", time_budget=60.0, quiet=False):
+def fig2(scale="default", time_budget=60.0, quiet=False, executor=None):
     """Self-join time of 8 existing methods vs object volume (Figure 2).
 
     One static time step over the neural dataset; the object volume
@@ -149,7 +177,10 @@ def fig2(scale="default", time_budget=60.0, quiet=False):
         )
         for name in FIG2_ALGORITHMS:
             runner = SimulationRunner(
-                dataset, None, ALGORITHM_FACTORIES[name](), time_budget=time_budget
+                dataset,
+                None,
+                ALGORITHM_FACTORIES[name](executor=executor),
+                time_budget=time_budget,
             )
             runner.run(1)
             series[name].append(_total_or_none(runner))
@@ -165,7 +196,7 @@ def fig2(scale="default", time_budget=60.0, quiet=False):
 # ----------------------------------------------------------------------
 # Figure 6 — convexity of F_t(r)
 # ----------------------------------------------------------------------
-def fig6(scale="default", quiet=False):
+def fig6(scale="default", quiet=False, executor=None):
     """THERMAL-JOIN join time vs P-Grid resolution r (Figure 6).
 
     Four uniform datasets with object widths 10/15/20/25; a static join
@@ -183,7 +214,7 @@ def fig6(scale="default", quiet=False):
         label = f"width {width:g}"
         series[label] = []
         for r in resolutions:
-            join = ThermalJoin(resolution=r, count_only=True)
+            join = ThermalJoin(resolution=r, count_only=True, executor=executor)
             result = join.step(dataset)
             series[label].append(result.stats.total_seconds)
     table = render_series_table(
@@ -202,7 +233,7 @@ def fig6(scale="default", quiet=False):
 # ----------------------------------------------------------------------
 # Figure 7 — full neural simulation
 # ----------------------------------------------------------------------
-def fig7(scale="default", time_budget=600.0, quiet=False):
+def fig7(scale="default", time_budget=600.0, quiet=False, executor=None):
     """Full neural simulation over many steps (Figure 7a–d).
 
     Records per-step join results, join time, overlap tests and memory
@@ -215,7 +246,8 @@ def fig7(scale="default", time_budget=600.0, quiet=False):
         dataset, motion, _labels = scaled_neural(preset["neural_n"], seed=7)
         return dataset, motion
 
-    runners = _simulate_matrix(workload, FIG7_ALGORITHMS, n_steps, time_budget)
+    runners = _simulate_matrix(workload, FIG7_ALGORITHMS, n_steps, time_budget,
+                               executor=executor)
     steps = list(range(n_steps))
     panels = {}
     for field, label in [
@@ -252,7 +284,7 @@ def fig7(scale="default", time_budget=600.0, quiet=False):
 # ----------------------------------------------------------------------
 # Figure 8 — neural scalability
 # ----------------------------------------------------------------------
-def fig8(scale="default", time_budget=300.0, quiet=False):
+def fig8(scale="default", time_budget=300.0, quiet=False, executor=None):
     """Neural scalability: join time vs dataset size and object extent
     (Figure 8a/b), short simulations as in the paper (10 steps there).
 
@@ -278,7 +310,8 @@ def fig8(scale="default", time_budget=300.0, quiet=False):
             )
             return dataset, motion
 
-        runners = _simulate_matrix(workload, FIG7_ALGORITHMS, n_steps, time_budget)
+        runners = _simulate_matrix(workload, FIG7_ALGORITHMS, n_steps, time_budget,
+                                   executor=executor)
         for name, runner in runners.items():
             panel_a[name].append(_total_or_none(runner))
 
@@ -291,7 +324,8 @@ def fig8(scale="default", time_budget=300.0, quiet=False):
             )
             return dataset, motion
 
-        runners = _simulate_matrix(workload, FIG7_ALGORITHMS, n_steps, time_budget)
+        runners = _simulate_matrix(workload, FIG7_ALGORITHMS, n_steps, time_budget,
+                                   executor=executor)
         for name, runner in runners.items():
             panel_b[name].append(_total_or_none(runner))
 
@@ -321,7 +355,7 @@ def fig8(scale="default", time_budget=300.0, quiet=False):
 # ----------------------------------------------------------------------
 # Figure 9 — synthetic sensitivity analysis
 # ----------------------------------------------------------------------
-def fig9(scale="default", time_budget=300.0, quiet=False):
+def fig9(scale="default", time_budget=300.0, quiet=False, executor=None):
     """Synthetic sensitivity sweeps (Figure 9a–f).
 
     (a) dataset size, (b) object size, (c) object-width variation,
@@ -336,7 +370,8 @@ def fig9(scale="default", time_budget=300.0, quiet=False):
         panel = {name: [] for name in FIG9_ALGORITHMS}
         for x in x_values:
             runners = _simulate_matrix(
-                lambda x=x: workload_for(x), FIG9_ALGORITHMS, n_steps, time_budget
+                lambda x=x: workload_for(x), FIG9_ALGORITHMS, n_steps, time_budget,
+                executor=executor,
             )
             for name, runner in runners.items():
                 panel[name].append(_total_or_none(runner))
@@ -397,7 +432,7 @@ def fig9(scale="default", time_budget=300.0, quiet=False):
 # ----------------------------------------------------------------------
 # Figure 10 — THERMAL-JOIN internals
 # ----------------------------------------------------------------------
-def fig10(scale="default", quiet=False):
+def fig10(scale="default", quiet=False, executor=None):
     """Phase breakdown and footprint vs P-Grid resolution (Figure 10a/b)."""
     preset = SCALES[scale]
     dataset, _motion, _labels = scaled_neural(preset["neural_n"], seed=17)
@@ -405,7 +440,7 @@ def fig10(scale="default", quiet=False):
     breakdown = {"building": [], "internal": [], "external": []}
     footprint = []
     for r in resolutions:
-        join = ThermalJoin(resolution=r, count_only=True)
+        join = ThermalJoin(resolution=r, count_only=True, executor=executor)
         result = join.step(dataset)
         phases = result.stats.phase_seconds
         for phase in breakdown:
@@ -433,7 +468,7 @@ def fig10(scale="default", quiet=False):
 # ----------------------------------------------------------------------
 # Headline speedups
 # ----------------------------------------------------------------------
-def speedups(scale="default", time_budget=600.0, quiet=False):
+def speedups(scale="default", time_budget=600.0, quiet=False, executor=None):
     """Total-time speedup of THERMAL-JOIN over each competitor (the
     abstract's 8–12x claim, measured on the neural simulation)."""
     preset = SCALES[scale]
@@ -443,7 +478,8 @@ def speedups(scale="default", time_budget=600.0, quiet=False):
         dataset, motion, _labels = scaled_neural(preset["neural_n"], seed=21)
         return dataset, motion
 
-    runners = _simulate_matrix(workload, FIG7_ALGORITHMS, n_steps, time_budget)
+    runners = _simulate_matrix(workload, FIG7_ALGORITHMS, n_steps, time_budget,
+                               executor=executor)
     records = {
         name: runner.records for name, runner in runners.items() if not runner.timed_out
     }
@@ -460,15 +496,15 @@ def speedups(scale="default", time_budget=600.0, quiet=False):
 # ----------------------------------------------------------------------
 # Tuning behaviour
 # ----------------------------------------------------------------------
-def tuning(scale="default", quiet=False):
+def tuning(scale="default", quiet=False, executor=None):
     """Hill-climbing convergence on a live workload (§4.3.2 claims)."""
     preset = SCALES[scale]
     dataset, motion, _labels = scaled_neural(preset["neural_n"], seed=23)
-    join = ThermalJoin(cost_model="operations")
+    join = ThermalJoin(cost_model="operations", executor=executor)
     resolutions = []
     costs = []
     for _step in range(24):
-        result = join.step(dataset)
+        join.step(dataset)
         resolutions.append(join.tuner.history[-1][0])
         costs.append(join.tuner.history[-1][1])
         motion.step(dataset)
@@ -501,7 +537,7 @@ def tuning(scale="default", quiet=False):
 # ----------------------------------------------------------------------
 # Ablations (extensions beyond the paper's figures)
 # ----------------------------------------------------------------------
-def ablations(scale="default", quiet=False):
+def ablations(scale="default", quiet=False, executor=None):
     """Design-choice ablations: hot spots, enclosure shortcut,
     incremental maintenance, GC threshold (DESIGN.md §4).
 
@@ -527,7 +563,7 @@ def ablations(scale="default", quiet=False):
         dataset, motion, _labels = scaled_clustered(
             n, sd_factor=0.7, translation=25.0, seed=27
         )
-        join = ThermalJoin(resolution=1.0, count_only=True, **kwargs)
+        join = ThermalJoin(resolution=1.0, count_only=True, executor=executor, **kwargs)
         runner = SimulationRunner(dataset, motion, join)
         runner.run(n_steps)
         rows.append(

@@ -25,10 +25,16 @@ def list_experiments():
     return [(name, desc) for name, (_fn, desc) in EXPERIMENTS.items()]
 
 
-def run_experiment(name, scale="default", quiet=False):
-    """Run one experiment by id; returns its structured result dict."""
+def run_experiment(name, scale="default", quiet=False, executor=None):
+    """Run one experiment by id; returns its structured result dict.
+
+    ``executor`` selects the engine executor for every algorithm the
+    experiment constructs (``"serial"``, ``"thread[:N]"``,
+    ``"process[:N]"`` or an :class:`~repro.engine.Executor`); ``None``
+    honours the ``REPRO_EXECUTOR`` environment default.
+    """
     if name not in EXPERIMENTS:
         known = ", ".join(EXPERIMENTS)
         raise KeyError(f"unknown experiment {name!r}; known: {known}")
     fn, _desc = EXPERIMENTS[name]
-    return fn(scale=scale, quiet=quiet)
+    return fn(scale=scale, quiet=quiet, executor=executor)

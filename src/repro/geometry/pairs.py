@@ -127,6 +127,16 @@ class PairAccumulator:
             self._batches_i.append(i_idx)
             self._batches_j.append(j_idx)
 
+    def add_count(self, n):
+        """Record ``n`` pairs without materialising them.
+
+        Only valid in ``count_only`` mode; parallel executors use this to
+        fold a worker's count-only shard back into the parent.
+        """
+        if not self.count_only:
+            raise RuntimeError("add_count requires a count_only accumulator")
+        self._count += int(n)
+
     def merge(self, other):
         """Absorb another accumulator's batches (parallel join shards).
 

@@ -23,10 +23,7 @@ doubles.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-
-from repro.geometry import PairAccumulator
 
 __all__ = [
     "POINTER_BYTES",
@@ -67,6 +64,15 @@ class JoinStatistics:
     phase_seconds:
         Optional finer breakdown (THERMAL-JOIN reports ``internal`` and
         ``external`` join phases for Figure 10(a)).
+    stage_seconds:
+        Wall time per engine stage: ``prepare`` (index build/refresh),
+        ``partition`` (plan emission), ``verify`` (task execution) and
+        ``merge`` (shard/statistics aggregation).  ``build_seconds`` and
+        ``join_seconds`` remain the stage sums existing figures consume.
+    task_counters:
+        One counters dict per executed plan task, in task order
+        (``overlap_tests`` plus algorithm-specific counters such as
+        ``shortcut_pairs``).
     """
 
     overlap_tests: int = 0
@@ -74,6 +80,8 @@ class JoinStatistics:
     join_seconds: float = 0.0
     memory_bytes: int = 0
     phase_seconds: dict = field(default_factory=dict)
+    stage_seconds: dict = field(default_factory=dict)
+    task_counters: list = field(default_factory=list)
 
     @property
     def total_seconds(self):
@@ -92,7 +100,7 @@ class JoinResult:
 
     n_results: int
     stats: JoinStatistics
-    pairs: tuple = None
+    pairs: tuple | None = None
 
 
 class SpatialJoinAlgorithm:
@@ -104,20 +112,37 @@ class SpatialJoinAlgorithm:
     must emit each qualifying pair exactly once and no others; the test
     suite enforces this against a brute-force oracle.
 
+    Every step runs through the staged execution engine
+    (:mod:`repro.engine`): prepare (``_build``), partition (``plan``),
+    verify (executor runs the plan's tasks) and merge (shards and
+    counters are aggregated).  Algorithms that do not emit a partitioned
+    plan inherit the default single-task fallback, so the engine
+    interface is universal.
+
     Parameters
     ----------
     count_only:
         When true, result pairs are counted but not materialised — used
         by large benchmark sweeps where the pair lists would dominate
         memory (the paper similarly reports counts, not result dumps).
+    executor:
+        Task executor for the verify stage: an
+        :class:`~repro.engine.Executor` instance, a spec string
+        (``"serial"``, ``"thread[:N]"``, ``"process[:N]"``) or ``None``
+        to consult the ``REPRO_EXECUTOR`` environment variable (default
+        serial).
     """
 
     #: Human-readable algorithm name used by the experiment harness.
     name = "abstract"
 
-    def __init__(self, count_only=False):
+    def __init__(self, count_only=False, executor=None):
+        from repro.engine import resolve_executor
+
         self.count_only = count_only
+        self.executor = resolve_executor(executor)
         self.stats = JoinStatistics()
+        self._last_prepare_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Subclass responsibilities
@@ -129,6 +154,17 @@ class SpatialJoinAlgorithm:
     def _join(self, dataset, accumulator):
         """Compute the self-join, emitting pairs; return the test count."""
         raise NotImplementedError
+
+    def plan(self, dataset):
+        """Partition stage: emit this step's :class:`~repro.engine.JoinPlan`.
+
+        The default wraps ``_join`` as one opaque task; ported
+        algorithms override this to emit independent per-cell, per-strip
+        or per-subtree tasks an executor can schedule concurrently.
+        """
+        from repro.engine import FallbackJoinTask, JoinPlan
+
+        return JoinPlan(tasks=[FallbackJoinTask(algorithm=self, dataset=dataset)])
 
     def memory_footprint(self):
         """Index footprint in bytes under the C-struct cost model.
@@ -143,28 +179,15 @@ class SpatialJoinAlgorithm:
     # Driver
     # ------------------------------------------------------------------
     def step(self, dataset):
-        """Run one full self-join step: build/refresh, join, instrument.
+        """Run one full self-join step through the staged engine.
 
-        Returns a :class:`JoinResult`.
+        Drives prepare → partition → verify → merge via
+        :func:`repro.engine.execute_step` and returns a
+        :class:`JoinResult`.
         """
-        t0 = time.perf_counter()
-        self._build(dataset)
-        t1 = time.perf_counter()
-        accumulator = PairAccumulator(count_only=self.count_only)
-        tests = self._join(dataset, accumulator)
-        t2 = time.perf_counter()
+        from repro.engine import execute_step
 
-        self.stats = JoinStatistics(
-            overlap_tests=int(tests),
-            build_seconds=t1 - t0,
-            join_seconds=t2 - t1,
-            memory_bytes=self.memory_footprint(),
-            phase_seconds=dict(self._phase_seconds()),
-        )
-        pairs = None
-        if not self.count_only:
-            pairs = accumulator.as_arrays()
-        return JoinResult(n_results=len(accumulator), stats=self.stats, pairs=pairs)
+        return execute_step(self, dataset)
 
     def join_pairs(self, dataset):
         """Convenience: run a step and return sorted unique ``(i, j)`` arrays."""

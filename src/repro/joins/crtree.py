@@ -43,8 +43,8 @@ class CRTreeJoin(SynchronousRTreeJoin):
     name = "cr-tree"
     entry_bytes = QRMBR_BYTES + POINTER_BYTES
 
-    def __init__(self, count_only=False, fanout=11):
-        super().__init__(count_only=count_only, fanout=fanout)
+    def __init__(self, count_only=False, fanout=11, executor=None):
+        super().__init__(count_only=count_only, fanout=fanout, executor=executor)
         self._quantized = None
 
     def _build(self, dataset):

@@ -27,7 +27,14 @@ import math
 import numpy as np
 
 from repro.core.cells import half_neighborhood_offsets, pack_cell_ids
-from repro.geometry import cross_join_groups, group_by_keys, self_join_groups
+from repro.engine import (
+    DEFAULT_PARTITION_TASKS,
+    GroupCrossJoinTask,
+    GroupSelfJoinTask,
+    JoinPlan,
+    chunk_by_volume,
+)
+from repro.geometry import group_by_keys
 from repro.joins.base import ID_BYTES, POINTER_BYTES, SpatialJoinAlgorithm
 
 __all__ = ["EGOJoin"]
@@ -45,8 +52,8 @@ class EGOJoin(SpatialJoinAlgorithm):
 
     name = "ego"
 
-    def __init__(self, count_only=False, epsilon_factor=1.0):
-        super().__init__(count_only=count_only)
+    def __init__(self, count_only=False, epsilon_factor=1.0, executor=None):
+        super().__init__(count_only=count_only, executor=executor)
         if epsilon_factor <= 0:
             raise ValueError(f"epsilon_factor must be positive, got {epsilon_factor}")
         self.epsilon_factor = float(epsilon_factor)
@@ -70,29 +77,35 @@ class EGOJoin(SpatialJoinAlgorithm):
             "layers": layers,
         }
 
-    def _join(self, dataset, accumulator):
+    def plan(self, dataset):
+        """Within-cell tasks plus neighbour-pair tasks over the grid order.
+
+        The half neighbourhood of every cell is located up front by
+        binary search over the epsilon grid order (the sorted cell-key
+        array); both the within-cell and between-cell work are then
+        split into volume-balanced slices.  The throw-away index is
+        discarded at the next build; the reference is kept until then so
+        the footprint of the step can be reported.
+        """
         index = self._index
-        lo = index["lo"]
-        hi = index["hi"]
-        cat = index["cat"]
-        starts = index["starts"]
-        stops = index["stops"]
         unique_keys = index["keys"]
-
-        def on_pairs(left, right, _groups):
-            accumulator.extend(left, right)
-
-        # Within-cell nested loops.
-        tests = self_join_groups(
-            lo,
-            hi,
-            cat,
-            starts,
-            stops,
-            np.arange(unique_keys.size, dtype=np.int64),
-            on_pairs,
-            count="full",
-        )
+        context = {
+            "lo": index["lo"],
+            "hi": index["hi"],
+            "cat": index["cat"],
+            "starts": index["starts"],
+            "stops": index["stops"],
+        }
+        sizes = index["stops"] - index["starts"]
+        tasks = [
+            GroupSelfJoinTask(
+                groups=np.arange(unique_keys.size, dtype=np.int64)[start:stop],
+                count="full",
+            )
+            for start, stop in chunk_by_volume(
+                sizes * sizes, DEFAULT_PARTITION_TASKS
+            )
+        ]
 
         # Between-cell nested loops: half neighbourhood located by binary
         # search over the epsilon grid order (the sorted cell-key array).
@@ -110,23 +123,19 @@ class EGOJoin(SpatialJoinAlgorithm):
             pair_b.append(slots[found])
         pair_a = np.concatenate(pair_a)
         pair_b = np.concatenate(pair_b)
-        tests += cross_join_groups(
-            lo,
-            hi,
-            cat,
-            starts,
-            stops,
-            cat,
-            starts,
-            stops,
-            pair_a,
-            pair_b,
-            on_pairs,
-            count="full",
-        )
-        # Throw-away index: discarded at the next build; the reference is
-        # kept until then so the footprint of the step can be reported.
-        return tests
+        if pair_a.size:
+            weights = sizes[pair_a] * sizes[pair_b]
+            tasks.extend(
+                GroupCrossJoinTask(
+                    pair_a=pair_a[start:stop],
+                    pair_b=pair_b[start:stop],
+                    count="full",
+                )
+                for start, stop in chunk_by_volume(
+                    weights, DEFAULT_PARTITION_TASKS
+                )
+            )
+        return JoinPlan(context=context, tasks=tasks)
 
     def memory_footprint(self):
         if self._index is None:

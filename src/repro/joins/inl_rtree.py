@@ -37,8 +37,8 @@ class IndexedNestedLoopRTreeJoin(SpatialJoinAlgorithm):
 
     name = "inl-rtree"
 
-    def __init__(self, count_only=False, fanout=16):
-        super().__init__(count_only=count_only)
+    def __init__(self, count_only=False, fanout=16, executor=None):
+        super().__init__(count_only=count_only, executor=executor)
         self.fanout = int(fanout)
         self._tree = None
         self._boxes = None

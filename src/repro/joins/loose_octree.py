@@ -77,8 +77,8 @@ class LooseOctreeJoin(SpatialJoinAlgorithm):
 
     name = "loose-octree"
 
-    def __init__(self, count_only=False, looseness=0.1, max_depth=MAX_DEPTH):
-        super().__init__(count_only=count_only)
+    def __init__(self, count_only=False, looseness=0.1, max_depth=MAX_DEPTH, executor=None):
+        super().__init__(count_only=count_only, executor=executor)
         if looseness < 0:
             raise ValueError(f"looseness must be non-negative, got {looseness}")
         self.looseness = float(looseness)

@@ -22,8 +22,8 @@ class NestedLoopJoin(SpatialJoinAlgorithm):
 
     name = "nested-loop"
 
-    def __init__(self, count_only=False, chunk_size=1024):
-        super().__init__(count_only=count_only)
+    def __init__(self, count_only=False, chunk_size=1024, executor=None):
+        super().__init__(count_only=count_only, executor=executor)
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.chunk_size = chunk_size

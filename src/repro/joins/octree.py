@@ -24,7 +24,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.cells import pack_cell_ids, unpack_cell_ids
-from repro.geometry import cross_join_groups, group_by_keys, self_join_groups
+from repro.engine import GroupCrossJoinTask, GroupSelfJoinTask, JoinPlan
+from repro.geometry import group_by_keys
 from repro.joins.base import MBR_BYTES, POINTER_BYTES, SpatialJoinAlgorithm
 
 __all__ = [
@@ -95,8 +96,8 @@ class MXCIFOctreeJoin(SpatialJoinAlgorithm):
 
     name = "mxcif-octree"
 
-    def __init__(self, count_only=False, max_depth=MAX_DEPTH):
-        super().__init__(count_only=count_only)
+    def __init__(self, count_only=False, max_depth=MAX_DEPTH, executor=None):
+        super().__init__(count_only=count_only, executor=executor)
         if max_depth < 1:
             raise ValueError(f"max_depth must be at least 1, got {max_depth}")
         self.max_depth = int(max_depth)
@@ -129,29 +130,34 @@ class MXCIFOctreeJoin(SpatialJoinAlgorithm):
             )
         self._index = {"lo": lo, "hi": hi, "per_depth": per_depth}
 
-    def _join(self, dataset, accumulator):
+    def plan(self, dataset):
+        """One task per subtree level plus one per (level, ancestor) pair.
+
+        Levels are independent work units: each occupied depth joins its
+        own nodes internally, and every occupied (depth, ancestor-depth)
+        combination joins descendants against the occupied ancestors its
+        shifted coordinates locate — the engine's per-subtree partition.
+        """
         index = self._index
-        lo = index["lo"]
-        hi = index["hi"]
         per_depth = index["per_depth"]
-
-        def on_pairs(left, right, _groups):
-            accumulator.extend(left, right)
-
-        tests = 0
-        # Within-node nested loops.
-        for level in per_depth:
+        context = {"lo": index["lo"], "hi": index["hi"]}
+        level_keys = {}
+        tasks = []
+        # Within-node nested loops, one task per occupied depth.
+        for depth, level in enumerate(per_depth):
             if level is None:
                 continue
-            tests += self_join_groups(
-                lo,
-                hi,
-                level["cat"],
-                level["starts"],
-                level["stops"],
-                np.arange(level["keys"].size, dtype=np.int64),
-                on_pairs,
-                count="full",
+            keys = (f"cat{depth}", f"starts{depth}", f"stops{depth}")
+            context[keys[0]] = level["cat"]
+            context[keys[1]] = level["starts"]
+            context[keys[2]] = level["stops"]
+            level_keys[depth] = keys
+            tasks.append(
+                GroupSelfJoinTask(
+                    groups=np.arange(level["keys"].size, dtype=np.int64),
+                    count="full",
+                    keys=keys,
+                )
             )
 
         # Node-vs-ancestor nested loops: for every occupied node, find its
@@ -172,21 +178,16 @@ class MXCIFOctreeJoin(SpatialJoinAlgorithm):
                 found = ancestor_level["keys"][slots] == shifted_keys
                 if not found.any():
                     continue
-                tests += cross_join_groups(
-                    lo,
-                    hi,
-                    ancestor_level["cat"],
-                    ancestor_level["starts"],
-                    ancestor_level["stops"],
-                    node_level["cat"],
-                    node_level["starts"],
-                    node_level["stops"],
-                    slots[found],
-                    np.flatnonzero(found),
-                    on_pairs,
-                    count="full",
+                tasks.append(
+                    GroupCrossJoinTask(
+                        pair_a=slots[found],
+                        pair_b=np.flatnonzero(found),
+                        count="full",
+                        a_keys=level_keys[ancestor_depth],
+                        b_keys=level_keys[depth],
+                    )
                 )
-        return tests
+        return JoinPlan(context=context, tasks=tasks)
 
     def memory_footprint(self):
         if self._index is None:

@@ -22,7 +22,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.cells import pack_cell_ids
-from repro.geometry import group_by_keys, self_join_groups
+from repro.engine import (
+    DEFAULT_PARTITION_TASKS,
+    GroupSelfJoinTask,
+    JoinPlan,
+    chunk_by_volume,
+)
+from repro.geometry import group_by_keys
 from repro.joins.base import ID_BYTES, POINTER_BYTES, SpatialJoinAlgorithm
 
 __all__ = ["PBSMJoin"]
@@ -42,8 +48,8 @@ class PBSMJoin(SpatialJoinAlgorithm):
 
     name = "pbsm"
 
-    def __init__(self, count_only=False, partition_factor=2.0):
-        super().__init__(count_only=count_only)
+    def __init__(self, count_only=False, partition_factor=2.0, executor=None):
+        super().__init__(count_only=count_only, executor=executor)
         if partition_factor <= 0:
             raise ValueError(
                 f"partition_factor must be positive, got {partition_factor}"
@@ -93,34 +99,38 @@ class PBSMJoin(SpatialJoinAlgorithm):
             "replicas": total,
         }
 
-    def _join(self, dataset, accumulator):
+    def plan(self, dataset):
+        """One sweep task per volume-balanced slice of the partitions.
+
+        Each task verifies its partitions' candidates with reference-point
+        deduplication: a pair is reported only by the partition containing
+        the lower corner of the pair's intersection box, so replication
+        never duplicates results (while the duplicate tests still happen
+        and are counted, as the paper's §2.1 critique requires).
+        """
         index = self._index
-        lo = index["lo"]
-        hi = index["hi"]
-        part_lo = index["part_lo"]
-        part_hi = index["part_hi"]
-
-        def on_pairs(left, right, groups):
-            # Reference-point deduplication: report the pair only in the
-            # partition containing the lower corner of the intersection.
-            ref = np.maximum(lo[left], lo[right])
-            inside = np.logical_and(
-                (ref >= part_lo[groups]).all(axis=1),
-                (ref < part_hi[groups]).all(axis=1),
+        context = {
+            "lo": index["lo"],
+            "hi": index["hi"],
+            "cat": index["cat"],
+            "starts": index["starts"],
+            "stops": index["stops"],
+            "part_lo": index["part_lo"],
+            "part_hi": index["part_hi"],
+        }
+        partitions = np.arange(index["n_partitions"], dtype=np.int64)
+        sizes = index["stops"] - index["starts"]
+        tasks = [
+            GroupSelfJoinTask(
+                groups=partitions[start:stop],
+                count="x-sweep",
+                pair_filter="reference-point",
             )
-            if inside.any():
-                accumulator.extend(left[inside], right[inside])
-
-        return self_join_groups(
-            lo,
-            hi,
-            index["cat"],
-            index["starts"],
-            index["stops"],
-            np.arange(index["n_partitions"], dtype=np.int64),
-            on_pairs,
-            count="x-sweep",
-        )
+            for start, stop in chunk_by_volume(
+                sizes * sizes, DEFAULT_PARTITION_TASKS
+            )
+        ]
+        return JoinPlan(context=context, tasks=tasks)
 
     def memory_footprint(self):
         if self._index is None:

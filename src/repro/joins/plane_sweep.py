@@ -5,11 +5,26 @@ and runs the forward sweep: every pair whose x-intervals overlap has its
 remaining dimensions tested.  Efficient for low selectivity; degenerates
 towards the nested loop as objects grow (Figure 2), which is precisely
 the regime THERMAL-JOIN targets.
+
+Under the engine the sweep is decomposed into strips of the sorted
+order: a strip runs the forward sweep within its own slice plus the
+carried-in windows of earlier objects whose x-extent reaches into the
+strip.  Every x-overlapping pair is charged exactly once — in the strip
+of its later object — so the strip decomposition reproduces the global
+sweep's pair set and test count for any strip boundaries.
 """
 
 from __future__ import annotations
 
-from repro.geometry import sort_by_x, sweep_self
+import numpy as np
+
+from repro.engine import (
+    DEFAULT_PARTITION_TASKS,
+    JoinPlan,
+    SweepStripTask,
+    chunk_by_volume,
+)
+from repro.geometry import sort_by_x
 from repro.joins.base import ID_BYTES, SpatialJoinAlgorithm
 
 __all__ = ["PlaneSweepJoin"]
@@ -20,20 +35,41 @@ class PlaneSweepJoin(SpatialJoinAlgorithm):
 
     name = "plane-sweep"
 
-    def __init__(self, count_only=False):
-        super().__init__(count_only=count_only)
+    def __init__(self, count_only=False, executor=None):
+        super().__init__(count_only=count_only, executor=executor)
         self._sorted = None
 
     def _build(self, dataset):
         lo, hi = dataset.boxes()
         self._sorted = sort_by_x(lo, hi)
 
-    def _join(self, dataset, accumulator):
+    def plan(self, dataset):
+        """Split the sorted order into sweep strips of balanced volume.
+
+        Strip boundaries are placed by each position's forward-window
+        size (its share of the sweep's candidate volume); the carry-in
+        set of a strip is every earlier position whose upper x bound
+        exceeds the strip's first lower x bound.
+        """
         lo, hi, ids = self._sorted
-        i_ids, j_ids, tests = sweep_self(lo, hi, ids)
-        accumulator.extend(i_ids, j_ids)
-        self._sorted = None  # throw-away, like the paper's variant
-        return tests
+        context = {"lo": lo, "hi": hi, "ids": ids}
+        n = ids.size
+        tasks = []
+        if n:
+            windows = np.searchsorted(lo[:, 0], hi[:, 0], side="left")
+            window_sizes = np.maximum(
+                windows - np.arange(1, n + 1, dtype=np.int64), 0
+            )
+            for start, stop in chunk_by_volume(
+                window_sizes, DEFAULT_PARTITION_TASKS
+            ):
+                carry = np.flatnonzero(hi[:start, 0] > lo[start, 0])
+                tasks.append(SweepStripTask(start=start, stop=stop, carry=carry))
+
+        def on_complete(_results):
+            self._sorted = None  # throw-away, like the paper's variant
+
+        return JoinPlan(context=context, tasks=tasks, on_complete=on_complete)
 
     def memory_footprint(self):
         # Only the transient sort permutation is held during a step.

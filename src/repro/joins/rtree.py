@@ -180,8 +180,8 @@ class SynchronousRTreeJoin(SpatialJoinAlgorithm):
     #: Bytes per directory entry (exact MBR + child pointer).
     entry_bytes = MBR_BYTES + POINTER_BYTES
 
-    def __init__(self, count_only=False, fanout=16):
-        super().__init__(count_only=count_only)
+    def __init__(self, count_only=False, fanout=16, executor=None):
+        super().__init__(count_only=count_only, executor=executor)
         self.fanout = int(fanout)
         self._tree = None
         self._boxes = None

@@ -50,8 +50,8 @@ class ST2BJoin(SpatialJoinAlgorithm):
 
     name = "st2b"
 
-    def __init__(self, count_only=False, order=32):
-        super().__init__(count_only=count_only)
+    def __init__(self, count_only=False, order=32, executor=None):
+        super().__init__(count_only=count_only, executor=executor)
         self.order = int(order)
         self._tree = None
         self._object_keys = None

@@ -41,8 +41,8 @@ class TouchJoin(SpatialJoinAlgorithm):
 
     name = "touch"
 
-    def __init__(self, count_only=False, fanout=2):
-        super().__init__(count_only=count_only)
+    def __init__(self, count_only=False, fanout=2, executor=None):
+        super().__init__(count_only=count_only, executor=executor)
         self.fanout = int(fanout)
         self._tree = None
         self._boxes = None

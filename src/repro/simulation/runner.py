@@ -12,7 +12,7 @@ over identical workloads.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["StepRecord", "SimulationRunner"]
 
@@ -33,6 +33,7 @@ class StepRecord:
     overlap_tests: int
     memory_bytes: int
     phase_seconds: dict
+    stage_seconds: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self):
@@ -52,7 +53,9 @@ class SimulationRunner:
         static dataset (the single-time-step experiments of Figures 2
         and 6).
     algorithm:
-        The join algorithm under test.
+        The join algorithm under test.  Its ``executor`` attribute (set
+        via the ``executor=`` constructor argument or ``REPRO_EXECUTOR``)
+        carries the serial/parallel choice for every step of the run.
     time_budget:
         Optional wall-clock budget in seconds for the *whole* run; when
         exceeded the run stops early and :attr:`timed_out` is set — the
@@ -91,16 +94,19 @@ class SimulationRunner:
                     overlap_tests=stats.overlap_tests,
                     memory_bytes=stats.memory_bytes,
                     phase_seconds=dict(stats.phase_seconds),
+                    stage_seconds=dict(stats.stage_seconds),
                 )
             )
-            if self.motion is not None and step + 1 < n_steps:
-                self.motion.step(self.dataset)
             if (
                 self.time_budget is not None
                 and time.perf_counter() - started > self.time_budget
             ):
+                # Check the budget before advancing the motion model so a
+                # timed-out run doesn't burn one extra motion step.
                 self.timed_out = True
                 break
+            if self.motion is not None and step + 1 < n_steps:
+                self.motion.step(self.dataset)
         return self.records
 
     # ------------------------------------------------------------------

@@ -1,0 +1,69 @@
+"""Oracle coverage of the derived query surface: distance_join / neighbors.
+
+``distance_join`` and ``neighbors`` are thin reductions onto ``step``
+(§3.1 of the paper: a distance self-join is an overlap join on enlarged
+extents), so a scheduling or dedup bug in any algorithm's plan shows up
+here as a wrong pair set or a malformed adjacency.  Every algorithm in
+the repository is checked against the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import brute_force_pairs, pack_pairs, pairs_to_adjacency, unique_pairs
+
+from .test_engine import _factories
+
+DISTANCE = 4.0
+
+
+@pytest.mark.parametrize("name", sorted(_factories()))
+def test_distance_join_matches_enlarged_oracle(name, uniform_varied):
+    result = _factories()[name]().distance_join(uniform_varied, DISTANCE)
+    n = len(uniform_varied)
+    got_i, got_j = unique_pairs(*result.pairs, n)
+
+    # with_enlarged_extent grows each *width* by d (d/2 per side), so two
+    # boxes join exactly when their per-dimension gap is below d.
+    lo, hi = uniform_varied.boxes()
+    exp_i, exp_j = brute_force_pairs(lo - DISTANCE / 2.0, hi + DISTANCE / 2.0)
+
+    got = pack_pairs(got_i, got_j, n)
+    exp = pack_pairs(exp_i, exp_j, n)
+    assert np.array_equal(got, exp), (
+        f"{name}: distance_join mismatch: got {got.size}, expected {exp.size}"
+    )
+    # Distance zero degenerates to the plain overlap join.
+    zero = _factories()[name]().distance_join(uniform_varied, 0.0)
+    plain_i, plain_j = brute_force_pairs(lo, hi)
+    assert np.array_equal(
+        pack_pairs(*unique_pairs(*zero.pairs, n), n),
+        pack_pairs(plain_i, plain_j, n),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(_factories()))
+def test_neighbors_matches_oracle_adjacency(name, clustered_small):
+    offsets, neighbors = _factories()[name]().neighbors(clustered_small)
+    n = len(clustered_small)
+
+    lo, hi = clustered_small.boxes()
+    exp_offsets, exp_neighbors = pairs_to_adjacency(*brute_force_pairs(lo, hi), n)
+
+    assert offsets.shape == (n + 1,)
+    assert np.array_equal(offsets, exp_offsets), f"{name}: CSR offsets differ"
+    assert np.array_equal(neighbors, exp_neighbors), f"{name}: neighbour lists differ"
+    # The adjacency is symmetric and irreflexive by construction.
+    for k in range(n):
+        partners = neighbors[offsets[k] : offsets[k + 1]]
+        assert k not in partners
+        assert np.all(np.diff(partners) > 0)
+
+
+def test_neighbors_rejects_count_only(uniform_varied):
+    from repro.joins import NestedLoopJoin
+
+    with pytest.raises(RuntimeError):
+        NestedLoopJoin(count_only=True).neighbors(uniform_varied)

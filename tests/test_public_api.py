@@ -33,6 +33,15 @@ EXPECTED_ROOT_API = [
     "ST2BJoin",
     "STRTree",
     "BPlusTree",
+    # engine
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "JoinPlan",
+    "JoinTask",
+    "execute_step",
     # datasets
     "SpatialDataset",
     "RandomTranslation",
@@ -59,6 +68,23 @@ def test_root_export_present(name):
     import repro
 
     assert getattr(repro, name) is not None
+
+
+def test_lazy_surface_matches_api_all():
+    """Every ``_api.__all__`` name resolves through ``repro.__getattr__``.
+
+    Catches drift between the aggregated re-export module and the lazy
+    root surface when new public names (e.g. engine classes) are added.
+    """
+    import repro
+    from repro import _api
+
+    for name in _api.__all__:
+        assert getattr(repro, name) is getattr(_api, name), name
+    # And the eagerly-bound root names stay disjoint from the lazy ones,
+    # so no name silently shadows a different object.
+    overlap = set(repro.__all__) & set(_api.__all__)
+    assert not overlap, f"names bound both eagerly and lazily: {sorted(overlap)}"
 
 
 def test_unknown_attribute_raises_attributeerror():

@@ -76,6 +76,35 @@ class TestRunner:
         assert runner.timed_out
         assert len(records) < 50
 
+    def test_time_budget_checked_before_motion_advances(self):
+        # A timed-out run must not burn one extra motion step: the budget
+        # check happens after recording the step but before motion.step.
+        class CountingMotion:
+            calls = 0
+
+            def step(self, dataset):
+                type(self).calls += 1
+
+        dataset, _motion = small_workload()
+        runner = SimulationRunner(
+            dataset, CountingMotion(), PlaneSweepJoin(), time_budget=1e-9
+        )
+        records = runner.run(50)
+        assert runner.timed_out
+        assert len(records) == 1
+        assert CountingMotion.calls == 0
+
+    def test_stage_seconds_recorded(self):
+        dataset, motion = small_workload()
+        runner = SimulationRunner(dataset, motion, PlaneSweepJoin())
+        records = runner.run(2)
+        assert set(records[0].stage_seconds) == {
+            "prepare",
+            "partition",
+            "verify",
+            "merge",
+        }
+
     def test_invalid_parameters(self):
         dataset, motion = small_workload()
         with pytest.raises(ValueError):
