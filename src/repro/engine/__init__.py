@@ -25,6 +25,13 @@ the candidate-generation/refinement split of adaptive geospatial joins):
 Executors are interchangeable: results are a pure function of the plan,
 so serial, thread-pool and process-pool execution produce identical pair
 sets (the test suite enforces this against the brute-force oracle).
+
+That same purity makes tasks *retryable*: the executors recover from
+task failures, hangs and worker death (retry on the pool, re-execute
+inline, rebuild the pool, degrade process → thread → serial) without
+changing the merged result, and record what happened in
+``JoinStatistics.events``.  The fault-injection harness
+(:mod:`repro.engine.faults`, ``REPRO_FAULTS``) exists to prove it.
 """
 
 from repro.engine.executors import (
@@ -32,7 +39,14 @@ from repro.engine.executors import (
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    publish_context,
     resolve_executor,
+)
+from repro.engine.faults import (
+    FaultPlan,
+    InjectedFault,
+    install_fault_plan,
+    parse_faults,
 )
 from repro.engine.plan import (
     CellPairSweepTask,
@@ -53,7 +67,12 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "publish_context",
     "resolve_executor",
+    "FaultPlan",
+    "InjectedFault",
+    "install_fault_plan",
+    "parse_faults",
     "JoinPlan",
     "JoinTask",
     "TaskResult",

@@ -6,7 +6,10 @@ the algorithm's executor, merges the per-task pair shards in task order,
 aggregates per-task counters into :class:`~repro.joins.base.JoinStatistics`
 (so existing figures see exactly the totals the monolithic path
 produced), and asserts the :class:`~repro.joins.base.JoinResult` pairs
-invariant.
+invariant.  Robustness events drained from the executor (task retries,
+timeouts, pool rebuilds and degradations) land in
+``JoinStatistics.events``/``task_retries`` so runs that survived a
+fault stay visibly marked in every figure and benchmark downstream.
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ def execute_step(algorithm, dataset):
     plan = algorithm.plan(dataset)  # partition: emit independent tasks
     t2 = time.perf_counter()
     results = executor.run(plan.tasks, plan.context, algorithm.count_only)
+    events = executor.drain_events()  # robustness: retries, timeouts, downgrades
     t3 = time.perf_counter()
 
     # merge: shards → canonical pairs, counters → aggregate statistics.
@@ -64,6 +68,8 @@ def execute_step(algorithm, dataset):
                 phase_seconds.get(task_result.phase, 0.0) + task_result.seconds
             )
 
+    from repro.engine.executors import RETRY_EVENT_KINDS
+
     algorithm.stats = JoinStatistics(
         overlap_tests=overlap_tests,
         build_seconds=t1 - t0,
@@ -77,6 +83,10 @@ def execute_step(algorithm, dataset):
             "merge": t4 - t3,
         },
         task_counters=task_counters,
+        events=events,
+        task_retries=sum(
+            1 for event in events if event.get("kind") in RETRY_EVENT_KINDS
+        ),
     )
     pairs = None
     if not algorithm.count_only:

@@ -10,9 +10,10 @@ only in wall-clock behaviour:
     Runs tasks in order on the calling thread.  The default, and the
     reference for the statistics every other executor must reproduce.
 ``ThreadExecutor``
-    A ``ThreadPoolExecutor``; the numpy kernels behind the verify stage
-    release the GIL on their bulk operations, so independent tasks
-    overlap on multi-core machines.
+    A persistent ``ThreadPoolExecutor`` (created lazily, released in
+    ``close()``); the numpy kernels behind the verify stage release the
+    GIL on their bulk operations, so independent tasks overlap on
+    multi-core machines.
 ``ProcessExecutor``
     A ``ProcessPoolExecutor`` over a persistent worker pool.  The plan's
     context arrays (the MBR coordinate and grouping arrays) are published
@@ -20,6 +21,29 @@ only in wall-clock behaviour:
     attach and cache them for the step, so each task ships only its own
     small index arrays.  Tasks that are not ``process_safe`` (closures
     over live index objects) run inline in the parent.
+
+Fault tolerance
+---------------
+Tasks are pure functions of the plan's context, so they are retryable
+units.  Every executor records robustness *events* (drained into
+:class:`~repro.joins.base.JoinStatistics.events` by the step driver):
+
+* a failed task is retried — on the pool for ``ProcessExecutor``, then
+  re-executed inline in the parent as a last resort, so a transient
+  worker fault never changes the merged pair set;
+* a task exceeding ``task_timeout`` seconds is abandoned and re-run
+  inline (its late result, if any, is discarded);
+* ``ProcessExecutor`` climbs a degradation ladder on
+  ``BrokenProcessPool``: rebuild the pool once, then permanently
+  degrade to thread execution, and to serial if threads fail too —
+  recording each downgrade;
+* shared-memory publication is a context manager that unlinks every
+  segment on *any* exit path (including mid-publication exceptions and
+  worker crashes), backed by an ``atexit`` sweep of still-live
+  segments.
+
+Injected faults (:mod:`repro.engine.faults`, ``REPRO_FAULTS``) are
+applied at first launch only; retries always re-run the original task.
 
 Selection
 ---------
@@ -31,11 +55,14 @@ string (``"serial"``, ``"thread"``, ``"thread:4"``, ``"process"``,
 
 from __future__ import annotations
 
+import atexit
 import os
 import time
+from contextlib import contextmanager
 
 import numpy as np
 
+from repro.engine import faults
 from repro.engine.plan import TaskResult
 from repro.geometry import PairAccumulator
 
@@ -49,6 +76,9 @@ __all__ = [
 
 #: Environment variable naming the default executor spec.
 EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+#: Event kinds that represent a re-execution of a task.
+RETRY_EVENT_KINDS = ("task_retry", "task_inline", "task_timeout")
 
 
 def _run_inline(task, ctx, count_only):
@@ -65,10 +95,95 @@ def _run_inline(task, ctx, count_only):
     )
 
 
+# ----------------------------------------------------------------------
+# Shared-memory lifecycle
+# ----------------------------------------------------------------------
+#: Parent-side registry of live shared-memory segments, swept at exit so
+#: no failure path (not even an unhandled KeyboardInterrupt mid-step)
+#: leaks /dev/shm space.
+_LIVE_SEGMENTS = {}
+
+
+def _sweep_shared_memory():  # pragma: no cover - exercised at interpreter exit
+    for name in list(_LIVE_SEGMENTS):
+        segment = _LIVE_SEGMENTS.pop(name, None)
+        if segment is None:
+            continue
+        try:
+            segment.close()
+        except (OSError, BufferError):
+            pass
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+atexit.register(_sweep_shared_memory)
+
+
+@contextmanager
+def publish_context(ctx):
+    """Copy context arrays into shared memory; yield the attach specs.
+
+    Guarantees lifecycle: every segment created — including a partial
+    set when a later ``SharedMemory(create=True)`` call raises — is
+    closed and unlinked on exit, whatever the exit path (normal step
+    completion, worker crash, timeout, or a publication error).
+    """
+    from multiprocessing import shared_memory
+
+    specs = {}
+    segments = []
+    try:
+        for key, array in ctx.items():
+            array = np.ascontiguousarray(array)
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(array.nbytes, 1)
+            )
+            segments.append(segment)
+            _LIVE_SEGMENTS[segment.name] = segment
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+            view[...] = array
+            specs[key] = (segment.name, array.shape, array.dtype.str)
+        yield specs
+    finally:
+        for segment in segments:
+            _LIVE_SEGMENTS.pop(segment.name, None)
+            try:
+                segment.close()
+            except (OSError, BufferError):  # pragma: no cover
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+
 class Executor:
-    """Scheduling strategy for a plan's independent join tasks."""
+    """Scheduling strategy for a plan's independent join tasks.
+
+    Parameters
+    ----------
+    max_retries:
+        Scheduled re-attempts for a failed task before the inline
+        last resort (pool executors) or before the failure propagates.
+    task_timeout:
+        Per-task wall-clock limit in seconds for pooled executors;
+        ``None`` (default) disables timeouts.  A timed-out task is
+        re-run inline in the parent and its late result discarded.
+    """
 
     name = "abstract"
+
+    def __init__(self, max_retries=1, task_timeout=None):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {task_timeout}")
+        self.max_retries = int(max_retries)
+        self.task_timeout = task_timeout
+        self._events = []
 
     def run(self, tasks, ctx, count_only):
         """Execute ``tasks`` against ``ctx``; return ordered TaskResults."""
@@ -76,6 +191,31 @@ class Executor:
 
     def close(self):
         """Release pooled resources (no-op for poolless executors)."""
+
+    # ------------------------------------------------------------------
+    # Robustness event log
+    # ------------------------------------------------------------------
+    def _record_event(self, kind, **info):
+        self._events.append({"kind": kind, **info})
+
+    def drain_events(self):
+        """Return and clear the robustness events since the last drain."""
+        events, self._events = self._events, []
+        return events
+
+    def _attempt_inline(self, task, original, ctx, count_only, index):
+        """Run ``task`` inline; on failure, retry the original task.
+
+        ``task`` may be a fault-wrapped first launch; retries always use
+        ``original`` so a spent injected fault cannot re-fire.  A retry
+        that fails again propagates — genuine, deterministic task bugs
+        must still surface.
+        """
+        try:
+            return _run_inline(task, ctx, count_only)
+        except Exception as exc:
+            self._record_event("task_retry", task=index, error=repr(exc))
+            return _run_inline(original, ctx, count_only)
 
     def __repr__(self):
         return f"{type(self).__name__}()"
@@ -87,7 +227,11 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def run(self, tasks, ctx, count_only):
-        return [_run_inline(task, ctx, count_only) for task in tasks]
+        launched = faults.wrap_tasks(tasks)
+        return [
+            self._attempt_inline(launched[k], tasks[k], ctx, count_only, k)
+            for k in range(len(tasks))
+        ]
 
 
 def _default_workers():
@@ -95,25 +239,67 @@ def _default_workers():
 
 
 class ThreadExecutor(Executor):
-    """Run tasks on a thread pool (GIL-releasing numpy kernels overlap)."""
+    """Run tasks on a persistent thread pool (GIL-releasing numpy kernels
+    overlap).
+
+    The pool is created lazily on first use and kept across steps —
+    matching ``ProcessExecutor``'s pool reuse instead of paying pool
+    startup every simulation step — and released in :meth:`close`.  A
+    failed task is re-run inline in the parent; a task exceeding
+    ``task_timeout`` is abandoned on its pool thread and re-run inline
+    (the stray thread's late result is discarded).
+    """
 
     name = "thread"
 
-    def __init__(self, n_workers=None):
+    def __init__(self, n_workers=None, max_retries=1, task_timeout=None):
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be at least 1, got {n_workers}")
+        super().__init__(max_retries=max_retries, task_timeout=task_timeout)
         self.n_workers = int(n_workers) if n_workers else _default_workers()
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+        return self._pool
 
     def run(self, tasks, ctx, count_only):
-        if len(tasks) < 2 or self.n_workers < 2:
-            return [_run_inline(task, ctx, count_only) for task in tasks]
-        from concurrent.futures import ThreadPoolExecutor
+        return self._run_tasks(faults.wrap_tasks(tasks), tasks, ctx, count_only)
 
-        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-            futures = [
-                pool.submit(_run_inline, task, ctx, count_only) for task in tasks
+    def _run_tasks(self, launched, tasks, ctx, count_only):
+        if len(tasks) < 2 or self.n_workers < 2:
+            return [
+                self._attempt_inline(launched[k], tasks[k], ctx, count_only, k)
+                for k in range(len(tasks))
             ]
-            return [future.result() for future in futures]
+        import concurrent.futures as cf
+
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_run_inline, launched[k], ctx, count_only)
+            for k in range(len(tasks))
+        ]
+        results = []
+        for k, future in enumerate(futures):
+            try:
+                results.append(future.result(timeout=self.task_timeout))
+            except (cf.TimeoutError, TimeoutError):
+                self._record_event(
+                    "task_timeout", task=k, timeout=self.task_timeout
+                )
+                results.append(_run_inline(tasks[k], ctx, count_only))
+            except Exception as exc:
+                self._record_event("task_retry", task=k, error=repr(exc))
+                results.append(_run_inline(tasks[k], ctx, count_only))
+        return results
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     def __repr__(self):
         return f"ThreadExecutor(n_workers={self.n_workers})"
@@ -161,6 +347,23 @@ def _process_worker(specs, token, task, count_only):
     return counters, seconds, len(accumulator), pairs, task.phase
 
 
+def _result_from_payload(payload, count_only):
+    """Rehydrate a worker's picklable payload into a TaskResult."""
+    counters, seconds, n_pairs, pairs, phase = payload
+    accumulator = PairAccumulator(count_only=count_only)
+    if pairs is not None:
+        accumulator.extend_canonical(*pairs)
+    else:
+        accumulator.add_count(n_pairs)
+    return TaskResult(
+        counters=counters,
+        seconds=seconds,
+        n_pairs=n_pairs,
+        accumulator=accumulator,
+        phase=phase,
+    )
+
+
 class ProcessExecutor(Executor):
     """Run process-safe tasks on a persistent ``ProcessPoolExecutor``.
 
@@ -168,16 +371,31 @@ class ProcessExecutor(Executor):
     unlinked after the step completes; workers cache their attachment
     for the duration of the step (keyed by a per-step token).  Tasks
     flagged ``process_safe=False`` run inline in the parent process.
+
+    Recovery (see the module docstring): failed tasks are retried on
+    the pool then inline; timed-out tasks re-run inline; a broken pool
+    is rebuilt once, after which the executor permanently degrades to
+    thread and ultimately serial execution for the rest of the run.
+    ``degraded`` exposes the current rung (``None`` when healthy).
     """
 
     name = "process"
 
-    def __init__(self, n_workers=None):
+    def __init__(self, n_workers=None, max_retries=1, task_timeout=None):
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be at least 1, got {n_workers}")
+        super().__init__(max_retries=max_retries, task_timeout=task_timeout)
         self.n_workers = int(n_workers) if n_workers else _default_workers()
         self._pool = None
         self._step_token = 0
+        self._pool_failures = 0
+        self._degraded = None  # None | "thread" | "serial"
+        self._thread_fallback = None
+
+    @property
+    def degraded(self):
+        """Current degradation rung: ``None``, ``"thread"`` or ``"serial"``."""
+        return self._degraded
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -192,69 +410,145 @@ class ProcessExecutor(Executor):
             )
         return self._pool
 
-    def _publish_context(self, ctx):
-        """Copy context arrays into shared memory; return (specs, segments)."""
-        from multiprocessing import shared_memory
+    def _discard_pool(self):
+        """Drop a (broken) pool so the next step starts from a clean one."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken-pool teardown
+                pass
 
-        specs = {}
-        segments = []
-        for key, array in ctx.items():
-            array = np.ascontiguousarray(array)
-            segment = shared_memory.SharedMemory(
-                create=True, size=max(array.nbytes, 1)
-            )
-            segments.append(segment)
-            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
-            view[...] = array
-            specs[key] = (segment.name, array.shape, array.dtype.str)
-        return specs, segments
+    def _degrade_to(self, level, error=None):
+        self._degraded = level
+        info = {"to": level}
+        if error is not None:
+            info["error"] = error
+        self._record_event("degraded", **info)
 
     def run(self, tasks, ctx, count_only):
-        remote_idx = [k for k, task in enumerate(tasks) if task.process_safe]
-        if len(remote_idx) < 2 or self.n_workers < 2 or not ctx:
-            return [_run_inline(task, ctx, count_only) for task in tasks]
+        return self._run_tasks(faults.wrap_tasks(tasks), tasks, ctx, count_only)
 
-        pool = self._ensure_pool()
+    def _run_tasks(self, launched, tasks, ctx, count_only):
+        if self._degraded is not None:
+            return self._run_degraded(launched, tasks, ctx, count_only)
+        remote_idx = [k for k, task in enumerate(launched) if task.process_safe]
+        if len(remote_idx) < 2 or self.n_workers < 2 or not ctx:
+            return [
+                self._attempt_inline(launched[k], tasks[k], ctx, count_only, k)
+                for k in range(len(tasks))
+            ]
+
+        import concurrent.futures as cf
+        from concurrent.futures.process import BrokenProcessPool
+
         self._step_token += 1
         token = (os.getpid(), self._step_token)
-        specs, segments = self._publish_context(ctx)
         results = [None] * len(tasks)
-        try:
-            futures = {
-                k: pool.submit(_process_worker, specs, token, tasks[k], count_only)
-                for k in remote_idx
-            }
-            # Inline tasks run in the parent while the pool works.
-            for k, task in enumerate(tasks):
-                if k not in futures:
-                    results[k] = _run_inline(task, ctx, count_only)
-            for k, future in futures.items():
-                counters, seconds, n_pairs, pairs, phase = future.result()
-                accumulator = PairAccumulator(count_only=count_only)
-                if pairs is not None:
-                    accumulator.extend_canonical(*pairs)
-                else:
-                    accumulator.add_count(n_pairs)
-                results[k] = TaskResult(
-                    counters=counters,
-                    seconds=seconds,
-                    n_pairs=n_pairs,
-                    accumulator=accumulator,
-                    phase=phase,
-                )
-        finally:
-            for segment in segments:
-                segment.close()
+        #: Task to submit on the next round: the fault-wrapped first
+        #: launch, replaced by the original on retry.
+        submission = {k: launched[k] for k in remote_idx}
+        attempts = dict.fromkeys(remote_idx, 0)
+        remaining = list(remote_idx)
+        inline_done = False
+        with publish_context(ctx) as specs:
+            while remaining:
+                broken = None
+                futures = {}
                 try:
-                    segment.unlink()
-                except FileNotFoundError:  # pragma: no cover
-                    pass
+                    pool = self._ensure_pool()
+                    for k in remaining:
+                        futures[k] = pool.submit(
+                            _process_worker, specs, token, submission[k], count_only
+                        )
+                except BrokenProcessPool as exc:
+                    broken = exc
+                if not inline_done:
+                    # Inline tasks run in the parent while the pool works.
+                    for k in range(len(tasks)):
+                        if k not in attempts:
+                            results[k] = self._attempt_inline(
+                                launched[k], tasks[k], ctx, count_only, k
+                            )
+                    inline_done = True
+                retry_round = []
+                if broken is None:
+                    for k in remaining:
+                        try:
+                            payload = futures[k].result(timeout=self.task_timeout)
+                        except (cf.TimeoutError, TimeoutError):
+                            self._record_event(
+                                "task_timeout", task=k, timeout=self.task_timeout
+                            )
+                            results[k] = _run_inline(tasks[k], ctx, count_only)
+                        except BrokenProcessPool as exc:
+                            broken = exc
+                            break
+                        except Exception as exc:
+                            attempts[k] += 1
+                            if attempts[k] <= self.max_retries:
+                                self._record_event(
+                                    "task_retry", task=k, error=repr(exc)
+                                )
+                                submission[k] = tasks[k]
+                                retry_round.append(k)
+                            else:
+                                self._record_event(
+                                    "task_inline", task=k, error=repr(exc)
+                                )
+                                results[k] = _run_inline(tasks[k], ctx, count_only)
+                        else:
+                            results[k] = _result_from_payload(payload, count_only)
+                if broken is not None:
+                    self._record_event("pool_broken", error=repr(broken))
+                    self._discard_pool()
+                    self._pool_failures += 1
+                    unresolved = [k for k in remaining if results[k] is None]
+                    for k in unresolved:
+                        submission[k] = tasks[k]
+                    if self._pool_failures > 1:
+                        # Second broken pool: give up on processes for the
+                        # rest of the run and finish this step inline.
+                        self._degrade_to("thread", error=repr(broken))
+                        for k in unresolved:
+                            results[k] = _run_inline(tasks[k], ctx, count_only)
+                        remaining = []
+                    else:
+                        self._record_event("pool_rebuild")
+                        remaining = unresolved
+                else:
+                    remaining = retry_round
         return results
+
+    def _run_degraded(self, launched, tasks, ctx, count_only):
+        """Run a step below the process rung: threads, then serial."""
+        if self._degraded == "thread":
+            if self._thread_fallback is None:
+                self._thread_fallback = ThreadExecutor(
+                    self.n_workers,
+                    max_retries=self.max_retries,
+                    task_timeout=self.task_timeout,
+                )
+            fallback = self._thread_fallback
+            try:
+                results = fallback._run_tasks(launched, tasks, ctx, count_only)
+                self._events.extend(fallback.drain_events())
+                return results
+            except Exception as exc:
+                self._events.extend(fallback.drain_events())
+                self._degrade_to("serial", error=repr(exc))
+        return [
+            self._attempt_inline(launched[k], tasks[k], ctx, count_only, k)
+            for k in range(len(tasks))
+        ]
 
     def close(self):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._thread_fallback is not None:
+            self._thread_fallback.close()
+            self._thread_fallback = None
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:

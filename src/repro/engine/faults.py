@@ -1,0 +1,198 @@
+"""Fault-injection harness for the execution engine.
+
+Production-scale parallel joins must survive worker death, hung tasks
+and transient exceptions without changing the join result.  This module
+lets tests (and operators chasing a flaky deployment) inject exactly
+those failures into the verify stage, deterministically, so the
+executors' retry and degradation machinery can be exercised end to end.
+
+Spec syntax
+-----------
+The ``REPRO_FAULTS`` environment variable (or a plan installed with
+:func:`install_fault_plan`) holds a comma-separated list of directives::
+
+    action@N[:param]
+
+``N`` is the 0-based ordinal of a *task launch*: executors number every
+task the first time they schedule it, in plan order, continuing across
+steps for the life of the plan.  Retries are never re-injected — a
+fault fires exactly once, on the task's first launch — which is what
+lets the recovery tests assert bit-identical results.
+
+``raise@N``
+    The Nth task raises :class:`InjectedFault` instead of running.
+``hang@N:seconds``
+    The Nth task sleeps ``seconds`` (default 3600) before running; with
+    an executor ``task_timeout`` below the hang this exercises the
+    timeout → inline-rerun path.
+``kill@N``
+    The Nth task SIGKILLs the process executing it.  Meant for the
+    process executor (worker death → ``BrokenProcessPool`` → pool
+    rebuild / degradation); under a serial or thread executor the
+    "worker" is the parent interpreter itself.
+
+Example: ``REPRO_FAULTS="raise@2,kill@7,hang@11:2.5"``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "InjectedFault",
+    "Fault",
+    "FaultyTask",
+    "FaultPlan",
+    "parse_faults",
+    "install_fault_plan",
+    "active_plan",
+    "wrap_tasks",
+]
+
+#: Environment variable naming the default fault plan.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+_ACTIONS = ("raise", "hang", "kill")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by an injected ``raise`` fault (never by real join code)."""
+
+
+@dataclass
+class Fault:
+    """One fault directive: ``action`` on task launch ``task``."""
+
+    action: str
+    task: int
+    param: float | None = None
+    fired: bool = False
+
+
+class FaultyTask:
+    """A join task wrapper that triggers its fault, then delegates.
+
+    Mirrors the wrapped task's ``phase`` and ``process_safe`` so
+    executors schedule it exactly as they would the original; a ``hang``
+    still runs the real task after sleeping, so a hang *shorter* than
+    the executor's timeout stays invisible in the results.
+    """
+
+    def __init__(self, inner, action, param=None):
+        self.inner = inner
+        self.action = action
+        self.param = param
+        self.phase = inner.phase
+        self.process_safe = inner.process_safe
+
+    def run(self, ctx, accumulator):
+        if self.action == "raise":
+            raise InjectedFault("injected task failure")
+        if self.action == "hang":
+            time.sleep(3600.0 if self.param is None else self.param)
+        elif self.action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        return self.inner.run(ctx, accumulator)
+
+    def __repr__(self):
+        return f"FaultyTask({self.action!r}, inner={self.inner!r})"
+
+
+class FaultPlan:
+    """A parsed set of faults plus the global task-launch counter."""
+
+    def __init__(self, faults=()):
+        self.faults = list(faults)
+        self.launched = 0
+
+    def wrap(self, task):
+        """Number one task launch; wrap it if an unfired fault matches."""
+        ordinal = self.launched
+        self.launched += 1
+        for fault in self.faults:
+            if not fault.fired and fault.task == ordinal:
+                fault.fired = True
+                return FaultyTask(task, fault.action, fault.param)
+        return task
+
+    def reset(self):
+        """Rearm every fault and restart the launch counter."""
+        self.launched = 0
+        for fault in self.faults:
+            fault.fired = False
+
+    def __repr__(self):
+        return f"FaultPlan({self.faults!r}, launched={self.launched})"
+
+
+def parse_faults(spec):
+    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`."""
+    faults = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        action, sep, rest = part.partition("@")
+        action = action.strip().lower()
+        if action not in _ACTIONS or not sep:
+            raise ValueError(
+                f"invalid fault directive {part!r}; expected action@N[:param] "
+                f"with action one of {_ACTIONS}"
+            )
+        ordinal, _, param = rest.partition(":")
+        try:
+            task = int(ordinal)
+        except ValueError:
+            raise ValueError(f"invalid task ordinal in fault {part!r}") from None
+        if task < 0:
+            raise ValueError(f"fault task ordinal must be >= 0: {part!r}")
+        try:
+            value = float(param) if param else None
+        except ValueError:
+            raise ValueError(f"invalid fault parameter in {part!r}") from None
+        faults.append(Fault(action=action, task=task, param=value))
+    return FaultPlan(faults)
+
+
+#: Programmatically installed plan (overrides the environment).
+_installed: FaultPlan | None = None
+#: Cache of the environment-derived plan, keyed by the spec string so
+#: firing state persists across steps but a changed spec re-parses.
+_env_cache: tuple = (None, None)
+
+
+def install_fault_plan(plan):
+    """Install ``plan`` as the active fault plan (``None`` to clear)."""
+    global _installed
+    _installed = plan
+    return plan
+
+
+def active_plan():
+    """The installed plan, else the ``REPRO_FAULTS`` plan, else ``None``."""
+    global _env_cache
+    if _installed is not None:
+        return _installed
+    spec = os.environ.get(FAULTS_ENV_VAR)
+    if not spec:
+        return None
+    if _env_cache[0] != spec:
+        _env_cache = (spec, parse_faults(spec))
+    return _env_cache[1]
+
+
+def wrap_tasks(tasks):
+    """Number this batch of first launches against the active plan.
+
+    Executors call this exactly once per task (on first scheduling);
+    retries must re-run the *original* task so a spent fault cannot
+    re-fire and ordinals stay stable under recovery.
+    """
+    plan = active_plan()
+    if plan is None:
+        return list(tasks)
+    return [plan.wrap(task) for task in tasks]

@@ -26,6 +26,13 @@ Task types
 Tasks declare ``process_safe``: whether they are pure functions of the
 context arrays (shippable to a worker process) or closures over live
 index objects (run inline in the parent by the process executor).
+
+Tasks are also the engine's unit of *recovery*: because a task only
+reads the context and writes its private accumulator, executors may run
+it again after a failure, hang or worker crash — on the pool or inline
+in the parent — and the merged result is unchanged.  Task authors must
+preserve this purity: no mutation of context arrays, no side effects
+outside the accumulator and the returned counters.
 """
 
 from __future__ import annotations

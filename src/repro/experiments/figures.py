@@ -136,7 +136,9 @@ def _simulate_matrix(workload_factory, algorithms, n_steps, time_budget,
     ``executor`` is threaded into every algorithm factory, so one flag
     sweeps the whole comparison between serial and parallel execution.
     Returns ``{name: runner}``; runners that exhausted the budget carry
-    ``timed_out=True`` and partial records.
+    ``timed_out=True`` and partial records, and runners whose step
+    failed past executor recovery carry ``failed_step``/``failure``
+    (both surfaced by :func:`_robustness_notes`).
     """
     runners = {}
     for name in algorithms:
@@ -153,10 +155,43 @@ def _simulate_matrix(workload_factory, algorithms, n_steps, time_budget,
 
 
 def _total_or_none(runner):
-    """Total join time, or None when the run timed out (paper's DNF)."""
-    if runner.timed_out:
+    """Total join time, or None when the run timed out or failed (DNF)."""
+    if runner.timed_out or runner.failed_step is not None:
         return None
     return runner.total_join_seconds()
+
+
+def _robustness_notes(runners):
+    """Per-runner recovery/failure summary lines; empty when all clean.
+
+    Degraded or retried steps still produce serial-identical results
+    (the engine guarantees it), but a figure measured on a downgraded
+    backend is not measuring the requested backend — so say so.
+    """
+    lines = []
+    for name, runner in runners.items():
+        if runner.failed_step is not None:
+            lines.append(
+                f"{name}: FAILED at step {runner.failed_step} "
+                f"({runner.failure!r}); partial records"
+            )
+            continue
+        retries = runner.total_task_retries()
+        degraded = runner.degraded_steps()
+        if retries or degraded:
+            lines.append(
+                f"{name}: {retries} task retries, "
+                f"{len(degraded)} degraded steps {degraded}"
+            )
+    return lines
+
+
+def _with_robustness(table, runners):
+    """Append recovery notes to a rendered table when any occurred."""
+    notes = _robustness_notes(runners)
+    if notes:
+        table += "\n\nRobustness: " + "; ".join(notes)
+    return table
 
 
 # ----------------------------------------------------------------------
@@ -273,7 +308,7 @@ def fig7(scale="default", time_budget=600.0, quiet=False, executor=None):
             y_label="join time per step [s]",
         )
     )
-    table = "\n\n".join(tables)
+    table = _with_robustness("\n\n".join(tables), runners)
     if not quiet:
         print(table)
     totals = {name: _total_or_none(runner) for name, runner in runners.items()}
@@ -481,12 +516,17 @@ def speedups(scale="default", time_budget=600.0, quiet=False, executor=None):
     runners = _simulate_matrix(workload, FIG7_ALGORITHMS, n_steps, time_budget,
                                executor=executor)
     records = {
-        name: runner.records for name, runner in runners.items() if not runner.timed_out
+        name: runner.records
+        for name, runner in runners.items()
+        if not runner.timed_out and runner.failed_step is None
     }
     table_data = speedup_table(records, "thermal-join")
-    table = render_speedups(
-        table_data,
-        title=f"Speedup of THERMAL-JOIN (neural, n={preset['neural_n']}, {n_steps} steps)",
+    table = _with_robustness(
+        render_speedups(
+            table_data,
+            title=f"Speedup of THERMAL-JOIN (neural, n={preset['neural_n']}, {n_steps} steps)",
+        ),
+        runners,
     )
     if not quiet:
         print(table)

@@ -73,6 +73,18 @@ class JoinStatistics:
         One counters dict per executed plan task, in task order
         (``overlap_tests`` plus algorithm-specific counters such as
         ``shortcut_pairs``).
+    events:
+        Robustness events the executor recorded during the step, in
+        occurrence order.  Each is a dict with a ``kind`` key —
+        ``task_retry``, ``task_inline``, ``task_timeout``,
+        ``pool_broken``, ``pool_rebuild`` or ``degraded`` — plus
+        kind-specific detail (task index, error repr, downgrade rung).
+        Empty on a clean step.
+    task_retries:
+        Number of task re-executions behind this step's result (the
+        retry-class events above); 0 on a clean step.  Recovered steps
+        still report pair sets and overlap tests identical to serial —
+        these fields only make the recovery visible.
     """
 
     overlap_tests: int = 0
@@ -82,6 +94,8 @@ class JoinStatistics:
     phase_seconds: dict = field(default_factory=dict)
     stage_seconds: dict = field(default_factory=dict)
     task_counters: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+    task_retries: int = 0
 
     @property
     def total_seconds(self):

@@ -7,6 +7,14 @@ metrics are recorded.  The driver is algorithm-agnostic — anything
 implementing :class:`~repro.joins.base.SpatialJoinAlgorithm` plugs in,
 which is how the benchmark harness runs THERMAL-JOIN and every baseline
 over identical workloads.
+
+The loop is fault-aware: the engine's executors recover from task
+failures, hangs and worker death on their own (surfaced per step in
+:attr:`StepRecord.events`/:attr:`StepRecord.task_retries`), and if a
+step still fails outright the run stops cleanly — the failing step is
+recorded in :attr:`SimulationRunner.failed_step`/:attr:`~SimulationRunner.failure`
+(analogous to :attr:`~SimulationRunner.timed_out`) with no half-written
+record, instead of propagating mid-run.
 """
 
 from __future__ import annotations
@@ -16,6 +24,9 @@ from dataclasses import dataclass, field
 
 __all__ = ["StepRecord", "SimulationRunner"]
 
+#: Event kinds that mean the step ran below the requested backend.
+_DEGRADED_EVENT_KINDS = ("pool_broken", "pool_rebuild", "degraded")
+
 
 @dataclass
 class StepRecord:
@@ -23,7 +34,10 @@ class StepRecord:
 
     Attributes mirror the series of the paper's Figure 7: result count
     (join selectivity), join time, overlap tests and memory footprint,
-    plus the finer phase breakdown used by Figure 10(a).
+    plus the finer phase breakdown used by Figure 10(a).  ``events``
+    and ``task_retries`` carry the step's robustness record (see
+    :class:`~repro.joins.base.JoinStatistics`); both are empty/zero on
+    a clean step.
     """
 
     step: int
@@ -34,11 +48,20 @@ class StepRecord:
     memory_bytes: int
     phase_seconds: dict
     stage_seconds: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    task_retries: int = 0
 
     @property
     def total_seconds(self):
         """Build plus join time of the step."""
         return self.build_seconds + self.join_seconds
+
+    @property
+    def degraded(self):
+        """True when the step's executor broke, rebuilt or downgraded."""
+        return any(
+            event.get("kind") in _DEGRADED_EVENT_KINDS for event in self.events
+        )
 
 
 class SimulationRunner:
@@ -60,6 +83,18 @@ class SimulationRunner:
         Optional wall-clock budget in seconds for the *whole* run; when
         exceeded the run stops early and :attr:`timed_out` is set — the
         equivalent of the paper's 72-hour cut-off in Figure 9(a).
+
+    Attributes
+    ----------
+    timed_out:
+        True when the run stopped on the time budget.
+    failed_step:
+        Index of the step whose join raised past all executor recovery,
+        or ``None``.  The run stops cleanly at that step: ``records``
+        holds every *completed* step and the motion model is not
+        advanced past the failure.
+    failure:
+        The exception that ended the run, or ``None``.
     """
 
     def __init__(self, dataset, motion, algorithm, time_budget=None):
@@ -71,6 +106,8 @@ class SimulationRunner:
         self.time_budget = time_budget
         self.records = []
         self.timed_out = False
+        self.failed_step = None
+        self.failure = None
 
     def run(self, n_steps):
         """Execute ``n_steps`` simulation steps; returns the records.
@@ -83,7 +120,12 @@ class SimulationRunner:
             raise ValueError(f"n_steps must be positive, got {n_steps}")
         started = time.perf_counter()
         for step in range(n_steps):
-            result = self.algorithm.step(self.dataset)
+            try:
+                result = self.algorithm.step(self.dataset)
+            except Exception as exc:
+                self.failed_step = step
+                self.failure = exc
+                break
             stats = result.stats
             self.records.append(
                 StepRecord(
@@ -95,6 +137,8 @@ class SimulationRunner:
                     memory_bytes=stats.memory_bytes,
                     phase_seconds=dict(stats.phase_seconds),
                     stage_seconds=dict(stats.stage_seconds),
+                    events=list(stats.events),
+                    task_retries=stats.task_retries,
                 )
             )
             if (
@@ -123,3 +167,11 @@ class SimulationRunner:
     def peak_memory_bytes(self):
         """Largest per-step footprint observed."""
         return max((record.memory_bytes for record in self.records), default=0)
+
+    def total_task_retries(self):
+        """Sum of task re-executions over all recorded steps."""
+        return sum(record.task_retries for record in self.records)
+
+    def degraded_steps(self):
+        """Step indices whose executor broke, rebuilt or downgraded."""
+        return [record.step for record in self.records if record.degraded]
