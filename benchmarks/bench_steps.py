@@ -1,0 +1,203 @@
+"""Step-trajectory bench driver: BENCH_steps.json producer.
+
+Runs a small matrix of (workload, algorithm, executor) simulations
+through :class:`~repro.simulation.SimulationRunner` and writes the
+per-step series — the Figure-7 quantities plus engine stage times,
+robustness events and the metrics-registry snapshots — as the
+schema-versioned ``BENCH_steps.json`` document defined in
+:mod:`repro.obs.bench`.
+
+Two entry points:
+
+* under pytest (``pytest benchmarks/bench_steps.py``) a smoke-scale
+  matrix runs, the document is validated against the schema, and the
+  tracing-on/off bit-identity invariant is asserted;
+* as a script::
+
+      PYTHONPATH=src python benchmarks/bench_steps.py            # default scale
+      PYTHONPATH=src python benchmarks/bench_steps.py --smoke    # CI scale
+      PYTHONPATH=src python benchmarks/bench_steps.py --trace results/trace.jsonl
+
+  writing ``results/BENCH_steps.json`` (and, with ``--trace``, the span
+  stream of every step).  The document is validated *before* it is
+  written; a schema violation fails the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.core import ThermalJoin  # noqa: E402
+from repro.experiments.workloads import scaled_neural, scaled_uniform  # noqa: E402
+from repro.joins import PBSMJoin, PlaneSweepJoin  # noqa: E402
+from repro.obs import (  # noqa: E402
+    BENCH_SCHEMA_VERSION,
+    JsonlWriter,
+    Tracer,
+    environment_info,
+    run_aggregates,
+    set_tracer,
+    step_record_to_json,
+    validate_bench,
+)
+from repro.simulation import SimulationRunner  # noqa: E402
+
+#: serial plus one parallel backend; every backend must reproduce the
+#: serial counts exactly (the engine's interchangeability guarantee).
+EXECUTORS = ("serial", "thread:2")
+
+SMOKE = {"uniform_n": 500, "neural_n": 500, "n_steps": 3}
+DEFAULT = {"uniform_n": 4_000, "neural_n": 4_000, "n_steps": 6}
+
+
+def _algorithms(executor):
+    """The bench matrix's algorithm column: THERMAL-JOIN + 2 baselines."""
+    return (
+        ThermalJoin(count_only=True, executor=executor),
+        PBSMJoin(count_only=True, executor=executor),
+        PlaneSweepJoin(count_only=True, executor=executor),
+    )
+
+
+def _workloads(config, seed=7):
+    """(name, factory) pairs; factories rebuild the workload from the
+    same seed so every run sees an identical, fresh trajectory (motion
+    models are stateful and must not be shared across runs)."""
+
+    def uniform():
+        dataset, motion = scaled_uniform(config["uniform_n"], seed=seed)
+        return dataset, motion
+
+    def neural():
+        dataset, motion, _labels = scaled_neural(config["neural_n"], seed=seed)
+        return dataset, motion
+
+    return (("uniform", uniform), ("neural", neural))
+
+
+def run_matrix(config, trace_path=None):
+    """Run the bench matrix; returns the (validated) bench document.
+
+    Every (workload, algorithm) pair runs once per executor backend on a
+    fresh copy of the workload, so the series are directly comparable;
+    a mismatch in result or overlap-test counts across backends is a
+    correctness bug and fails the run immediately.
+    """
+    previous = None
+    writer = None
+    if trace_path is not None:
+        writer = JsonlWriter(trace_path)
+        previous = set_tracer(Tracer(sink=writer))
+    try:
+        runs = _run_matrix_inner(config)
+    finally:
+        if trace_path is not None:
+            set_tracer(previous)
+            writer.close()
+    document = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "bench_steps",
+        "environment": environment_info(),
+        "config": dict(config),
+        "runs": runs,
+    }
+    return validate_bench(document)
+
+
+def _run_matrix_inner(config):
+    runs = []
+    reference = {}
+    n_steps = config["n_steps"]
+    for executor in EXECUTORS:
+        for workload, factory in _workloads(config):
+            for algorithm in _algorithms(executor):
+                dataset, motion = factory()
+                runner = SimulationRunner(dataset, motion, algorithm)
+                records = runner.run(n_steps)
+                if runner.failure is not None:
+                    raise runner.failure
+                counts = tuple(
+                    (record.n_results, record.overlap_tests) for record in records
+                )
+                key = (workload, algorithm.name)
+                reference.setdefault(key, counts)
+                if reference[key] != counts:
+                    raise AssertionError(
+                        f"executor {executor!r} changed the {key} series"
+                    )
+                runs.append(
+                    {
+                        "workload": workload,
+                        "algorithm": algorithm.name,
+                        "executor": executor,
+                        "n_objects": len(dataset),
+                        "n_steps": len(records),
+                        "steps": [step_record_to_json(record) for record in records],
+                        "aggregates": run_aggregates(runner),
+                    }
+                )
+                algorithm.executor.close()
+    return runs
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI scale: tiny workloads, 3 steps (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "results"
+        / "BENCH_steps.json",
+        help="output document path (default results/BENCH_steps.json)",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="OUT.JSONL",
+        help="also stream engine trace spans to this JSONL file",
+    )
+    args = parser.parse_args(argv)
+
+    config = dict(SMOKE if args.smoke else DEFAULT)
+    document = run_matrix(config, trace_path=args.trace)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(document, indent=2) + "\n")
+    print(
+        f"wrote {args.out}: {len(document['runs'])} runs, "
+        f"schema v{document['schema_version']}"
+        + (f", trace at {args.trace}" if args.trace else "")
+    )
+    return document
+
+
+# ----------------------------------------------------------------------
+# pytest entry point: smoke matrix + schema + bit-identity
+# ----------------------------------------------------------------------
+def test_smoke_matrix_is_schema_valid(tmp_path):
+    trace_path = tmp_path / "trace.jsonl"
+    traced = run_matrix(dict(SMOKE), trace_path=trace_path)
+    plain = run_matrix(dict(SMOKE))
+    # Tracing must be purely observational: identical series either way.
+    for run_traced, run_plain in zip(traced["runs"], plain["runs"]):
+        for step_traced, step_plain in zip(run_traced["steps"], run_plain["steps"]):
+            assert step_traced["n_results"] == step_plain["n_results"]
+            assert step_traced["overlap_tests"] == step_plain["overlap_tests"]
+            assert step_traced["memory_bytes"] == step_plain["memory_bytes"]
+    assert trace_path.exists()
+    spans = [json.loads(line) for line in trace_path.read_text().splitlines()]
+    assert spans and all(span["kind"] == "span" for span in spans)
+
+
+if __name__ == "__main__":
+    main()

@@ -139,8 +139,11 @@ class PGridCell:
         the hot-spot test (center spread strictly below the smallest
         member width guarantees pairwise overlap).
     age:
-        Number of consecutive steps this cell has been vacant (0 while
-        occupied); the garbage collector prunes old vacant cells.
+        Number of consecutive refreshes this cell has been vacant (0
+        while occupied); the garbage collector prunes old vacant cells.
+        Derived lazily from the grid's shared refresh clock and the
+        epoch recorded when the cell was vacated, so per-step
+        maintenance never touches already-vacant cells just to age them.
     hyperlinks:
         Direct references to the existing cells in this cell's half
         neighbourhood, so the join phase never performs hash lookups.
@@ -155,12 +158,13 @@ class PGridCell:
         "max_obj_width",
         "center_lo",
         "center_hi",
-        "age",
+        "vacant_at",
+        "_clock",
         "hyperlinks",
         "slot",
     )
 
-    def __init__(self, coords, lo, hi):
+    def __init__(self, coords, lo, hi, clock=None):
         self.coords = coords
         self.lo = lo
         self.hi = hi
@@ -169,7 +173,11 @@ class PGridCell:
         self.max_obj_width = None
         self.center_lo = None
         self.center_hi = None
-        self.age = 0
+        #: Refresh epoch at which the cell was vacated (None while occupied).
+        self.vacant_at = None
+        #: Shared one-element list holding the grid's refresh epoch
+        #: (None for standalone cells, whose age stays 0).
+        self._clock = clock
         self.hyperlinks = []
         #: Position in the grid's current ``occupied`` list (-1 if vacant);
         #: lets the batched join translate hyperlinks into array slots.
@@ -180,6 +188,13 @@ class PGridCell:
         """True when no objects are currently assigned."""
         return self.object_idx is None or self.object_idx.size == 0
 
+    @property
+    def age(self):
+        """Refreshes spent vacant: the vacating refresh counts as 1."""
+        if self.vacant_at is None or self._clock is None:
+            return 0
+        return self._clock[0] - self.vacant_at + 1
+
     def clear(self):
         """Drop the object assignment (incremental maintenance, §4.3.1)."""
         self.object_idx = None
@@ -188,6 +203,8 @@ class PGridCell:
         self.center_lo = None
         self.center_hi = None
         self.slot = -1
+        if self._clock is not None:
+            self.vacant_at = self._clock[0]
 
     def __repr__(self):
         n = 0 if self.object_idx is None else self.object_idx.size

@@ -96,11 +96,26 @@ class PGrid:
         self.cell_center_hi = None
         #: Neighbour layers wired into the hyperlinks (set on first build).
         self.layers = None
-        self.n_vacant = 0
+        #: packed cell id -> vacant PGridCell.  Maintained on the vacancy
+        #: transitions themselves, so refresh and GC touch only occupied
+        #: and *newly* vacant cells — never the whole table.
+        self._vacant_cells = {}
+        #: Shared refresh epoch (one-element list so cells can read it);
+        #: vacant-cell ages derive from it lazily instead of a per-step
+        #: aging sweep over every cell.
+        self._clock = [0]
+        # Incrementally maintained totals backing the O(1) footprint.
+        self._n_objects = 0
+        self._n_hyperlinks = 0
         # Lifetime counters (exposed through ThermalJoin statistics).
         self.cells_created = 0
         self.cells_recycled = 0
         self.gc_runs = 0
+
+    @property
+    def n_vacant(self):
+        """Number of currently vacant (structure-kept) cells."""
+        return len(self._vacant_cells)
 
     # ------------------------------------------------------------------
     # Building and refreshing
@@ -139,6 +154,7 @@ class PGrid:
         if self.layers is not None and layers != self.layers:
             self.clear()
         self.layers = layers
+        self._clock[0] += 1
 
         coords = np.floor((centers - self.origin) / self.cell_width).astype(np.int64)
         packed = pack_cell_ids(coords)
@@ -186,33 +202,32 @@ class PGrid:
             if cell is None:
                 cell_coords = tuple(int(c) for c in coords[order[start]])
                 lo = self.origin + np.asarray(cell_coords, dtype=np.float64) * self.cell_width
-                cell = PGridCell(cell_coords, lo, lo + width_vec)
+                cell = PGridCell(cell_coords, lo, lo + width_vec, clock=self._clock)
                 self.cells[cell_id] = cell
                 new_cells.append((cell_id, cell))
                 self.cells_created += 1
             else:
                 if cell.is_vacant:
-                    self.n_vacant -= 1
+                    self._vacant_cells.pop(cell_id, None)
                 self.cells_recycled += 1
             cell.object_idx = order[start:int(stops[k])]
             cell.min_obj_width = min_widths[k]
             cell.max_obj_width = max_widths[k]
             cell.center_lo = center_lo[k]
             cell.center_hi = center_hi[k]
-            cell.age = 0
+            cell.vacant_at = None
             cell.slot = k
             self.occupied.append(cell)
+        self._n_objects = int(n)
 
-        # Cells whose population migrated away become (or remain) vacant.
+        # Cells whose population migrated away become (or remain) vacant;
+        # already-vacant cells need no touch — their age is clock-derived.
         for cell in previously_occupied:
             cell_id = self._cell_key(cell)
             if cell_id not in touched:
                 if not cell.is_vacant:
                     cell.clear()
-                    self.n_vacant += 1
-        for cell in self.cells.values():
-            if cell.is_vacant:
-                cell.age += 1
+                    self._vacant_cells[cell_id] = cell
 
         self._wire_hyperlinks(new_cells, offsets)
         self.garbage_collect_if_needed()
@@ -234,6 +249,7 @@ class PGrid:
             return
         new_ids = {cell_id for cell_id, _cell in new_cells}
         cells = self.cells
+        wired = 0
         for cell_id, cell in new_cells:
             cx, cy, cz = cell.coords
             links = cell.hyperlinks
@@ -241,11 +257,14 @@ class PGrid:
                 neighbor = cells.get(pack_cell_id_scalar(cx + ox, cy + oy, cz + oz))
                 if neighbor is not None:
                     links.append(neighbor)
+                    wired += 1
                 back = pack_cell_id_scalar(cx - ox, cy - oy, cz - oz)
                 if back not in new_ids:
                     neighbor = cells.get(back)
                     if neighbor is not None:
                         neighbor.hyperlinks.append(cell)
+                        wired += 1
+        self._n_hyperlinks += wired
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -258,41 +277,61 @@ class PGrid:
         total = len(self.cells)
         if total == 0 or self.n_vacant <= self.gc_threshold * total:
             return 0
-        vacant = [cell for cell in self.cells.values() if cell.is_vacant]
-        vacant_set = set(map(id, vacant))
-        for cell_id in [self._cell_key(cell) for cell in vacant]:
+        vacant_set = set(map(id, self._vacant_cells.values()))
+        removed_links = 0
+        for cell_id, cell in self._vacant_cells.items():
+            removed_links += len(cell.hyperlinks)
             del self.cells[cell_id]
         # Dissolve hyperlinks from surviving cells to collected ones.
         for cell in self.cells.values():
             if cell.hyperlinks:
-                cell.hyperlinks = [
-                    link for link in cell.hyperlinks if id(link) not in vacant_set
-                ]
-        self.n_vacant = 0
+                kept = [link for link in cell.hyperlinks if id(link) not in vacant_set]
+                removed_links += len(cell.hyperlinks) - len(kept)
+                cell.hyperlinks = kept
+        collected = len(self._vacant_cells)
+        self._vacant_cells = {}
+        self._n_hyperlinks -= removed_links
         self.gc_runs += 1
-        return len(vacant)
+        return collected
 
     def clear(self):
-        """Drop the whole grid (used when the resolution is re-tuned)."""
+        """Drop the whole grid (used when the resolution is re-tuned).
+
+        Resets the cell table *and* the stacked batched arrays retained
+        by :meth:`refresh` — a stale ``cat``/``cell_starts`` pairing with
+        an empty cell table would let a batched consumer read assignments
+        from the dropped grid generation.
+        """
         self.cells = {}
         self.occupied = []
+        self.cat = None
+        self.cell_starts = None
+        self.cell_stops = None
+        self.cell_min_width = None
+        self.cell_max_width = None
+        self.cell_center_lo = None
+        self.cell_center_hi = None
         self.layers = None
-        self.n_vacant = 0
+        self._vacant_cells = {}
+        self._n_objects = 0
+        self._n_hyperlinks = 0
 
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
     def memory_footprint(self):
-        """Grid footprint in bytes under the C-struct model of Figure 3."""
+        """Grid footprint in bytes under the C-struct model of Figure 3.
+
+        O(1): the object and hyperlink totals are maintained incrementally
+        by :meth:`refresh` / :meth:`garbage_collect_if_needed` instead of
+        re-walking every cell on each call.
+        """
         n_cells = len(self.cells)
         if n_cells == 0:
             return 0
         total = _bucket_count(n_cells) * POINTER_BYTES
         total += n_cells * CELL_RECORD_BYTES
-        for cell in self.cells.values():
-            if cell.object_idx is not None:
-                total += cell.object_idx.size * POINTER_BYTES
-            total += len(cell.hyperlinks) * POINTER_BYTES
+        total += (self._n_objects + self._n_hyperlinks) * POINTER_BYTES
         return total
 
     def __repr__(self):

@@ -199,7 +199,44 @@ class ThermalJoin(SpatialJoinAlgorithm):
         self.last_step_info = {}
         self._boxes = None
         self._build_seconds = 0.0
-        self._cells_created_before = 0
+        self.metrics.register("pgrid", self._pgrid_metrics)
+        self.metrics.register("tgrid", self._tgrid_metrics)
+        self.metrics.register("tuner", self._tuner_metrics)
+
+    # ------------------------------------------------------------------
+    # Metrics providers (read-only; snapshot each step by the engine)
+    # ------------------------------------------------------------------
+    def _pgrid_metrics(self):
+        pgrid = self.pgrid
+        if pgrid is None:
+            return None
+        return {
+            "cell_width": pgrid.cell_width,
+            "cells": len(pgrid.cells),
+            "occupied_cells": len(pgrid.occupied),
+            "vacant_cells": pgrid.n_vacant,
+            "cells_created": pgrid.cells_created,
+            "cells_recycled": pgrid.cells_recycled,
+            "gc_runs": pgrid.gc_runs,
+            "layers": pgrid.layers,
+        }
+
+    def _tgrid_metrics(self):
+        return {
+            "fallbacks": self.tgrid.fallbacks,
+            "peak_cells": self.tgrid.peak_cells,
+        }
+
+    def _tuner_metrics(self):
+        values = {"resolution": self.current_resolution}
+        if self.tuner is not None:
+            values.update(
+                converged=self.tuner.converged,
+                tuning_steps=self.tuner.tuning_steps,
+                retunes=self.tuner.retunes,
+                observations=len(self.tuner.history),
+            )
+        return values
 
     # ------------------------------------------------------------------
     # Build phase
@@ -211,6 +248,13 @@ class ThermalJoin(SpatialJoinAlgorithm):
             return float(self.resolution)
         return self.tuner.current_r
 
+    @staticmethod
+    def _per_cell_bytes():
+        """Modelled cost of one cell: record + one-layer link budget + bucket."""
+        from repro.core.pgrid import CELL_RECORD_BYTES
+
+        return CELL_RECORD_BYTES + 13 * 8 + 8
+
     def _projected_footprint(self, dataset, cell_width):
         """Upper estimate of the P-Grid footprint at ``cell_width``.
 
@@ -221,15 +265,35 @@ class ThermalJoin(SpatialJoinAlgorithm):
         lo_b, hi_b = dataset.bounds
         grid_cells = float(np.prod(np.ceil((hi_b - lo_b) / cell_width) + 1))
         cells = min(float(len(dataset)), grid_cells)
-        from repro.core.pgrid import CELL_RECORD_BYTES
+        return cells * self._per_cell_bytes() + len(dataset) * 8
 
-        per_cell = CELL_RECORD_BYTES + 13 * 8 + 8  # record + links + bucket
-        return cells * per_cell + len(dataset) * 8
+    def _footprint_floor(self, dataset):
+        """The projected footprint's infimum over all cell widths.
+
+        Coarsening can shrink the grid to a single cell but never below
+        it, and the per-object list entries are resolution-independent —
+        so no resolution fits a quota under this floor.
+        """
+        return self._per_cell_bytes() + len(dataset) * 8
 
     def _quota_cell_width(self, dataset, cell_width):
-        """Coarsen ``cell_width`` until the projected footprint fits."""
+        """Coarsen ``cell_width`` until the projected footprint fits.
+
+        Raises :class:`ValueError` when the quota is infeasible: the
+        projected footprint never drops below :meth:`_footprint_floor`
+        however coarse the grid, so without this check an under-floor
+        quota would coarsen forever (the §6.3 hang this guards against).
+        """
         if self.memory_quota_bytes is None:
             return cell_width
+        floor = self._footprint_floor(dataset)
+        if len(dataset) and self.memory_quota_bytes < floor:
+            raise ValueError(
+                f"memory_quota_bytes={self.memory_quota_bytes} is infeasible "
+                f"for {len(dataset)} objects: even a single-cell grid needs "
+                f"~{int(floor)} bytes under the footprint model; raise the "
+                "quota or shrink the dataset"
+            )
         while (
             self._projected_footprint(dataset, cell_width) > self.memory_quota_bytes
         ):
@@ -251,7 +315,6 @@ class ThermalJoin(SpatialJoinAlgorithm):
             # every resolution change requires a from-scratch rebuild.
             origin, _ = dataset.bounds
             self.pgrid = PGrid(cell_width, origin, gc_threshold=self.gc_threshold)
-            self._cells_created_before = 0
         cells_created_before = self.pgrid.cells_created
         self.pgrid.refresh(dataset.centers, lo[:, 0], dataset.widths, max_width)
         self._cells_created_this_step = self.pgrid.cells_created - cells_created_before

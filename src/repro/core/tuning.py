@@ -15,8 +15,13 @@ The tuner follows the paper's protocol:
   threshold (Equation 1; the paper uses 10 % and observes convergence in
   6–8 time steps);
 * once converged, stop tuning but keep watching the cost at the chosen
-  ``r'``; when it drifts by more than the threshold between steps
-  (Equation 2 — the workload's distribution changed), tuning restarts.
+  ``r'``; when it drifts by more than the threshold from the fixed
+  converged-cost reference (Equation 2 — the workload's distribution
+  changed), tuning restarts.  The reference is seeded by the first
+  observation after (re)convergence and refreshed only on retune or
+  re-convergence, so *cumulative* drift — e.g. 5 % per step, forever —
+  re-triggers tuning once it passes the threshold, not just one-step
+  jumps.
 
 The cost signal is whatever the caller feeds :meth:`observe` — wall
 time, like the paper, or a deterministic operation count for
@@ -104,13 +109,22 @@ class HillClimbingTuner:
         return self._climb(cost)
 
     def _watch_for_drift(self, cost):
-        """Equation 2: restart tuning on a significant cost change at r'."""
+        """Equation 2: restart tuning on a significant cost change at r'.
+
+        The reference is the cost observed right after (re)convergence
+        and then stays **fixed** until the next retune or re-convergence
+        refreshes it.  Comparing each step against the *previous* step
+        instead would let a workload drifting just under the threshold
+        per step drift forever without re-triggering tuning — Equation 2
+        measures departure from the converged operating point, not
+        step-to-step noise.
+        """
         reference = self._converged_cost
-        self._converged_cost = cost
         if reference is None or reference == 0.0:
-            # Fresh reference (first observation after converging onto a
-            # retreat point): remember it, never compare against a cost
-            # measured many steps ago on a moving workload.
+            # Fresh reference: the first observation at the (newly)
+            # converged r seeds it — never a cost measured many steps
+            # ago at a different r on a moving workload.
+            self._converged_cost = cost
             return False
         if abs(cost - reference) > self.threshold * reference:
             self.converged = False

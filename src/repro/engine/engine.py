@@ -31,31 +31,68 @@ def execute_step(algorithm, dataset):
     """Run one full join step for ``algorithm`` through the engine.
 
     Returns a :class:`~repro.joins.base.JoinResult`.
+
+    When a tracer is active (:func:`repro.obs.get_tracer`), one span is
+    opened per stage plus one recorded per executed task — task timings
+    arrive through the :class:`~repro.engine.plan.TaskResult` channel,
+    so tasks that ran in worker processes are attributed too.  Tracing
+    never changes results: spans are observational only.
     """
     from repro.joins.base import JoinResult, JoinStatistics
+    from repro.obs import get_tracer
 
     executor = algorithm.executor
+    tracer = get_tracer()
+    traced = tracer.enabled
+    step_span = None
+    if traced:
+        tracer.begin_step()
+        step_cm = tracer.span(
+            "step", counters={"algorithm": algorithm.name, "n_objects": len(dataset)}
+        )
+        step_span = step_cm.__enter__()
 
-    t0 = time.perf_counter()
-    algorithm._build(dataset)  # prepare: index build / incremental refresh
-    t1 = time.perf_counter()
-    plan = algorithm.plan(dataset)  # partition: emit independent tasks
-    t2 = time.perf_counter()
-    results = executor.run(plan.tasks, plan.context, algorithm.count_only)
-    events = executor.drain_events()  # robustness: retries, timeouts, downgrades
-    t3 = time.perf_counter()
+    try:
+        t0 = time.perf_counter()
+        with tracer.span("prepare", parent=step_span):
+            algorithm._build(dataset)  # prepare: index build / refresh
+        t1 = time.perf_counter()
+        with tracer.span("partition", parent=step_span) as partition_span:
+            plan = algorithm.plan(dataset)  # partition: emit independent tasks
+            if partition_span is not None:
+                partition_span.counters["n_tasks"] = len(plan.tasks)
+        t2 = time.perf_counter()
+        with tracer.span("verify", parent=step_span) as verify_span:
+            results = executor.run(plan.tasks, plan.context, algorithm.count_only)
+            events = executor.drain_events()  # robustness: retries, downgrades
+        t3 = time.perf_counter()
 
-    # merge: shards → canonical pairs, counters → aggregate statistics.
-    merged = PairAccumulator(count_only=algorithm.count_only)
-    overlap_tests = 0
-    task_counters = []
-    for task_result in results:
-        merged.merge(task_result.accumulator)
-        overlap_tests += int(task_result.counters.get("overlap_tests", 0))
-        task_counters.append(dict(task_result.counters))
-    if plan.on_complete is not None:
-        plan.on_complete(results)
-    t4 = time.perf_counter()
+        # merge: shards → canonical pairs, counters → aggregate statistics.
+        with tracer.span("merge", parent=step_span):
+            merged = PairAccumulator(count_only=algorithm.count_only)
+            overlap_tests = 0
+            task_counters = []
+            for task_result in results:
+                merged.merge(task_result.accumulator)
+                overlap_tests += int(task_result.counters.get("overlap_tests", 0))
+                task_counters.append(dict(task_result.counters))
+            if plan.on_complete is not None:
+                plan.on_complete(results)
+        t4 = time.perf_counter()
+
+        if traced:
+            for index, task_result in enumerate(results):
+                tracer.record(
+                    f"task:{type(plan.tasks[index]).__name__}",
+                    phase=task_result.phase,
+                    parent=verify_span,
+                    wall_seconds=task_result.seconds,
+                    cpu_seconds=task_result.cpu_seconds,
+                    counters={"task": index, **task_result.counters},
+                )
+    finally:
+        if traced:
+            step_cm.__exit__(None, None, None)
 
     algorithm._last_prepare_seconds = t1 - t0
     phase_seconds = dict(algorithm._phase_seconds())
@@ -70,11 +107,17 @@ def execute_step(algorithm, dataset):
 
     from repro.engine.executors import RETRY_EVENT_KINDS
 
+    # Snapshot the index-internal counters the algorithm's components
+    # maintain (P-Grid accounting, tuner state, executor rung, ...).
+    registry = getattr(algorithm, "metrics", None)
+    index_counters = registry.snapshot() if registry is not None else {}
+
     algorithm.stats = JoinStatistics(
         overlap_tests=overlap_tests,
         build_seconds=t1 - t0,
         join_seconds=t4 - t1,
         memory_bytes=algorithm.memory_footprint(),
+        index_counters=index_counters,
         phase_seconds=phase_seconds,
         stage_seconds={
             "prepare": t1 - t0,

@@ -84,7 +84,9 @@ RETRY_EVENT_KINDS = ("task_retry", "task_inline", "task_timeout")
 def _run_inline(task, ctx, count_only):
     accumulator = PairAccumulator(count_only=count_only)
     t0 = time.perf_counter()
+    c0 = time.process_time()
     counters = task.run(ctx, accumulator)
+    cpu_seconds = time.process_time() - c0
     seconds = time.perf_counter() - t0
     return TaskResult(
         counters=counters,
@@ -92,6 +94,7 @@ def _run_inline(task, ctx, count_only):
         n_pairs=len(accumulator),
         accumulator=accumulator,
         phase=task.phase,
+        cpu_seconds=cpu_seconds,
     )
 
 
@@ -337,19 +340,25 @@ def _attach_context(specs, token):
 
 
 def _process_worker(specs, token, task, count_only):
-    """Run one task in a worker process; return a picklable result."""
+    """Run one task in a worker process; return a picklable result.
+
+    The worker times the task itself (wall and CPU) so the measurement
+    rides the existing result channel back to the parent's tracer.
+    """
     ctx = _attach_context(specs, token)
     accumulator = PairAccumulator(count_only=count_only)
     t0 = time.perf_counter()
+    c0 = time.process_time()
     counters = task.run(ctx, accumulator)
+    cpu_seconds = time.process_time() - c0
     seconds = time.perf_counter() - t0
     pairs = None if count_only else accumulator.as_arrays()
-    return counters, seconds, len(accumulator), pairs, task.phase
+    return counters, seconds, len(accumulator), pairs, task.phase, cpu_seconds
 
 
 def _result_from_payload(payload, count_only):
     """Rehydrate a worker's picklable payload into a TaskResult."""
-    counters, seconds, n_pairs, pairs, phase = payload
+    counters, seconds, n_pairs, pairs, phase, cpu_seconds = payload
     accumulator = PairAccumulator(count_only=count_only)
     if pairs is not None:
         accumulator.extend_canonical(*pairs)
@@ -361,6 +370,7 @@ def _result_from_payload(payload, count_only):
         n_pairs=n_pairs,
         accumulator=accumulator,
         phase=phase,
+        cpu_seconds=cpu_seconds,
     )
 
 

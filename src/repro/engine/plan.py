@@ -84,13 +84,20 @@ def chunk_by_volume(counts, n_tasks):
 
 @dataclass
 class TaskResult:
-    """Outcome of one executed task: counters, wall time, pair shard."""
+    """Outcome of one executed task: counters, wall/CPU time, pair shard.
+
+    ``seconds``/``cpu_seconds`` are measured wherever the task actually
+    ran — inline, on a pool thread or in a worker process — and carried
+    back through this result so the tracer can attribute time to tasks
+    without any cross-process machinery.
+    """
 
     counters: dict
     seconds: float
     n_pairs: int
     accumulator: object  # PairAccumulator shard (merged in task order)
     phase: str
+    cpu_seconds: float = 0.0
 
 
 @dataclass

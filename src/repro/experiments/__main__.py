@@ -40,6 +40,15 @@ def main(argv=None):
             "then serial)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.JSONL",
+        help=(
+            "stream engine trace spans (step/stage/task wall+CPU times) "
+            "to this JSONL file while the experiments run"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -48,11 +57,26 @@ def main(argv=None):
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        started = time.perf_counter()
-        print(f"=== {name} (scale={args.scale}) ===")
-        run_experiment(name, scale=args.scale, executor=args.executor)
-        print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
+    writer = None
+    previous = None
+    if args.trace is not None:
+        from repro.obs import JsonlWriter, Tracer, set_tracer
+
+        writer = JsonlWriter(args.trace)
+        previous = set_tracer(Tracer(sink=writer))
+    try:
+        for name in names:
+            started = time.perf_counter()
+            print(f"=== {name} (scale={args.scale}) ===")
+            run_experiment(name, scale=args.scale, executor=args.executor)
+            print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
+    finally:
+        if writer is not None:
+            from repro.obs import set_tracer
+
+            set_tracer(previous)
+            writer.close()
+            print(f"trace: {writer.lines_written} spans -> {args.trace}")
     return 0
 
 

@@ -312,8 +312,15 @@ def fig7(scale="default", time_budget=600.0, quiet=False, executor=None):
     if not quiet:
         print(table)
     totals = {name: _total_or_none(runner) for name, runner in runners.items()}
+    # Per-step metrics-registry snapshots (tuner resolution, P-Grid cell
+    # accounting, ...): the observability series external plots line up
+    # against the cost panels; export.jsonable keeps them as-is.
+    index_counters = {
+        name: [rec.index_counters for rec in runner.records]
+        for name, runner in runners.items()
+    }
     return {"x": steps, "panels": panels, "totals": totals, "table": table,
-            "runners": runners}
+            "index_counters": index_counters, "runners": runners}
 
 
 # ----------------------------------------------------------------------

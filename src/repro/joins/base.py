@@ -85,6 +85,13 @@ class JoinStatistics:
         retry-class events above); 0 on a clean step.  Recovered steps
         still report pair sets and overlap tests identical to serial —
         these fields only make the recovery visible.
+    index_counters:
+        Snapshot of the algorithm's :class:`~repro.obs.MetricsRegistry`
+        taken right after the step: the index-internal counters each
+        component maintains (P-Grid cell accounting, T-Grid fallbacks,
+        tuner state, executor degradation rung), as a
+        ``{provider: {metric: scalar}}`` tree.  Empty for algorithms
+        that register no providers beyond the executor default.
     """
 
     overlap_tests: int = 0
@@ -96,6 +103,7 @@ class JoinStatistics:
     task_counters: list = field(default_factory=list)
     events: list = field(default_factory=list)
     task_retries: int = 0
+    index_counters: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self):
@@ -152,11 +160,25 @@ class SpatialJoinAlgorithm:
 
     def __init__(self, count_only=False, executor=None):
         from repro.engine import resolve_executor
+        from repro.obs import MetricsRegistry
 
         self.count_only = count_only
         self.executor = resolve_executor(executor)
         self.stats = JoinStatistics()
         self._last_prepare_seconds = 0.0
+        #: Read-only providers snapshot into ``JoinStatistics.index_counters``
+        #: each step; subclasses register their index internals here.
+        self.metrics = MetricsRegistry()
+        self.metrics.register("executor", self._executor_metrics)
+
+    def _executor_metrics(self):
+        """Default provider: executor identity and degradation rung."""
+        executor = self.executor
+        values = {"name": executor.name}
+        degraded = getattr(executor, "degraded", None)
+        if degraded is not None:
+            values["degraded"] = degraded
+        return values
 
     # ------------------------------------------------------------------
     # Subclass responsibilities

@@ -1,0 +1,196 @@
+"""Bench-trajectory document: schema, builders and validation.
+
+``BENCH_steps.json`` is the repo's machine-readable perf record: every
+claim of the paper is a *per-time-step* quantity (join time, overlap
+tests, footprint, tuner convergence), so the document stores one
+per-step series per (workload, algorithm, executor) run plus aggregates
+and the environment that produced them.  The schema is versioned;
+:func:`validate_bench` is what CI runs against the freshly produced
+document and what the test suite runs against a smoke run.
+
+Document shape (``BENCH_SCHEMA_VERSION`` 1)::
+
+    {
+      "schema_version": 1,
+      "kind": "bench_steps",
+      "environment": {"python": ..., "numpy": ..., "platform": ...,
+                       "cpu_count": ...},
+      "config": {...},                    # driver knobs (free-form)
+      "runs": [
+        {
+          "workload": "uniform", "algorithm": "thermal-join",
+          "executor": "serial", "n_objects": 5000, "n_steps": 6,
+          "steps": [ {step record}, ... ],   # one per simulated step
+          "aggregates": {"total_seconds": ..., "total_overlap_tests": ...,
+                          "peak_memory_bytes": ..., "total_results": ...,
+                          "task_retries": ..., "degraded_steps": ...}
+        }, ...
+      ]
+    }
+
+Each step record carries the Figure-7 series (``n_results``,
+``join_seconds``, ``build_seconds``, ``overlap_tests``,
+``memory_bytes``) plus the engine stage breakdown, the robustness
+record (``events``, ``task_retries``) and the metrics-registry snapshot
+(``index_counters`` — tuner resolution, P-Grid cell accounting, ...).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+from repro.obs.jsonl import to_jsonable
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "environment_info",
+    "step_record_to_json",
+    "run_aggregates",
+    "validate_bench",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Required keys of one per-step record.
+STEP_FIELDS = (
+    "step",
+    "n_results",
+    "join_seconds",
+    "build_seconds",
+    "overlap_tests",
+    "memory_bytes",
+    "stage_seconds",
+    "index_counters",
+    "events",
+    "task_retries",
+)
+
+#: Required keys of one run entry.
+RUN_FIELDS = (
+    "workload",
+    "algorithm",
+    "executor",
+    "n_objects",
+    "n_steps",
+    "steps",
+    "aggregates",
+)
+
+#: Required keys of the aggregates block.
+AGGREGATE_FIELDS = (
+    "total_seconds",
+    "total_overlap_tests",
+    "peak_memory_bytes",
+    "total_results",
+    "task_retries",
+    "degraded_steps",
+)
+
+
+def environment_info():
+    """The environment block: interpreter, numpy, platform, cores."""
+    import numpy
+
+    return {
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def step_record_to_json(record):
+    """One :class:`~repro.simulation.runner.StepRecord` as a JSON-ready
+    step entry of the bench schema."""
+    return to_jsonable(
+        {
+            "step": record.step,
+            "n_results": record.n_results,
+            "join_seconds": record.join_seconds,
+            "build_seconds": record.build_seconds,
+            "overlap_tests": record.overlap_tests,
+            "memory_bytes": record.memory_bytes,
+            "phase_seconds": dict(record.phase_seconds),
+            "stage_seconds": dict(record.stage_seconds),
+            "index_counters": dict(record.index_counters),
+            "events": list(record.events),
+            "task_retries": record.task_retries,
+        }
+    )
+
+
+def run_aggregates(runner):
+    """Aggregates block for one completed simulation runner."""
+    return {
+        "total_seconds": runner.total_join_seconds(),
+        "total_overlap_tests": runner.total_overlap_tests(),
+        "peak_memory_bytes": runner.peak_memory_bytes(),
+        "total_results": sum(record.n_results for record in runner.records),
+        "task_retries": runner.total_task_retries(),
+        "degraded_steps": runner.degraded_steps(),
+    }
+
+
+def _require(condition, message):
+    if not condition:
+        raise ValueError(f"invalid bench document: {message}")
+
+
+def validate_bench(doc):
+    """Validate a bench document against the schema; returns ``doc``.
+
+    Raises :class:`ValueError` naming the first violated constraint.
+    Checked: versioned top level, environment block, non-empty runs,
+    required run/step/aggregate fields, per-step series consistency
+    (monotone step indices, aggregate totals equal to the series sums).
+    """
+    _require(isinstance(doc, dict), "top level must be an object")
+    _require(
+        doc.get("schema_version") == BENCH_SCHEMA_VERSION,
+        f"schema_version must be {BENCH_SCHEMA_VERSION}",
+    )
+    _require(doc.get("kind") == "bench_steps", "kind must be 'bench_steps'")
+    environment = doc.get("environment")
+    _require(isinstance(environment, dict), "environment block missing")
+    for key in ("python", "numpy", "platform", "cpu_count"):
+        _require(key in environment, f"environment.{key} missing")
+    runs = doc.get("runs")
+    _require(isinstance(runs, list) and runs, "runs must be a non-empty list")
+    for index, run in enumerate(runs):
+        where = f"runs[{index}]"
+        _require(isinstance(run, dict), f"{where} must be an object")
+        for key in RUN_FIELDS:
+            _require(key in run, f"{where}.{key} missing")
+        steps = run["steps"]
+        _require(isinstance(steps, list) and steps, f"{where}.steps empty")
+        _require(
+            len(steps) == run["n_steps"],
+            f"{where}: n_steps={run['n_steps']} but {len(steps)} step records",
+        )
+        for k, step in enumerate(steps):
+            for key in STEP_FIELDS:
+                _require(key in step, f"{where}.steps[{k}].{key} missing")
+            _require(
+                step["step"] == k, f"{where}.steps[{k}] has step index {step['step']}"
+            )
+        aggregates = run["aggregates"]
+        for key in AGGREGATE_FIELDS:
+            _require(key in aggregates, f"{where}.aggregates.{key} missing")
+        _require(
+            aggregates["total_overlap_tests"]
+            == sum(step["overlap_tests"] for step in steps),
+            f"{where}: total_overlap_tests does not equal the series sum",
+        )
+        _require(
+            aggregates["total_results"]
+            == sum(step["n_results"] for step in steps),
+            f"{where}: total_results does not equal the series sum",
+        )
+        _require(
+            aggregates["peak_memory_bytes"]
+            == max(step["memory_bytes"] for step in steps),
+            f"{where}: peak_memory_bytes does not equal the series max",
+        )
+    return doc

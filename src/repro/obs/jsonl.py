@@ -1,0 +1,72 @@
+"""JSONL emission: one JSON document per line, numpy-safe.
+
+The trace sink and the bench driver both write JSON Lines — the
+append-friendly format that lets a long run stream records as they
+happen and a consumer (or a human with ``grep``) read them without
+loading the whole file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["JsonlWriter", "json_default", "to_jsonable"]
+
+
+def json_default(value):
+    """``json.dumps`` fallback: numpy scalars/arrays, sets, everything else
+    by ``repr`` (a trace line must never fail to serialise)."""
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "ndim", 1) == 0:
+        return item()
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return repr(value)
+
+
+def to_jsonable(value):
+    """Round-trip ``value`` through the tolerant encoder into plain
+    Python containers (used before schema validation)."""
+    return json.loads(json.dumps(value, default=json_default))
+
+
+class JsonlWriter:
+    """Appends one JSON document per line to ``path``.
+
+    Opens lazily on first :meth:`write`, flushes every line (a crashed
+    run keeps everything written so far) and supports use as a context
+    manager.  Parent directories are created as needed.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._file = None
+        self.lines_written = 0
+
+    def write(self, obj):
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("w", encoding="utf-8")
+        json.dump(obj, self._file, default=json_default)
+        self._file.write("\n")
+        self._file.flush()
+        self.lines_written += 1
+
+    def close(self):
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return f"JsonlWriter({str(self.path)!r}, lines={self.lines_written})"

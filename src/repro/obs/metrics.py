@@ -1,0 +1,77 @@
+"""Metrics registry: snapshot index-internal counters into statistics.
+
+The substrates of THERMAL-JOIN already compute rich diagnostics — the
+P-Grid's lifetime cell accounting (``cells_created``, ``cells_recycled``,
+``gc_runs``, ``n_vacant``), the T-Grid's fallback and peak-cell numbers,
+the tuner's convergence state and the executor's degradation rung — but
+until this layer they were dropped on the floor after each step.
+
+A :class:`MetricsRegistry` holds named *providers*: zero-argument
+callables returning a flat dict of scalars (or ``None``/``{}`` when the
+component has nothing to report yet, e.g. a P-Grid before the first
+build).  :meth:`snapshot` evaluates every provider and returns a
+``{provider_name: {metric: value}}`` tree of JSON-ready scalars, which
+the engine stores into ``JoinStatistics.index_counters`` each step and
+the simulation runner copies into ``StepRecord.index_counters`` — so
+every figure, benchmark and trace line can see the index internals of
+the exact step it measured.
+
+Providers are read-only by contract: a snapshot must never mutate the
+component it observes (results stay bit-identical with metrics on,
+which the test suite enforces).
+"""
+
+from __future__ import annotations
+
+__all__ = ["MetricsRegistry"]
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def _scalar(value):
+    """Coerce a provider value to a JSON-ready scalar."""
+    if isinstance(value, _SCALAR_TYPES):
+        return value
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        return item()
+    return repr(value)
+
+
+class MetricsRegistry:
+    """Named read-only providers of per-component counter snapshots."""
+
+    def __init__(self):
+        self._providers = {}
+
+    def register(self, name, provider):
+        """Register ``provider`` under ``name``; names must be unique."""
+        if not callable(provider):
+            raise TypeError(f"provider for {name!r} must be callable")
+        if name in self._providers:
+            raise ValueError(f"metrics provider {name!r} already registered")
+        self._providers[name] = provider
+
+    def unregister(self, name):
+        """Remove a provider; unknown names are ignored."""
+        self._providers.pop(name, None)
+
+    def names(self):
+        """Registered provider names, in registration order."""
+        return list(self._providers)
+
+    def snapshot(self):
+        """Evaluate every provider into a ``{name: {metric: scalar}}`` tree.
+
+        Providers returning ``None`` or an empty dict are omitted, so a
+        component that has not run yet simply contributes nothing.
+        """
+        out = {}
+        for name, provider in self._providers.items():
+            values = provider()
+            if values:
+                out[name] = {key: _scalar(value) for key, value in values.items()}
+        return out
+
+    def __repr__(self):
+        return f"MetricsRegistry({', '.join(self._providers) or 'empty'})"

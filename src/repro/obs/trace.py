@@ -1,0 +1,268 @@
+"""Lightweight trace spans for the staged join engine.
+
+A *span* is one timed region of a join step: the step itself, each of
+the engine's four stages (prepare / partition / verify / merge) and one
+span per executed plan task.  Spans carry a name, an optional phase tag,
+wall and CPU time, a counters dict and a parent reference, so a trace
+consumer can reconstruct the step tree exactly — the fine-grained phase
+attribution that parallel in-memory join work (Tsitsigkos & Mamoulis)
+and adaptive geospatial joins (Kipf et al.) rely on to explain cost.
+
+Tracing is **observational only**: the engine produces bit-identical
+pair sets, overlap-test totals and tuner decisions with tracing on or
+off (the test suite enforces it), and the disabled path is a single
+attribute check plus a shared no-op context manager — no allocation,
+no measurable overhead.
+
+Task spans are not measured by the tracer itself: every executor
+already times each task (wall and CPU) wherever it ran — inline, on a
+pool thread or in a worker process — and ships the measurement back
+through the existing result channel (:class:`~repro.engine.plan.TaskResult`
+and the process executor's payload).  The engine turns those results
+into child spans of the verify stage via :meth:`Tracer.record`, so
+worker-side time is attributed without any cross-process tracing
+machinery.
+
+Usage::
+
+    from repro.obs import Tracer, set_tracer, get_tracer
+
+    set_tracer(Tracer())            # or Tracer(sink=JsonlWriter(path))
+    ...                             # run joins; spans accumulate
+    spans = get_tracer().drain()
+
+The ``REPRO_TRACE`` environment variable names a JSONL file to trace
+into for the whole process (consulted once, lazily).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "emit_record",
+]
+
+#: Version stamped on every span line a sink writes.
+TRACE_SCHEMA_VERSION = 1
+
+#: Environment variable naming a JSONL file to trace into by default.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+
+@dataclass
+class Span:
+    """One timed region of a join step.
+
+    ``span_id``/``parent_id`` encode the tree (``parent_id`` is ``None``
+    for a step's root span); ``step`` is the tracer's step sequence
+    number, so spans of different steps never interleave ambiguously.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    phase: str | None = None
+    step: int | None = None
+    start: float = 0.0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    counters: dict = field(default_factory=dict)
+
+    def to_json(self):
+        """The span as a JSON-ready dict (one trace JSONL line)."""
+        return {
+            "kind": "span",
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "phase": self.phase,
+            "step": self.step,
+            "start": self.start,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "counters": dict(self.counters),
+        }
+
+
+class _SpanContext:
+    """Context manager measuring one live span."""
+
+    __slots__ = ("_tracer", "span", "_t0", "_c0")
+
+    def __init__(self, tracer, span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb):
+        self.span.wall_seconds = time.perf_counter() - self._t0
+        self.span.cpu_seconds = time.process_time() - self._c0
+        self._tracer._emit(self.span)
+        return False
+
+
+class _NullSpanContext:
+    """Shared no-op context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class Tracer:
+    """Collects spans; optionally streams them to a ``sink``.
+
+    ``sink`` is anything with a ``write(dict)`` method (see
+    :class:`~repro.obs.jsonl.JsonlWriter`).  Spans are also kept in
+    :attr:`spans` until :meth:`drain` is called, so in-process consumers
+    (tests, the bench driver) need no sink at all.
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None):
+        self.sink = sink
+        self.spans = []
+        self._next_id = 1
+        self._step = 0
+        self._origin = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def begin_step(self):
+        """Advance the step sequence number; returns it."""
+        self._step += 1
+        return self._step
+
+    def span(self, name, phase=None, parent=None, counters=None):
+        """Open a live span as a context manager; yields the Span."""
+        span = Span(
+            span_id=self._take_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            phase=phase,
+            step=self._step,
+            start=time.perf_counter() - self._origin,
+            counters=dict(counters) if counters else {},
+        )
+        return _SpanContext(self, span)
+
+    def record(self, name, phase=None, parent=None, wall_seconds=0.0,
+               cpu_seconds=0.0, counters=None):
+        """Emit an already-measured span (e.g. a task timed by a worker
+        process and shipped back through the result channel)."""
+        span = Span(
+            span_id=self._take_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            phase=phase,
+            step=self._step,
+            start=time.perf_counter() - self._origin,
+            wall_seconds=float(wall_seconds),
+            cpu_seconds=float(cpu_seconds),
+            counters=dict(counters) if counters else {},
+        )
+        self._emit(span)
+        return span
+
+    def drain(self):
+        """Return and clear the collected spans."""
+        spans, self.spans = self.spans, []
+        return spans
+
+    # ------------------------------------------------------------------
+    def _take_id(self):
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def _emit(self, span):
+        self.spans.append(span)
+        if self.sink is not None:
+            self.sink.write(span.to_json())
+
+    def __repr__(self):
+        return f"Tracer(spans={len(self.spans)}, sink={self.sink!r})"
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a constant-time no-op."""
+
+    enabled = False
+    sink = None
+
+    def begin_step(self):
+        return 0
+
+    def span(self, name, phase=None, parent=None, counters=None):
+        return _NULL_SPAN
+
+    def record(self, *args, **kwargs):
+        return None
+
+    def drain(self):
+        return []
+
+    def __repr__(self):
+        return "NullTracer()"
+
+
+# ----------------------------------------------------------------------
+# Active-tracer management
+# ----------------------------------------------------------------------
+_ACTIVE = NullTracer()
+_ENV_CHECKED = False
+
+
+def get_tracer():
+    """The process-wide active tracer (a :class:`NullTracer` by default).
+
+    On first call, the ``REPRO_TRACE`` environment variable is consulted:
+    when set, a :class:`Tracer` writing JSONL to that path is installed.
+    """
+    global _ACTIVE, _ENV_CHECKED
+    if not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        path = os.environ.get(TRACE_ENV_VAR)
+        if path and not _ACTIVE.enabled:
+            from repro.obs.jsonl import JsonlWriter
+
+            _ACTIVE = Tracer(sink=JsonlWriter(path))
+    return _ACTIVE
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` as the active tracer; returns the previous one."""
+    global _ACTIVE, _ENV_CHECKED
+    _ENV_CHECKED = True  # an explicit tracer overrides the environment
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NullTracer()
+    return previous
+
+
+def emit_record(kind, payload):
+    """Write a non-span record (series dump, experiment result) to the
+    active tracer's sink, if tracing into one; no-op otherwise."""
+    tracer = get_tracer()
+    if tracer.enabled and tracer.sink is not None:
+        tracer.sink.write({"kind": kind, **payload})

@@ -37,7 +37,10 @@ class StepRecord:
     plus the finer phase breakdown used by Figure 10(a).  ``events``
     and ``task_retries`` carry the step's robustness record (see
     :class:`~repro.joins.base.JoinStatistics`); both are empty/zero on
-    a clean step.
+    a clean step.  ``index_counters`` is the step's metrics-registry
+    snapshot (tuner resolution, P-Grid cell accounting, executor rung —
+    see :class:`~repro.obs.MetricsRegistry`), so bench trajectories and
+    traces can line the index internals up with the cost series.
     """
 
     step: int
@@ -50,6 +53,7 @@ class StepRecord:
     stage_seconds: dict = field(default_factory=dict)
     events: list = field(default_factory=list)
     task_retries: int = 0
+    index_counters: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self):
@@ -139,6 +143,7 @@ class SimulationRunner:
                     stage_seconds=dict(stats.stage_seconds),
                     events=list(stats.events),
                     task_retries=stats.task_retries,
+                    index_counters=dict(stats.index_counters),
                 )
             )
             if (

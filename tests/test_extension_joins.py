@@ -141,6 +141,24 @@ class TestMemoryQuota:
         with pytest.raises(ValueError):
             ThermalJoin(memory_quota_bytes=0)
 
+    def test_infeasible_quota_fails_fast(self, uniform_small):
+        # Regression: a quota below the footprint floor (even a single
+        # cell over-spends it) used to coarsen forever — the projected
+        # footprint is monotone in the cell width with a positive
+        # infimum, so the loop never terminated.  Now it raises.
+        join = ThermalJoin(memory_quota_bytes=1)
+        with pytest.raises(ValueError, match="memory_quota_bytes"):
+            join.step(uniform_small)
+
+    def test_quota_just_above_floor_still_runs(self, uniform_small):
+        join = ThermalJoin(resolution=1.0, memory_quota_bytes=1)
+        floor = join._footprint_floor(uniform_small)
+        generous = ThermalJoin(resolution=1.0, memory_quota_bytes=2 * floor)
+        result = generous.step(uniform_small)
+        assert result.n_results == ThermalJoin(resolution=1.0).step(
+            uniform_small
+        ).n_results
+
     def test_quota_with_tuning_stays_correct(self):
         dataset, motion = make_uniform_workload(
             400, width=15.0, bounds=(np.zeros(3), np.full(3, 110.0)), seed=59

@@ -256,3 +256,108 @@ class TestFootprint:
         refresh_grid(coarse, ds)
         refresh_grid(fine, ds)
         assert fine.memory_footprint() > coarse.memory_footprint()
+
+
+def brute_force_footprint(grid):
+    """Recompute the footprint by walking every cell (the pre-incremental
+    definition); the O(1) incremental version must match it exactly."""
+    from repro.core.pgrid import CELL_RECORD_BYTES, _bucket_count
+    from repro.joins.base import POINTER_BYTES
+
+    n_cells = len(grid.cells)
+    if n_cells == 0:
+        return 0
+    total = _bucket_count(n_cells) * POINTER_BYTES
+    total += n_cells * CELL_RECORD_BYTES
+    for cell in grid.cells.values():
+        if cell.object_idx is not None:
+            total += cell.object_idx.size * POINTER_BYTES
+        total += len(cell.hyperlinks) * POINTER_BYTES
+    return total
+
+
+class TestIncrementalAccounting:
+    """The vacant-cell set and O(1) footprint must track the cell walk."""
+
+    def _drift(self, grid, ds, steps, seed=13):
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            ds.update_positions(rng.uniform(0, 30.0, size=ds.centers.shape))
+            refresh_grid(grid, ds)
+            yield
+
+    def test_footprint_matches_brute_force_across_steps(self):
+        ds = small_dataset(40, width=5.0, side=30.0, seed=11)
+        grid = PGrid(5.0, np.zeros(3), gc_threshold=0.35)
+        for _ in self._drift(grid, ds, 12):
+            assert grid.memory_footprint() == brute_force_footprint(grid)
+        assert grid.gc_runs > 0  # the equivalence held across GC too
+
+    def test_footprint_matches_without_gc(self):
+        ds = small_dataset(40, width=5.0, side=30.0, seed=12)
+        grid = PGrid(5.0, np.zeros(3), gc_threshold=1.0)
+        for _ in self._drift(grid, ds, 8):
+            assert grid.memory_footprint() == brute_force_footprint(grid)
+        assert grid.n_vacant > 0  # vacants accumulated, still exact
+
+    def test_vacant_set_matches_cell_walk(self):
+        ds = small_dataset(40, width=5.0, side=30.0, seed=14)
+        grid = PGrid(5.0, np.zeros(3), gc_threshold=0.35)
+        for _ in self._drift(grid, ds, 10):
+            walked = {
+                cell_id for cell_id, cell in grid.cells.items() if cell.is_vacant
+            }
+            assert set(grid._vacant_cells) == walked
+            assert grid.n_vacant == len(walked)
+
+    def test_vacant_ages_advance_without_per_cell_touch(self):
+        ds = small_dataset(50, width=5.0, side=30.0, seed=15)
+        grid = PGrid(5.0, np.zeros(3), gc_threshold=0.99)
+        refresh_grid(grid, ds)
+        shift = np.full((50, 3), 11.0)
+        ds.translate(shift)
+        refresh_grid(grid, ds)
+        first = {id(c): c.age for c in grid.cells.values() if c.is_vacant}
+        assert first and all(age == 1 for age in first.values())
+        ds.translate(shift)
+        refresh_grid(grid, ds)
+        for cell in grid.cells.values():
+            if id(cell) in first and cell.is_vacant:
+                assert cell.age == first[id(cell)] + 1
+
+
+class TestClear:
+    def test_clear_resets_batched_arrays(self):
+        # Regression: clear() dropped the cell table but left the stacked
+        # per-occupied-cell arrays of the dead generation behind; a
+        # batched consumer could read assignments for cells that no
+        # longer exist.
+        ds = small_dataset(200)
+        grid = PGrid(10.0, np.zeros(3))
+        refresh_grid(grid, ds)
+        assert grid.cat is not None
+        grid.clear()
+        for name in (
+            "cat",
+            "cell_starts",
+            "cell_stops",
+            "cell_min_width",
+            "cell_max_width",
+            "cell_center_lo",
+            "cell_center_hi",
+        ):
+            assert getattr(grid, name) is None, name
+        assert grid.cells == {}
+        assert grid.occupied == []
+        assert grid.n_vacant == 0
+        assert grid.memory_footprint() == 0
+
+    def test_rebuild_after_clear_is_consistent(self):
+        ds = small_dataset(200)
+        grid = PGrid(10.0, np.zeros(3))
+        refresh_grid(grid, ds)
+        before = grid.memory_footprint()
+        grid.clear()
+        refresh_grid(grid, ds)
+        assert grid.memory_footprint() == before
+        assert grid.memory_footprint() == brute_force_footprint(grid)

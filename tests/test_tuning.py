@@ -151,3 +151,71 @@ class TestDriftRetuning:
         for k in range(10):
             tuner.observe(base * (1.0 + 0.03 * (-1) ** k))
         assert tuner.retunes == 0
+
+    def test_gradual_drift_triggers_retune(self):
+        """Regression: Equation 2 compares against the *fixed* converged
+        cost, not the previous step — a workload drifting 5% per step
+        (always under the 10% threshold step-to-step) must still retune
+        once the cumulative departure crosses the threshold."""
+        tuner = run_on_function(HillClimbingTuner(), lambda r: 10 + 50 * (r - 0.8) ** 2)
+        assert tuner.converged
+        cost = 10.0
+        for _ in range(10):
+            tuner.observe(cost)
+            if tuner.retunes:
+                break
+            cost *= 1.05  # each step within threshold of the previous
+        assert tuner.retunes >= 1
+        # 1.05^2 = 1.1025 > 1.10: the third observation crosses Eq. 2.
+        assert len(tuner.history) <= tuner.tuning_steps + 4
+
+    def test_gradual_drift_downward_also_triggers(self):
+        # Eq. 2 is two-sided: costs *improving* past the threshold also
+        # signal a changed distribution worth re-tuning for.
+        tuner = run_on_function(HillClimbingTuner(), lambda r: 10 + 50 * (r - 0.8) ** 2)
+        cost = 10.0
+        for _ in range(10):
+            tuner.observe(cost)
+            if tuner.retunes:
+                break
+            cost *= 0.94
+        assert tuner.retunes >= 1
+
+    def test_retune_after_drift_settles_no_worse(self):
+        """After a gradual-drift retune the re-converged operating point
+        must not be worse than the drifted landscape's value at the point
+        the tuner left."""
+        landscape = lambda r: 100 + 400 * (r - 1.0) ** 2  # noqa: E731
+        tuner = run_on_function(HillClimbingTuner(), landscape)
+        assert tuner.converged
+        # The landscape inflates 5% per observation until the retune fires.
+        scale = 1.0
+        for _ in range(10):
+            tuner.observe(scale * landscape(tuner.current_r))
+            if tuner.retunes:
+                break
+            scale *= 1.05
+        assert tuner.retunes == 1
+        departure_cost = scale * landscape(tuner.current_r)
+        # The inflation stops (new stable landscape); let it re-converge.
+        for _ in range(40):
+            tuner.observe(scale * landscape(tuner.current_r))
+            if tuner.converged:
+                break
+        assert tuner.converged
+        assert scale * landscape(tuner.current_r) <= departure_cost * 1.05
+
+    def test_clamped_boundary_convergence_keeps_drift_watch(self):
+        """Converging *on* a clamp bound must still arm Equation 2: the
+        next big cost change at the boundary point re-triggers tuning."""
+        landscape = lambda r: 10 + 50 * (r - 0.1) ** 2  # optimum below r_min  # noqa: E731
+        tuner = HillClimbingTuner(r_min=0.5, r_max=2.0)
+        for _ in range(60):
+            tuner.observe(landscape(tuner.current_r))
+            if tuner.converged:
+                break
+        assert tuner.converged
+        assert tuner.r_min <= tuner.current_r <= tuner.r_max
+        tuner.observe(landscape(tuner.current_r))  # seeds the reference
+        tuner.observe(5.0 * landscape(tuner.current_r))
+        assert tuner.retunes == 1
