@@ -189,8 +189,10 @@ def test_smoke_matrix_is_schema_valid(tmp_path):
     traced = run_matrix(dict(SMOKE), trace_path=trace_path)
     plain = run_matrix(dict(SMOKE))
     # Tracing must be purely observational: identical series either way.
-    for run_traced, run_plain in zip(traced["runs"], plain["runs"]):
-        for step_traced, step_plain in zip(run_traced["steps"], run_plain["steps"]):
+    for run_traced, run_plain in zip(traced["runs"], plain["runs"], strict=True):
+        for step_traced, step_plain in zip(
+        run_traced["steps"], run_plain["steps"], strict=True
+    ):
             assert step_traced["n_results"] == step_plain["n_results"]
             assert step_traced["overlap_tests"] == step_plain["overlap_tests"]
             assert step_traced["memory_bytes"] == step_plain["memory_bytes"]

@@ -14,6 +14,8 @@ Quickstart
 True
 """
 
+from typing import Any
+
 from repro.datasets import (
     BranchJitter,
     ClusterDrift,
@@ -46,7 +48,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> Any:
     """Lazy imports for the heavier subpackages (joins, core, simulation).
 
     Keeps ``import repro`` light while still exposing the full public API

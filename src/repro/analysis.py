@@ -21,7 +21,12 @@ workloads are denser locally, so these values act as lower bounds.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
 
 __all__ = [
     "expected_partners_per_object",
@@ -32,7 +37,9 @@ __all__ = [
 ]
 
 
-def expected_partners_per_object(n_objects, width, domain_volume):
+def expected_partners_per_object(
+    n_objects: int, width: float, domain_volume: float
+) -> float:
     """Expected overlap partners per object under uniform density.
 
     ``width`` is the shared cubic object width; the interaction volume
@@ -46,13 +53,15 @@ def expected_partners_per_object(n_objects, width, domain_volume):
     return float((n_objects - 1) / n_objects * density * (2.0 * width) ** 3)
 
 
-def expected_join_results(n_objects, width, domain_volume):
+def expected_join_results(n_objects: int, width: float, domain_volume: float) -> float:
     """Expected self-join result count under uniform density."""
     partners = expected_partners_per_object(n_objects, width, domain_volume)
     return float(n_objects * partners / 2.0)
 
 
-def expected_cell_occupancy(n_objects, width, domain_volume, resolution=1.0):
+def expected_cell_occupancy(
+    n_objects: int, width: float, domain_volume: float, resolution: float = 1.0
+) -> float:
     """Expected objects per occupied P-Grid cell at resolution ``r``.
 
     Cell width is ``r * width`` (the largest-object width for equal
@@ -64,7 +73,7 @@ def expected_cell_occupancy(n_objects, width, domain_volume, resolution=1.0):
     return float(density * (resolution * width) ** 3)
 
 
-def expected_hot_spot_pair_fraction(resolution=1.0):
+def expected_hot_spot_pair_fraction(resolution: float = 1.0) -> float:
     """Fraction of overlapping pairs that fall inside one hot-spot cell.
 
     For equal widths ``w`` and cell width ``c = r * w`` (r <= 1 so cells
@@ -82,7 +91,7 @@ def expected_hot_spot_pair_fraction(resolution=1.0):
     return float((resolution / 2.0) ** 3)
 
 
-def measured_selectivity(dataset, sample=2048, seed=0):
+def measured_selectivity(dataset: SpatialDataset, sample: int = 2048, seed: int = 0) -> float:
     """Estimate partners-per-object by sampling exact overlap counts.
 
     Draws ``sample`` objects, counts their true partners against the

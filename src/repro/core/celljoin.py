@@ -20,12 +20,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry import sweep_between, window_pairs
+from typing import TYPE_CHECKING
+
+from repro.geometry import encloses, sweep_between, window_pairs
+
+if TYPE_CHECKING:
+    from repro.geometry import PairAccumulator
 
 __all__ = ["join_sorted_lists", "join_cell_pairs_batched", "emit_hot_cells_batched"]
 
 
-def _bisect_runs(values, targets, lo, hi, strict):
+def _bisect_runs(
+    values: np.ndarray, targets: np.ndarray, lo: np.ndarray, hi: np.ndarray, strict: bool
+) -> np.ndarray:
     """Vectorised binary search inside per-row ranges of ``values``.
 
     For each row ``k`` finds, within ``values[lo[k]:hi[k]]`` (each run
@@ -42,7 +49,7 @@ def _bisect_runs(values, targets, lo, hi, strict):
     span = int((hi - lo).max())
     guard = values.shape[0] - 1
     for _ in range(max(span, 1).bit_length()):
-        active = lo < hi
+        active = lo < hi  # repro-lint: ignore[RPL201] binary-search index ranges, not box bounds
         if not active.any():
             break
         mid = (lo + hi) >> 1
@@ -56,14 +63,14 @@ def _bisect_runs(values, targets, lo, hi, strict):
 
 
 def join_sorted_lists(
-    lo,
-    hi,
-    a_idx,
-    b_idx,
-    b_center_lo,
-    b_center_hi,
-    accumulator,
-):
+    lo: np.ndarray,
+    hi: np.ndarray,
+    a_idx: np.ndarray,
+    b_idx: np.ndarray,
+    b_center_lo: np.ndarray,
+    b_center_hi: np.ndarray,
+    accumulator: PairAccumulator,
+) -> tuple[int, int]:
     """Join two disjoint, x-sorted object lists (cell A against cell B).
 
     Parameters
@@ -94,9 +101,7 @@ def join_sorted_lists(
     shortcut_pairs = 0
     # Objects of A that enclose all of B's centers overlap every object
     # of B; emit those pairs combinatorially.
-    enclosing = np.logical_and(
-        (lo_a <= b_center_lo).all(axis=1), (hi_a >= b_center_hi).all(axis=1)
-    )
+    enclosing = encloses(lo_a, hi_a, b_center_lo, b_center_hi)
     if enclosing.any():
         enclosing_ids = a_idx[enclosing]
         accumulator.extend(
@@ -116,20 +121,20 @@ def join_sorted_lists(
 
 
 def join_cell_pairs_batched(
-    lo,
-    hi,
-    cat,
-    starts,
-    stops,
-    center_lo,
-    center_hi,
-    pair_a,
-    pair_b,
-    accumulator,
-    chunk_candidates=2_000_000,
-    enclosure_shortcut=True,
-    n_workers=1,
-):
+    lo: np.ndarray,
+    hi: np.ndarray,
+    cat: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    center_lo: np.ndarray,
+    center_hi: np.ndarray,
+    pair_a: np.ndarray,
+    pair_b: np.ndarray,
+    accumulator: PairAccumulator,
+    chunk_candidates: int = 2_000_000,
+    enclosure_shortcut: bool = True,
+    n_workers: int = 1,
+) -> tuple[int, int]:
     """External join over *many* cell pairs in vectorised batches.
 
     Semantically identical to calling :func:`join_sorted_lists` for each
@@ -225,10 +230,10 @@ def join_cell_pairs_batched(
             """Evaluate y/z on x-overlapping candidates and emit."""
             yz = np.logical_and(
                 np.logical_and(
-                    ylo[left_pos] < yhi[right_pos], ylo[right_pos] < yhi[left_pos]
+                    ylo[left_pos] < yhi[right_pos], ylo[right_pos] < yhi[left_pos]  # repro-lint: ignore[RPL201] y refinement of x-sweep candidates already charged via tests
                 ),
                 np.logical_and(
-                    zlo[left_pos] < zhi[right_pos], zlo[right_pos] < zhi[left_pos]
+                    zlo[left_pos] < zhi[right_pos], zlo[right_pos] < zhi[left_pos]  # repro-lint: ignore[RPL201] z refinement of x-sweep candidates already charged via tests
                 ),
             )
             chunk_accumulator.extend(cat[left_pos[yz]], cat[right_pos[yz]])
@@ -250,8 +255,7 @@ def join_cell_pairs_batched(
             # evaluate per row and emit those rows against all of B.
             bc_lo = center_lo[c_pair_b[row_of_a]]
             bc_hi = center_hi[c_pair_b[row_of_a]]
-            flags = (ordered_lo[a_positions] <= bc_lo).all(axis=1)
-            flags &= (ordered_hi[a_positions] >= bc_hi).all(axis=1)
+            flags = encloses(ordered_lo[a_positions], ordered_hi[a_positions], bc_lo, bc_hi)
             if flags.any():
                 full_flags = flags  # original (pair, A-member) enumeration
                 er = np.flatnonzero(flags)
@@ -334,7 +338,13 @@ def join_cell_pairs_batched(
     return total_tests, total_shortcuts
 
 
-def emit_hot_cells_batched(cat, starts, stops, hot_slots, accumulator):
+def emit_hot_cells_batched(
+    cat: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    hot_slots: np.ndarray,
+    accumulator: PairAccumulator,
+) -> int:
     """Emit all within-cell combinations for many hot-spot cells at once.
 
     Vectorised equivalent of running ``all_combinations`` per hot cell:

@@ -35,7 +35,7 @@ COORD_BIAS = 1 << (COORD_BITS - 1)
 _COORD_MASK = (1 << COORD_BITS) - 1
 
 
-def pack_cell_ids(coords):
+def pack_cell_ids(coords: np.ndarray) -> np.ndarray:
     """Pack integer grid coordinates ``(n, 3)`` into ``int64`` cell ids.
 
     Coordinates must lie in ``[-2^20, 2^20)``; with any practical cell
@@ -57,7 +57,7 @@ def pack_cell_ids(coords):
     )
 
 
-def pack_cell_id_scalar(x, y, z):
+def pack_cell_id_scalar(x: int, y: int, z: int) -> int:
     """Scalar (pure-Python-int) variant of :func:`pack_cell_ids`.
 
     Used on the hyperlink wiring path where per-offset numpy calls would
@@ -71,7 +71,7 @@ def pack_cell_id_scalar(x, y, z):
     )
 
 
-def unpack_cell_id(cell_id):
+def unpack_cell_id(cell_id: int) -> tuple[int, int, int]:
     """Invert :func:`pack_cell_ids` for a single identifier."""
     cell_id = int(cell_id)
     x = ((cell_id >> (2 * COORD_BITS)) & _COORD_MASK) - COORD_BIAS
@@ -80,7 +80,7 @@ def unpack_cell_id(cell_id):
     return x, y, z
 
 
-def unpack_cell_ids(cell_ids):
+def unpack_cell_ids(cell_ids: np.ndarray) -> np.ndarray:
     """Vectorised inverse of :func:`pack_cell_ids`; returns ``(n, 3)`` coords."""
     cell_ids = np.asarray(cell_ids, dtype=np.int64)
     x = ((cell_ids >> (2 * COORD_BITS)) & _COORD_MASK) - COORD_BIAS
@@ -89,7 +89,7 @@ def unpack_cell_ids(cell_ids):
     return np.stack([x, y, z], axis=1)
 
 
-def half_neighborhood_offsets(layers):
+def half_neighborhood_offsets(layers: int | np.ndarray) -> list[tuple[int, int, int]]:
     """Lexicographically positive neighbour offsets within ``layers``.
 
     The external join must consider each *pair* of adjacent cells exactly
@@ -164,7 +164,13 @@ class PGridCell:
         "slot",
     )
 
-    def __init__(self, coords, lo, hi, clock=None):
+    def __init__(
+        self,
+        coords: tuple[int, int, int],
+        lo: np.ndarray,
+        hi: np.ndarray,
+        clock: list[int] | None = None,
+    ) -> None:
         self.coords = coords
         self.lo = lo
         self.hi = hi
@@ -184,18 +190,18 @@ class PGridCell:
         self.slot = -1
 
     @property
-    def is_vacant(self):
+    def is_vacant(self) -> bool:
         """True when no objects are currently assigned."""
         return self.object_idx is None or self.object_idx.size == 0
 
     @property
-    def age(self):
+    def age(self) -> int:
         """Refreshes spent vacant: the vacating refresh counts as 1."""
         if self.vacant_at is None or self._clock is None:
             return 0
         return self._clock[0] - self.vacant_at + 1
 
-    def clear(self):
+    def clear(self) -> None:
         """Drop the object assignment (incremental maintenance, §4.3.1)."""
         self.object_idx = None
         self.min_obj_width = None
@@ -206,6 +212,6 @@ class PGridCell:
         if self._clock is not None:
             self.vacant_at = self._clock[0]
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         n = 0 if self.object_idx is None else self.object_idx.size
         return f"PGridCell(coords={self.coords}, n={n}, age={self.age})"

@@ -42,7 +42,7 @@ __all__ = ["PGrid"]
 CELL_RECORD_BYTES = ID_BYTES + MBR_BYTES + MBR_BYTES + 8 + 16 + 16
 
 
-def _bucket_count(n_cells):
+def _bucket_count(n_cells: int) -> int:
     """Power-of-two hash bucket count at a 0.75 target load factor."""
     need = max(8, int(n_cells / 0.75) + 1)
     return 1 << (need - 1).bit_length()
@@ -66,7 +66,12 @@ class PGrid:
         default 0.35).
     """
 
-    def __init__(self, cell_width, origin, gc_threshold=0.35):
+    def __init__(
+        self,
+        cell_width: float,
+        origin: np.ndarray,
+        gc_threshold: float = 0.35,
+    ) -> None:
         if cell_width <= 0:
             raise ValueError(f"cell_width must be positive, got {cell_width}")
         if not 0.0 < gc_threshold <= 1.0:
@@ -77,29 +82,29 @@ class PGrid:
             raise ValueError(f"origin must be a 3-vector, got {self.origin.shape}")
         self.gc_threshold = float(gc_threshold)
         #: packed cell id -> PGridCell (the linked-hash table).
-        self.cells = {}
+        self.cells: dict[int, PGridCell] = {}
         #: Cells with at least one object after the last refresh.
-        self.occupied = []
+        self.occupied: list[PGridCell] = []
         # Stacked per-occupied-cell arrays (aligned with ``occupied``),
         # retained by refresh() so the batched join phase can work on
         # whole-grid arrays instead of per-cell slices:
         #: all object indices, grouped by cell and x-sorted within cells.
-        self.cat = None
+        self.cat: np.ndarray | None = None
         #: per-cell [start, stop) ranges into ``cat``.
-        self.cell_starts = None
-        self.cell_stops = None
+        self.cell_starts: np.ndarray | None = None
+        self.cell_stops: np.ndarray | None = None
         #: per-cell per-dimension min/max object widths.
-        self.cell_min_width = None
-        self.cell_max_width = None
+        self.cell_min_width: np.ndarray | None = None
+        self.cell_max_width: np.ndarray | None = None
         #: per-cell tight center bounds.
-        self.cell_center_lo = None
-        self.cell_center_hi = None
+        self.cell_center_lo: np.ndarray | None = None
+        self.cell_center_hi: np.ndarray | None = None
         #: Neighbour layers wired into the hyperlinks (set on first build).
-        self.layers = None
+        self.layers: int | None = None
         #: packed cell id -> vacant PGridCell.  Maintained on the vacancy
         #: transitions themselves, so refresh and GC touch only occupied
         #: and *newly* vacant cells — never the whole table.
-        self._vacant_cells = {}
+        self._vacant_cells: dict[int, PGridCell] = {}
         #: Shared refresh epoch (one-element list so cells can read it);
         #: vacant-cell ages derive from it lazily instead of a per-step
         #: aging sweep over every cell.
@@ -113,14 +118,14 @@ class PGrid:
         self.gc_runs = 0
 
     @property
-    def n_vacant(self):
+    def n_vacant(self) -> int:
         """Number of currently vacant (structure-kept) cells."""
         return len(self._vacant_cells)
 
     # ------------------------------------------------------------------
     # Building and refreshing
     # ------------------------------------------------------------------
-    def required_layers(self, max_object_width):
+    def required_layers(self, max_object_width: float) -> int:
         """Neighbour layers needed so the external join misses no pair.
 
         Two objects can only overlap when their centers are closer than
@@ -130,7 +135,13 @@ class PGrid:
         ratio = max_object_width / self.cell_width
         return max(1, math.ceil(ratio - 1e-9))
 
-    def refresh(self, centers, xlo, widths, max_object_width):
+    def refresh(
+        self,
+        centers: np.ndarray,
+        xlo: np.ndarray,
+        widths: np.ndarray,
+        max_object_width: float,
+    ) -> list[PGridCell]:
         """Assign all objects to cells, recycling structure where possible.
 
         Parameters
@@ -162,10 +173,11 @@ class PGrid:
         sorted_packed = packed[order]
 
         n = sorted_packed.size
-        if n == 0:
-            boundaries = np.empty(0, dtype=np.int64)
-        else:
-            boundaries = np.flatnonzero(sorted_packed[1:] != sorted_packed[:-1]) + 1
+        boundaries = (
+            np.empty(0, dtype=np.int64)
+            if n == 0
+            else np.flatnonzero(sorted_packed[1:] != sorted_packed[:-1]) + 1
+        )
         starts = np.concatenate([[0], boundaries]) if n else np.empty(0, dtype=np.int64)
         stops = np.concatenate([boundaries, [n]]) if n else np.empty(0, dtype=np.int64)
 
@@ -224,19 +236,22 @@ class PGrid:
         # already-vacant cells need no touch — their age is clock-derived.
         for cell in previously_occupied:
             cell_id = self._cell_key(cell)
-            if cell_id not in touched:
-                if not cell.is_vacant:
-                    cell.clear()
-                    self._vacant_cells[cell_id] = cell
+            if cell_id not in touched and not cell.is_vacant:
+                cell.clear()
+                self._vacant_cells[cell_id] = cell
 
         self._wire_hyperlinks(new_cells, offsets)
         self.garbage_collect_if_needed()
         return self.occupied
 
-    def _cell_key(self, cell):
+    def _cell_key(self, cell: PGridCell) -> int:
         return pack_cell_id_scalar(*cell.coords)
 
-    def _wire_hyperlinks(self, new_cells, offsets):
+    def _wire_hyperlinks(
+        self,
+        new_cells: list[tuple[int, PGridCell]],
+        offsets: list[tuple[int, int, int]],
+    ) -> None:
         """Link each new cell into the half-neighbourhood structure.
 
         For a new cell ``C`` and each half offset ``o``: an existing cell
@@ -250,7 +265,7 @@ class PGrid:
         new_ids = {cell_id for cell_id, _cell in new_cells}
         cells = self.cells
         wired = 0
-        for cell_id, cell in new_cells:
+        for _cell_id, cell in new_cells:
             cx, cy, cz = cell.coords
             links = cell.hyperlinks
             for ox, oy, oz in offsets:
@@ -269,7 +284,7 @@ class PGrid:
     # ------------------------------------------------------------------
     # Garbage collection
     # ------------------------------------------------------------------
-    def garbage_collect_if_needed(self):
+    def garbage_collect_if_needed(self) -> int:
         """Prune vacant cells when they exceed the threshold fraction.
 
         Returns the number of cells collected (0 when below threshold).
@@ -294,7 +309,7 @@ class PGrid:
         self.gc_runs += 1
         return collected
 
-    def clear(self):
+    def clear(self) -> None:
         """Drop the whole grid (used when the resolution is re-tuned).
 
         Resets the cell table *and* the stacked batched arrays retained
@@ -319,7 +334,7 @@ class PGrid:
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
-    def memory_footprint(self):
+    def memory_footprint(self) -> int:
         """Grid footprint in bytes under the C-struct model of Figure 3.
 
         O(1): the object and hyperlink totals are maintained incrementally
@@ -334,7 +349,7 @@ class PGrid:
         total += (self._n_objects + self._n_hyperlinks) * POINTER_BYTES
         return total
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"PGrid(width={self.cell_width:.3g}, cells={len(self.cells)}, "
             f"occupied={len(self.occupied)}, vacant={self.n_vacant})"

@@ -44,9 +44,17 @@ import math
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.core.celljoin import emit_hot_cells_batched, join_cell_pairs_batched
 from repro.core.cells import half_neighborhood_offsets
 from repro.geometry import self_join_groups
+
+if TYPE_CHECKING:
+    from collections.abc import Sequence
+
+    from repro.core.cells import PGridCell
+    from repro.geometry import PairAccumulator
 
 __all__ = ["TGrid"]
 
@@ -62,7 +70,7 @@ class TGrid:
         plane-sweep fallback kicks in.
     """
 
-    def __init__(self, max_cells_per_object=16):
+    def __init__(self, max_cells_per_object: int = 16) -> None:
         if max_cells_per_object <= 0:
             raise ValueError(
                 f"max_cells_per_object must be positive, got {max_cells_per_object}"
@@ -73,7 +81,15 @@ class TGrid:
         #: Number of P-Grid cells joined via the fallback sweep.
         self.fallbacks = 0
 
-    def join_cells(self, cells, lo, hi, centers, widths, accumulator):
+    def join_cells(
+        self,
+        cells: Sequence[PGridCell],
+        lo: np.ndarray,
+        hi: np.ndarray,
+        centers: np.ndarray,
+        widths: np.ndarray,
+        accumulator: PairAccumulator,
+    ) -> tuple[int, int]:
         """Internal join of many non-hot-spot P-Grid cells, batched.
 
         Parameters

@@ -50,6 +50,17 @@ from repro.engine import (
 )
 from repro.joins.base import SpatialJoinAlgorithm
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from collections.abc import Mapping
+
+    from repro.core.cells import PGridCell
+    from repro.datasets import SpatialDataset
+    from repro.engine import Executor
+    from repro.geometry import PairAccumulator
+    from repro.joins.base import JoinResult
+
 __all__ = ["ThermalJoin", "TGridCellsTask"]
 
 # Weights of the deterministic operation-count cost model (used when
@@ -75,13 +86,19 @@ class TGridCellsTask(JoinTask):
     phase = "internal"
     process_safe = False
 
-    def __init__(self, tgrid, cells, centers, widths):
+    def __init__(
+        self,
+        tgrid: TGrid,
+        cells: list[PGridCell],
+        centers: np.ndarray,
+        widths: np.ndarray,
+    ) -> None:
         self.tgrid = tgrid
         self.cells = cells
         self.centers = centers
         self.widths = widths
 
-    def run(self, ctx, accumulator):
+    def run(self, ctx: Mapping[str, np.ndarray], accumulator: PairAccumulator) -> dict[str, int]:
         tests, shortcut_pairs = self.tgrid.join_cells(
             self.cells, ctx["lo"], ctx["hi"], self.centers, self.widths, accumulator
         )
@@ -150,20 +167,20 @@ class ThermalJoin(SpatialJoinAlgorithm):
 
     def __init__(
         self,
-        resolution=None,
-        tuner=None,
-        gc_threshold=0.35,
-        cost_model="operations",
-        count_only=False,
-        tgrid_max_cells_per_object=16,
-        tgrid_min_objects=24,
-        hot_spots=True,
-        enclosure_shortcut=True,
-        incremental=True,
-        memory_quota_bytes=None,
-        n_workers=1,
-        executor=None,
-    ):
+        resolution: float | None = None,
+        tuner: HillClimbingTuner | None = None,
+        gc_threshold: float = 0.35,
+        cost_model: str = "operations",
+        count_only: bool = False,
+        tgrid_max_cells_per_object: int = 16,
+        tgrid_min_objects: int = 24,
+        hot_spots: bool = True,
+        enclosure_shortcut: bool = True,
+        incremental: bool = True,
+        memory_quota_bytes: int | None = None,
+        n_workers: int = 1,
+        executor: Executor | str | None = None,
+    ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be at least 1, got {n_workers}")
         if executor is None and n_workers > 1:
@@ -193,10 +210,10 @@ class ThermalJoin(SpatialJoinAlgorithm):
                 f"tgrid_min_objects must be at least 2, got {tgrid_min_objects}"
             )
         self.tgrid_min_objects = int(tgrid_min_objects)
-        self.pgrid = None
+        self.pgrid: PGrid | None = None
         self.tgrid = TGrid(max_cells_per_object=tgrid_max_cells_per_object)
         #: Per-step diagnostics (resolution used, hot-spot counts, ...).
-        self.last_step_info = {}
+        self.last_step_info: dict[str, object] = {}
         self._boxes = None
         self._build_seconds = 0.0
         self.metrics.register("pgrid", self._pgrid_metrics)
@@ -206,7 +223,7 @@ class ThermalJoin(SpatialJoinAlgorithm):
     # ------------------------------------------------------------------
     # Metrics providers (read-only; snapshot each step by the engine)
     # ------------------------------------------------------------------
-    def _pgrid_metrics(self):
+    def _pgrid_metrics(self) -> dict[str, object] | None:
         pgrid = self.pgrid
         if pgrid is None:
             return None
@@ -221,13 +238,13 @@ class ThermalJoin(SpatialJoinAlgorithm):
             "layers": pgrid.layers,
         }
 
-    def _tgrid_metrics(self):
+    def _tgrid_metrics(self) -> dict[str, object]:
         return {
             "fallbacks": self.tgrid.fallbacks,
             "peak_cells": self.tgrid.peak_cells,
         }
 
-    def _tuner_metrics(self):
+    def _tuner_metrics(self) -> dict[str, object]:
         values = {"resolution": self.current_resolution}
         if self.tuner is not None:
             values.update(
@@ -242,20 +259,20 @@ class ThermalJoin(SpatialJoinAlgorithm):
     # Build phase
     # ------------------------------------------------------------------
     @property
-    def current_resolution(self):
+    def current_resolution(self) -> float:
         """The normalized resolution the next step will use."""
         if self.resolution is not None:
             return float(self.resolution)
         return self.tuner.current_r
 
     @staticmethod
-    def _per_cell_bytes():
+    def _per_cell_bytes() -> int:
         """Modelled cost of one cell: record + one-layer link budget + bucket."""
         from repro.core.pgrid import CELL_RECORD_BYTES
 
         return CELL_RECORD_BYTES + 13 * 8 + 8
 
-    def _projected_footprint(self, dataset, cell_width):
+    def _projected_footprint(self, dataset: SpatialDataset, cell_width: float) -> float:
         """Upper estimate of the P-Grid footprint at ``cell_width``.
 
         Occupied cells are bounded by both the object count and the
@@ -267,7 +284,7 @@ class ThermalJoin(SpatialJoinAlgorithm):
         cells = min(float(len(dataset)), grid_cells)
         return cells * self._per_cell_bytes() + len(dataset) * 8
 
-    def _footprint_floor(self, dataset):
+    def _footprint_floor(self, dataset: SpatialDataset) -> float:
         """The projected footprint's infimum over all cell widths.
 
         Coarsening can shrink the grid to a single cell but never below
@@ -276,7 +293,7 @@ class ThermalJoin(SpatialJoinAlgorithm):
         """
         return self._per_cell_bytes() + len(dataset) * 8
 
-    def _quota_cell_width(self, dataset, cell_width):
+    def _quota_cell_width(self, dataset: SpatialDataset, cell_width: float) -> float:
         """Coarsen ``cell_width`` until the projected footprint fits.
 
         Raises :class:`ValueError` when the quota is infeasible: the
@@ -300,7 +317,7 @@ class ThermalJoin(SpatialJoinAlgorithm):
             cell_width *= 1.25
         return cell_width
 
-    def _build(self, dataset):
+    def _build(self, dataset: SpatialDataset) -> None:
         t0 = time.perf_counter()
         lo, hi = dataset.boxes()
         self._boxes = (lo, hi)
@@ -323,7 +340,7 @@ class ThermalJoin(SpatialJoinAlgorithm):
     # ------------------------------------------------------------------
     # Join phase (Algorithm 2), as an engine plan
     # ------------------------------------------------------------------
-    def plan(self, dataset):
+    def plan(self, dataset: SpatialDataset) -> JoinPlan:
         """Partition the step into external, hot-spot, sweep and T-Grid tasks.
 
         The external join's hyperlinked cell pairs are split into
@@ -443,7 +460,7 @@ class ThermalJoin(SpatialJoinAlgorithm):
 
         return JoinPlan(context=context, tasks=tasks, on_complete=on_complete)
 
-    def _phase_seconds(self):
+    def _phase_seconds(self) -> dict[str, float]:
         # The engine adds each task's wall time onto its phase; only the
         # build phase is timed here.
         return {
@@ -455,7 +472,7 @@ class ThermalJoin(SpatialJoinAlgorithm):
     # ------------------------------------------------------------------
     # Step driver with self-tuning
     # ------------------------------------------------------------------
-    def step(self, dataset):
+    def step(self, dataset: SpatialDataset) -> JoinResult:
         result = super().step(dataset)
         if self.tuner is not None:
             cost = (
@@ -469,7 +486,7 @@ class ThermalJoin(SpatialJoinAlgorithm):
                 self.pgrid = None
         return result
 
-    def _operations_cost(self, result):
+    def _operations_cost(self, result: JoinResult) -> float:
         """Deterministic cost signal for reproducible tuning."""
         info = self.last_step_info
         return (
@@ -480,7 +497,7 @@ class ThermalJoin(SpatialJoinAlgorithm):
             + _OPS_RESULT * result.n_results
         )
 
-    def memory_footprint(self):
+    def memory_footprint(self) -> int:
         if self.pgrid is None:
             return 0
         return self.pgrid.memory_footprint()

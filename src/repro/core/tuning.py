@@ -53,13 +53,13 @@ class HillClimbingTuner:
 
     def __init__(
         self,
-        initial=1.0,
-        initial_step=0.25,
-        threshold=0.1,
-        r_min=0.2,
-        r_max=2.0,
-        min_step=0.02,
-    ):
+        initial: float = 1.0,
+        initial_step: float = 0.25,
+        threshold: float = 0.1,
+        r_min: float = 0.2,
+        r_max: float = 2.0,
+        min_step: float = 0.02,
+    ) -> None:
         if not r_min < r_max:
             raise ValueError(f"need r_min < r_max, got {r_min} >= {r_max}")
         if not r_min <= initial <= r_max:
@@ -78,7 +78,7 @@ class HillClimbingTuner:
         self.current_r = self.initial
         self.converged = False
         #: (r, cost) pairs in observation order (diagnostics/Figure 6-style plots).
-        self.history = []
+        self.history: list[tuple[float, float]] = []
         #: Number of observations consumed while actively tuning.
         self.tuning_steps = 0
         #: Number of times drift re-triggered tuning (Eq. 2).
@@ -86,14 +86,14 @@ class HillClimbingTuner:
 
         self._step = self.initial_step
         self._direction = -1.0  # explore finer grids first (Fig. 6 optima sit below 1)
-        self._prev_r = None
-        self._prev_cost = None
-        self._converged_cost = None
-        self._best_r = None
-        self._best_cost = None
+        self._prev_r: float | None = None
+        self._prev_cost: float | None = None
+        self._converged_cost: float | None = None
+        self._best_r: float | None = None
+        self._best_cost: float | None = None
 
     # ------------------------------------------------------------------
-    def observe(self, cost):
+    def observe(self, cost: float) -> bool:
         """Feed the cost measured at :attr:`current_r`; may move ``r``.
 
         Returns True when the observation changed :attr:`current_r`
@@ -108,7 +108,7 @@ class HillClimbingTuner:
             return self._watch_for_drift(cost)
         return self._climb(cost)
 
-    def _watch_for_drift(self, cost):
+    def _watch_for_drift(self, cost: float) -> bool:
         """Equation 2: restart tuning on a significant cost change at r'.
 
         The reference is the cost observed right after (re)convergence
@@ -141,7 +141,7 @@ class HillClimbingTuner:
             return self._propose(self.current_r + self._direction * self._step)
         return False
 
-    def _climb(self, cost):
+    def _climb(self, cost: float) -> bool:
         """One hill-climbing update (Equation 1 convergence test).
 
         The climb keeps the best ``(r, cost)`` seen in the current tuning
@@ -185,7 +185,7 @@ class HillClimbingTuner:
         self._prev_cost = self._best_cost
         return self._propose(self._best_r + self._direction * self._step)
 
-    def _finalize_at(self, r):
+    def _finalize_at(self, r: float) -> None:
         """Converge onto ``r``; the drift reference starts fresh."""
         # Mark converged *before* proposing: at a clamped boundary the
         # proposal is a no-op and must not re-enter the climbing logic.
@@ -196,7 +196,7 @@ class HillClimbingTuner:
         self._converged_cost = None
         return self._propose(r)
 
-    def _propose(self, r):
+    def _propose(self, r: float) -> float:
         """Clamp and adopt a new resolution; report whether it changed."""
         r = min(max(r, self.r_min), self.r_max)
         changed = abs(r - self.current_r) > 1e-12
@@ -211,6 +211,6 @@ class HillClimbingTuner:
                 return self._finalize_at(best)
         return changed
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         state = "converged" if self.converged else "tuning"
         return f"HillClimbingTuner(r={self.current_r:.3f}, {state})"

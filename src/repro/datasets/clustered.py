@@ -26,14 +26,14 @@ __all__ = ["make_clustered_dataset", "make_clustered_workload"]
 
 
 def make_clustered_dataset(
-    n_objects,
-    n_clusters=1,
-    sd=1.0,
-    width=15.0,
-    bounds=UNIFORM_BOUNDS,
-    seed=0,
-    margin_factor=3.0,
-):
+    n_objects: int,
+    n_clusters: int = 1,
+    sd: float = 1.0,
+    width: float = 15.0,
+    bounds: tuple[np.ndarray, np.ndarray] = UNIFORM_BOUNDS,
+    seed: int = 0,
+    margin_factor: float = 3.0,
+) -> tuple[SpatialDataset, np.ndarray]:
     """Generate the skewed benchmark dataset.
 
     Parameters
@@ -91,14 +91,14 @@ def make_clustered_dataset(
 
 
 def make_clustered_workload(
-    n_objects,
-    n_clusters=1,
-    sd=1.0,
-    width=15.0,
-    translation=10.0,
-    bounds=UNIFORM_BOUNDS,
-    seed=0,
-):
+    n_objects: int,
+    n_clusters: int = 1,
+    sd: float = 1.0,
+    width: float = 15.0,
+    translation: float = 10.0,
+    bounds: tuple[np.ndarray, np.ndarray] = UNIFORM_BOUNDS,
+    seed: int = 0,
+) -> tuple[SpatialDataset, ClusterDrift, np.ndarray]:
     """Generate the skewed dataset together with its coherent motion model.
 
     Returns ``(dataset, motion, cluster_labels)``.

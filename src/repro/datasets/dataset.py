@@ -12,6 +12,8 @@ algorithms address objects by their stable positional index.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
 import numpy as np
 
 from repro.geometry import mbr
@@ -45,7 +47,13 @@ class SpatialDataset:
         conductivity, ...).  Carried along but never interpreted.
     """
 
-    def __init__(self, centers, widths, bounds=None, attributes=None):
+    def __init__(
+        self,
+        centers: np.ndarray,
+        widths: np.ndarray | float,
+        bounds: tuple[np.ndarray, np.ndarray] | None = None,
+        attributes: Mapping[str, np.ndarray] | None = None,
+    ) -> None:
         centers = np.ascontiguousarray(centers, dtype=np.float64)
         if centers.ndim != 2 or centers.shape[1] != mbr.DIMENSIONS:
             raise ValueError(
@@ -74,7 +82,7 @@ class SpatialDataset:
             raise ValueError("object widths must be strictly positive and finite")
         self.centers = centers
         self.widths = np.ascontiguousarray(widths_full)
-        self._bounds = None
+        self._bounds: tuple[np.ndarray, np.ndarray] | None = None
         if bounds is not None:
             b_lo = np.asarray(bounds[0], dtype=np.float64)
             b_hi = np.asarray(bounds[1], dtype=np.float64)
@@ -83,7 +91,7 @@ class SpatialDataset:
             if not (b_lo < b_hi).all():
                 raise ValueError("bounds must satisfy lo < hi componentwise")
             self._bounds = (b_lo, b_hi)
-        self.attributes = {}
+        self.attributes: dict[str, np.ndarray] = {}
         if attributes:
             for name, values in attributes.items():
                 values = np.asarray(values)
@@ -100,16 +108,16 @@ class SpatialDataset:
     # ------------------------------------------------------------------
     # Basic properties
     # ------------------------------------------------------------------
-    def __len__(self):
+    def __len__(self) -> int:
         return self.centers.shape[0]
 
     @property
-    def n_objects(self):
+    def n_objects(self) -> int:
         """Number of objects in the dataset."""
         return self.centers.shape[0]
 
     @property
-    def bounds(self):
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
         """Simulation domain bounds ``(lo, hi)``.
 
         Derived lazily from the current object boxes when not supplied at
@@ -121,7 +129,7 @@ class SpatialDataset:
         return self._bounds
 
     @property
-    def max_width(self):
+    def max_width(self) -> float:
         """Largest object width over all objects and dimensions.
 
         THERMAL-JOIN determines this while loading the dataset (Section
@@ -130,11 +138,11 @@ class SpatialDataset:
         return float(self.widths.max())
 
     @property
-    def min_width(self):
+    def min_width(self) -> float:
         """Smallest object width over all objects and dimensions."""
         return float(self.widths.min())
 
-    def boxes(self):
+    def boxes(self) -> tuple[np.ndarray, np.ndarray]:
         """Current object MBRs as ``(lo, hi)`` arrays of shape ``(n, 3)``."""
         half = self.widths / 2.0
         return self.centers - half, self.centers + half
@@ -142,7 +150,7 @@ class SpatialDataset:
     # ------------------------------------------------------------------
     # In-place mutation (the simulation side of the contract)
     # ------------------------------------------------------------------
-    def update_positions(self, new_centers):
+    def update_positions(self, new_centers: np.ndarray) -> None:
         """Overwrite all object centers in place (one simulation step)."""
         new_centers = np.asarray(new_centers, dtype=np.float64)
         if new_centers.shape != self.centers.shape:
@@ -153,7 +161,7 @@ class SpatialDataset:
         self.centers[:] = new_centers
         self.version += 1
 
-    def translate(self, deltas):
+    def translate(self, deltas: np.ndarray) -> None:
         """Add per-object displacement vectors to the centers in place."""
         deltas = np.asarray(deltas, dtype=np.float64)
         self.centers += deltas
@@ -162,7 +170,7 @@ class SpatialDataset:
     # ------------------------------------------------------------------
     # Derived datasets
     # ------------------------------------------------------------------
-    def with_enlarged_extent(self, distance):
+    def with_enlarged_extent(self, distance: float) -> SpatialDataset:
         """Dataset view for a distance join with predicate ``distance``.
 
         Implements the paper's reduction (Section 3.1): enlarging every
@@ -181,7 +189,7 @@ class SpatialDataset:
         enlarged.version = self.version
         return enlarged
 
-    def copy(self):
+    def copy(self) -> SpatialDataset:
         """Deep copy (centers, widths and attributes are duplicated)."""
         return SpatialDataset(
             self.centers.copy(),
@@ -193,11 +201,11 @@ class SpatialDataset:
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
-    def memory_nbytes(self):
+    def memory_nbytes(self) -> int:
         """Footprint of the raw object list in the paper's C-struct model."""
         return self.n_objects * OBJECT_RECORD_BYTES
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"SpatialDataset(n={self.n_objects}, "
             f"width=[{self.min_width:.3g}, {self.max_width:.3g}], "

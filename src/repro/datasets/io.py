@@ -10,7 +10,12 @@ assignments used by the motion models).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:
+    from pathlib import Path
 
 from repro.datasets.dataset import SpatialDataset
 
@@ -20,7 +25,7 @@ __all__ = ["save_dataset", "load_dataset"]
 _FORMAT = "repro-spatial-dataset-v1"
 
 
-def save_dataset(path, dataset, labels=None):
+def save_dataset(path: str | Path, dataset: SpatialDataset, labels: np.ndarray | None = None) -> None:
     """Write a dataset snapshot to ``path`` (``.npz``).
 
     Parameters
@@ -53,7 +58,7 @@ def save_dataset(path, dataset, labels=None):
     np.savez_compressed(path, **payload)
 
 
-def load_dataset(path):
+def load_dataset(path: str | Path) -> tuple[SpatialDataset, np.ndarray | None]:
     """Load a snapshot written by :func:`save_dataset`.
 
     Returns

@@ -28,12 +28,17 @@ Models
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.datasets.dataset import SpatialDataset
 
 __all__ = ["MotionModel", "RandomTranslation", "ClusterDrift", "BranchJitter"]
 
 
-def _unit_vectors(rng, n):
+def _unit_vectors(rng: np.random.Generator, n: int) -> np.ndarray:
     """Draw ``n`` isotropic random unit vectors."""
     vec = rng.normal(size=(n, 3))
     norms = np.linalg.norm(vec, axis=1, keepdims=True)
@@ -46,7 +51,7 @@ def _unit_vectors(rng, n):
     return vec / norms
 
 
-def _reflect(centers, velocities, lo, hi):
+def _reflect(centers: np.ndarray, velocities: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> None:
     """Reflect object motion at the domain boundary, in place.
 
     Components of the motion vector are inverted when an object leaves
@@ -67,11 +72,11 @@ def _reflect(centers, velocities, lo, hi):
 class MotionModel:
     """Base class: one in-place dataset update per :meth:`step` call."""
 
-    def step(self, dataset):
+    def step(self, dataset: SpatialDataset) -> None:
         """Advance the simulation by one time step, mutating ``dataset``."""
         raise NotImplementedError
 
-    def run(self, dataset, n_steps):
+    def run(self, dataset: SpatialDataset, n_steps: int) -> None:
         """Advance ``n_steps`` steps (convenience for tests/examples)."""
         for _ in range(n_steps):
             self.step(dataset)
@@ -92,7 +97,7 @@ class RandomTranslation(MotionModel):
         Seed for the private random generator.
     """
 
-    def __init__(self, dataset, distance=10.0, seed=0):
+    def __init__(self, dataset: SpatialDataset, distance: float = 10.0, seed: int = 0) -> None:
         if distance < 0:
             raise ValueError(f"distance must be non-negative, got {distance}")
         self.distance = float(distance)
@@ -100,7 +105,7 @@ class RandomTranslation(MotionModel):
         self.velocities = _unit_vectors(rng, dataset.n_objects) * self.distance
         self._bounds = dataset.bounds
 
-    def step(self, dataset):
+    def step(self, dataset: SpatialDataset) -> None:
         dataset.centers += self.velocities
         lo, hi = self._bounds
         _reflect(dataset.centers, self.velocities, lo, hi)
@@ -123,7 +128,13 @@ class ClusterDrift(MotionModel):
         Seed for the private random generator.
     """
 
-    def __init__(self, dataset, cluster_labels, distance=10.0, seed=0):
+    def __init__(
+        self,
+        dataset: SpatialDataset,
+        cluster_labels: np.ndarray,
+        distance: float = 10.0,
+        seed: int = 0,
+    ) -> None:
         cluster_labels = np.asarray(cluster_labels, dtype=np.int64)
         if cluster_labels.shape[0] != dataset.n_objects:
             raise ValueError("cluster_labels must have one entry per object")
@@ -134,7 +145,7 @@ class ClusterDrift(MotionModel):
         self.velocities = cluster_velocities[cluster_labels]
         self._bounds = dataset.bounds
 
-    def step(self, dataset):
+    def step(self, dataset: SpatialDataset) -> None:
         dataset.centers += self.velocities
         lo, hi = self._bounds
         _reflect(dataset.centers, self.velocities, lo, hi)
@@ -171,7 +182,14 @@ class BranchJitter(MotionModel):
         Seed for the private random generator.
     """
 
-    def __init__(self, dataset, neuron_labels, drift=2.0, jitter=0.5, seed=0):
+    def __init__(
+        self,
+        dataset: SpatialDataset,
+        neuron_labels: np.ndarray,
+        drift: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
         neuron_labels = np.asarray(neuron_labels, dtype=np.int64)
         if neuron_labels.shape[0] != dataset.n_objects:
             raise ValueError("neuron_labels must have one entry per object")
@@ -191,7 +209,7 @@ class BranchJitter(MotionModel):
         self._bounds = dataset.bounds
         self._scratch = np.zeros_like(dataset.centers)
 
-    def step(self, dataset):
+    def step(self, dataset: SpatialDataset) -> None:
         # Unpredictable centroid walk: a fresh random direction per step.
         self._velocities = _unit_vectors(self._rng, self._centroids.shape[0])
         self._velocities *= self.drift

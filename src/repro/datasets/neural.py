@@ -37,7 +37,14 @@ __all__ = ["make_neural_dataset", "make_neural_workload"]
 PAPER_SEGMENTS_PER_NEURON = 2364
 
 
-def _grow_branch(rng, start, direction, length, step, tortuosity):
+def _grow_branch(
+    rng: np.random.Generator,
+    start: np.ndarray,
+    direction: np.ndarray,
+    length: int,
+    step: float,
+    tortuosity: float,
+) -> np.ndarray:
     """Grow one tortuous branch; returns its segment centers ``(length, 3)``.
 
     The branch direction performs a momentum random walk: Gaussian turning
@@ -53,15 +60,15 @@ def _grow_branch(rng, start, direction, length, step, tortuosity):
 
 
 def make_neural_dataset(
-    n_objects,
-    object_volume=15.0,
-    segments_per_neuron=None,
-    domain_side=None,
-    segment_step=1.0,
-    tortuosity=0.35,
-    branch_probability=0.08,
-    seed=0,
-):
+    n_objects: int,
+    object_volume: float = 15.0,
+    segments_per_neuron: int | None = None,
+    domain_side: float | None = None,
+    segment_step: float = 1.0,
+    tortuosity: float = 0.35,
+    branch_probability: float = 0.08,
+    seed: int = 0,
+) -> tuple[SpatialDataset, np.ndarray]:
     """Generate the synthetic neural-tissue dataset.
 
     Parameters
@@ -163,13 +170,13 @@ def make_neural_dataset(
 
 
 def make_neural_workload(
-    n_objects,
-    object_volume=15.0,
-    drift=1.5,
-    jitter=0.4,
-    seed=0,
-    **dataset_kwargs,
-):
+    n_objects: int,
+    object_volume: float = 15.0,
+    drift: float = 1.5,
+    jitter: float = 0.4,
+    seed: int = 0,
+    **dataset_kwargs: object,
+) -> tuple[SpatialDataset, BranchJitter, np.ndarray]:
     """Generate the neural dataset together with its plasticity motion model.
 
     Returns ``(dataset, motion, neuron_labels)``.

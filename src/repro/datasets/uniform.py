@@ -24,12 +24,12 @@ UNIFORM_BOUNDS = (
 
 
 def make_uniform_dataset(
-    n_objects,
-    width=15.0,
-    width_range=None,
-    bounds=UNIFORM_BOUNDS,
-    seed=0,
-):
+    n_objects: int,
+    width: float = 15.0,
+    width_range: tuple[float, float] | None = None,
+    bounds: tuple[np.ndarray, np.ndarray] = UNIFORM_BOUNDS,
+    seed: int = 0,
+) -> SpatialDataset:
     """Generate the uniform benchmark dataset.
 
     Parameters
@@ -70,13 +70,13 @@ def make_uniform_dataset(
 
 
 def make_uniform_workload(
-    n_objects,
-    width=15.0,
-    width_range=None,
-    translation=10.0,
-    bounds=UNIFORM_BOUNDS,
-    seed=0,
-):
+    n_objects: int,
+    width: float = 15.0,
+    width_range: tuple[float, float] | None = None,
+    translation: float = 10.0,
+    bounds: tuple[np.ndarray, np.ndarray] = UNIFORM_BOUNDS,
+    seed: int = 0,
+) -> tuple[SpatialDataset, RandomTranslation]:
     """Generate the dataset together with its motion model.
 
     Returns ``(dataset, motion)`` ready to hand to the simulation runner.

@@ -15,8 +15,13 @@ fault stay visibly marked in every figure and benchmark downstream.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 from repro.geometry import PairAccumulator
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
+    from repro.joins.base import JoinResult, SpatialJoinAlgorithm
 
 __all__ = ["execute_step", "DEFAULT_PARTITION_TASKS"]
 
@@ -27,7 +32,9 @@ __all__ = ["execute_step", "DEFAULT_PARTITION_TASKS"]
 DEFAULT_PARTITION_TASKS = 8
 
 
-def execute_step(algorithm, dataset):
+def execute_step(
+    algorithm: SpatialJoinAlgorithm, dataset: SpatialDataset
+) -> JoinResult:
     """Run one full join step for ``algorithm`` through the engine.
 
     Returns a :class:`~repro.joins.base.JoinResult`.
@@ -95,42 +102,36 @@ def execute_step(algorithm, dataset):
             step_cm.__exit__(None, None, None)
 
     algorithm._last_prepare_seconds = t1 - t0
-    phase_seconds = dict(algorithm._phase_seconds())
+
+    # All statistics flow through the recording methods (RPL202): they
+    # own the invariants (build/join second splits, retry counting).
+    stats = JoinStatistics()
+    stats.record_stage("prepare", t1 - t0)
+    stats.record_stage("partition", t2 - t1)
+    stats.record_stage("verify", t3 - t2)
+    stats.record_stage("merge", t4 - t3)
+    for task_result in results:
+        stats.record_task(task_result.counters)
+
+    for phase, seconds in algorithm._phase_seconds().items():
+        stats.record_phase(phase, seconds)
     for task_result in results:
         # The default "join" phase stays out of the breakdown unless the
         # algorithm declares it, matching the pre-engine convention that
         # only THERMAL-JOIN populates phase_seconds.
-        if task_result.phase != "join" or task_result.phase in phase_seconds:
-            phase_seconds[task_result.phase] = (
-                phase_seconds.get(task_result.phase, 0.0) + task_result.seconds
-            )
+        if task_result.phase != "join" or task_result.phase in stats.phase_seconds:
+            stats.record_phase(task_result.phase, task_result.seconds)
 
-    from repro.engine.executors import RETRY_EVENT_KINDS
+    stats.record_events(events)
+    stats.record_memory(algorithm.memory_footprint())
 
     # Snapshot the index-internal counters the algorithm's components
     # maintain (P-Grid accounting, tuner state, executor rung, ...).
     registry = getattr(algorithm, "metrics", None)
-    index_counters = registry.snapshot() if registry is not None else {}
+    if registry is not None:
+        stats.record_index_counters(registry.snapshot())
 
-    algorithm.stats = JoinStatistics(
-        overlap_tests=overlap_tests,
-        build_seconds=t1 - t0,
-        join_seconds=t4 - t1,
-        memory_bytes=algorithm.memory_footprint(),
-        index_counters=index_counters,
-        phase_seconds=phase_seconds,
-        stage_seconds={
-            "prepare": t1 - t0,
-            "partition": t2 - t1,
-            "verify": t3 - t2,
-            "merge": t4 - t3,
-        },
-        task_counters=task_counters,
-        events=events,
-        task_retries=sum(
-            1 for event in events if event.get("kind") in RETRY_EVENT_KINDS
-        ),
-    )
+    algorithm.stats = stats
     pairs = None
     if not algorithm.count_only:
         pairs = merged.as_arrays()

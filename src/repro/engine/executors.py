@@ -58,12 +58,17 @@ from __future__ import annotations
 import atexit
 import os
 import time
-from contextlib import contextmanager
+from collections.abc import Iterator, Mapping, Sequence
+from contextlib import contextmanager, suppress
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.engine import faults
-from repro.engine.plan import TaskResult
+from repro.engine.plan import JoinTask, TaskResult
+
+if TYPE_CHECKING:
+    from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from repro.geometry import PairAccumulator
 
 __all__ = [
@@ -77,11 +82,16 @@ __all__ = [
 #: Environment variable naming the default executor spec.
 EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
 
-#: Event kinds that represent a re-execution of a task.
-RETRY_EVENT_KINDS = ("task_retry", "task_inline", "task_timeout")
+#: Attach spec for one published context array: (segment name, shape, dtype str).
+ContextSpec = tuple[str, tuple[int, ...], str]
+
+#: Picklable result tuple returned by :func:`_process_worker`.
+WorkerPayload = tuple[
+    dict[str, Any], float, int, "tuple[np.ndarray, np.ndarray] | None", str, float
+]
 
 
-def _run_inline(task, ctx, count_only):
+def _run_inline(task: JoinTask, ctx: Mapping[str, np.ndarray], count_only: bool) -> TaskResult:
     accumulator = PairAccumulator(count_only=count_only)
     t0 = time.perf_counter()
     c0 = time.process_time()
@@ -107,26 +117,22 @@ def _run_inline(task, ctx, count_only):
 _LIVE_SEGMENTS = {}
 
 
-def _sweep_shared_memory():  # pragma: no cover - exercised at interpreter exit
+def _sweep_shared_memory() -> None:  # pragma: no cover - exercised at interpreter exit
     for name in list(_LIVE_SEGMENTS):
         segment = _LIVE_SEGMENTS.pop(name, None)
         if segment is None:
             continue
-        try:
+        with suppress(OSError, BufferError):
             segment.close()
-        except (OSError, BufferError):
-            pass
-        try:
+        with suppress(OSError):
             segment.unlink()
-        except (FileNotFoundError, OSError):
-            pass
 
 
 atexit.register(_sweep_shared_memory)
 
 
 @contextmanager
-def publish_context(ctx):
+def publish_context(ctx: Mapping[str, np.ndarray]) -> Iterator[dict[str, ContextSpec]]:
     """Copy context arrays into shared memory; yield the attach specs.
 
     Guarantees lifecycle: every segment created — including a partial
@@ -148,6 +154,9 @@ def publish_context(ctx):
             _LIVE_SEGMENTS[segment.name] = segment
             view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
             view[...] = array
+            # Lock the parent-side view once filled: from here on the
+            # segment is a read-only broadcast to the workers.
+            view.setflags(write=False)
             specs[key] = (segment.name, array.shape, array.dtype.str)
         yield specs
     finally:
@@ -179,7 +188,7 @@ class Executor:
 
     name = "abstract"
 
-    def __init__(self, max_retries=1, task_timeout=None):
+    def __init__(self, max_retries: int = 1, task_timeout: float | None = None) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if task_timeout is not None and task_timeout <= 0:
@@ -188,25 +197,32 @@ class Executor:
         self.task_timeout = task_timeout
         self._events = []
 
-    def run(self, tasks, ctx, count_only):
+    def run(self, tasks: Sequence[JoinTask], ctx: Mapping[str, np.ndarray], count_only: bool) -> list[TaskResult]:
         """Execute ``tasks`` against ``ctx``; return ordered TaskResults."""
         raise NotImplementedError
 
-    def close(self):
+    def close(self) -> None:
         """Release pooled resources (no-op for poolless executors)."""
 
     # ------------------------------------------------------------------
     # Robustness event log
     # ------------------------------------------------------------------
-    def _record_event(self, kind, **info):
+    def _record_event(self, kind: str, **info: Any) -> None:
         self._events.append({"kind": kind, **info})
 
-    def drain_events(self):
+    def drain_events(self) -> list[dict[str, Any]]:
         """Return and clear the robustness events since the last drain."""
         events, self._events = self._events, []
         return events
 
-    def _attempt_inline(self, task, original, ctx, count_only, index):
+    def _attempt_inline(
+        self,
+        task: JoinTask,
+        original: JoinTask,
+        ctx: Mapping[str, np.ndarray],
+        count_only: bool,
+        index: int,
+    ) -> TaskResult:
         """Run ``task`` inline; on failure, retry the original task.
 
         ``task`` may be a fault-wrapped first launch; retries always use
@@ -220,7 +236,7 @@ class Executor:
             self._record_event("task_retry", task=index, error=repr(exc))
             return _run_inline(original, ctx, count_only)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
 
@@ -229,7 +245,7 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
-    def run(self, tasks, ctx, count_only):
+    def run(self, tasks: Sequence[JoinTask], ctx: Mapping[str, np.ndarray], count_only: bool) -> list[TaskResult]:
         launched = faults.wrap_tasks(tasks)
         return [
             self._attempt_inline(launched[k], tasks[k], ctx, count_only, k)
@@ -237,7 +253,7 @@ class SerialExecutor(Executor):
         ]
 
 
-def _default_workers():
+def _default_workers() -> int:
     return max(os.cpu_count() or 1, 1)
 
 
@@ -255,24 +271,35 @@ class ThreadExecutor(Executor):
 
     name = "thread"
 
-    def __init__(self, n_workers=None, max_retries=1, task_timeout=None):
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        max_retries: int = 1,
+        task_timeout: float | None = None,
+    ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be at least 1, got {n_workers}")
         super().__init__(max_retries=max_retries, task_timeout=task_timeout)
         self.n_workers = int(n_workers) if n_workers else _default_workers()
         self._pool = None
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
             from concurrent.futures import ThreadPoolExecutor
 
             self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
         return self._pool
 
-    def run(self, tasks, ctx, count_only):
+    def run(self, tasks: Sequence[JoinTask], ctx: Mapping[str, np.ndarray], count_only: bool) -> list[TaskResult]:
         return self._run_tasks(faults.wrap_tasks(tasks), tasks, ctx, count_only)
 
-    def _run_tasks(self, launched, tasks, ctx, count_only):
+    def _run_tasks(
+        self,
+        launched: Sequence[JoinTask],
+        tasks: Sequence[JoinTask],
+        ctx: Mapping[str, np.ndarray],
+        count_only: bool,
+    ) -> list[TaskResult]:
         if len(tasks) < 2 or self.n_workers < 2:
             return [
                 self._attempt_inline(launched[k], tasks[k], ctx, count_only, k)
@@ -299,12 +326,12 @@ class ThreadExecutor(Executor):
                 results.append(_run_inline(tasks[k], ctx, count_only))
         return results
 
-    def close(self):
+    def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"ThreadExecutor(n_workers={self.n_workers})"
 
 
@@ -315,7 +342,7 @@ class ThreadExecutor(Executor):
 _WORKER_STATE = {"token": None, "arrays": None, "segments": ()}
 
 
-def _attach_context(specs, token):
+def _attach_context(specs: Mapping[str, ContextSpec], token: tuple[int, int]) -> dict[str, np.ndarray]:
     """Attach (and cache) the step's shared-memory context arrays."""
     from multiprocessing import shared_memory
 
@@ -332,14 +359,23 @@ def _attach_context(specs, token):
     for key, (name, shape, dtype) in specs.items():
         segment = shared_memory.SharedMemory(name=name)
         segments.append(segment)
-        arrays[key] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+        # Read-only: every worker shares these bytes for the whole step,
+        # so a task writing through the view would corrupt its siblings.
+        view.setflags(write=False)
+        arrays[key] = view
     state["token"] = token
     state["arrays"] = arrays
     state["segments"] = tuple(segments)
     return arrays
 
 
-def _process_worker(specs, token, task, count_only):
+def _process_worker(
+    specs: Mapping[str, ContextSpec],
+    token: tuple[int, int],
+    task: JoinTask,
+    count_only: bool,
+) -> WorkerPayload:
     """Run one task in a worker process; return a picklable result.
 
     The worker times the task itself (wall and CPU) so the measurement
@@ -356,7 +392,7 @@ def _process_worker(specs, token, task, count_only):
     return counters, seconds, len(accumulator), pairs, task.phase, cpu_seconds
 
 
-def _result_from_payload(payload, count_only):
+def _result_from_payload(payload: WorkerPayload, count_only: bool) -> TaskResult:
     """Rehydrate a worker's picklable payload into a TaskResult."""
     counters, seconds, n_pairs, pairs, phase, cpu_seconds = payload
     accumulator = PairAccumulator(count_only=count_only)
@@ -391,7 +427,12 @@ class ProcessExecutor(Executor):
 
     name = "process"
 
-    def __init__(self, n_workers=None, max_retries=1, task_timeout=None):
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        max_retries: int = 1,
+        task_timeout: float | None = None,
+    ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be at least 1, got {n_workers}")
         super().__init__(max_retries=max_retries, task_timeout=task_timeout)
@@ -403,11 +444,11 @@ class ProcessExecutor(Executor):
         self._thread_fallback = None
 
     @property
-    def degraded(self):
+    def degraded(self) -> str | None:
         """Current degradation rung: ``None``, ``"thread"`` or ``"serial"``."""
         return self._degraded
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             import multiprocessing
             from concurrent.futures import ProcessPoolExecutor
@@ -420,7 +461,7 @@ class ProcessExecutor(Executor):
             )
         return self._pool
 
-    def _discard_pool(self):
+    def _discard_pool(self) -> None:
         """Drop a (broken) pool so the next step starts from a clean one."""
         pool, self._pool = self._pool, None
         if pool is not None:
@@ -429,17 +470,23 @@ class ProcessExecutor(Executor):
             except Exception:  # pragma: no cover - broken-pool teardown
                 pass
 
-    def _degrade_to(self, level, error=None):
+    def _degrade_to(self, level: str, error: str | None = None) -> None:
         self._degraded = level
         info = {"to": level}
         if error is not None:
             info["error"] = error
         self._record_event("degraded", **info)
 
-    def run(self, tasks, ctx, count_only):
+    def run(self, tasks: Sequence[JoinTask], ctx: Mapping[str, np.ndarray], count_only: bool) -> list[TaskResult]:
         return self._run_tasks(faults.wrap_tasks(tasks), tasks, ctx, count_only)
 
-    def _run_tasks(self, launched, tasks, ctx, count_only):
+    def _run_tasks(
+        self,
+        launched: Sequence[JoinTask],
+        tasks: Sequence[JoinTask],
+        ctx: Mapping[str, np.ndarray],
+        count_only: bool,
+    ) -> list[TaskResult]:
         if self._degraded is not None:
             return self._run_degraded(launched, tasks, ctx, count_only)
         remote_idx = [k for k, task in enumerate(launched) if task.process_safe]
@@ -530,7 +577,13 @@ class ProcessExecutor(Executor):
                     remaining = retry_round
         return results
 
-    def _run_degraded(self, launched, tasks, ctx, count_only):
+    def _run_degraded(
+        self,
+        launched: Sequence[JoinTask],
+        tasks: Sequence[JoinTask],
+        ctx: Mapping[str, np.ndarray],
+        count_only: bool,
+    ) -> list[TaskResult]:
         """Run a step below the process rung: threads, then serial."""
         if self._degraded == "thread":
             if self._thread_fallback is None:
@@ -552,7 +605,7 @@ class ProcessExecutor(Executor):
             for k in range(len(tasks))
         ]
 
-    def close(self):
+    def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -560,17 +613,15 @@ class ProcessExecutor(Executor):
             self._thread_fallback.close()
             self._thread_fallback = None
 
-    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
-        try:
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown best effort
+        with suppress(Exception):
             self.close()
-        except Exception:
-            pass
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"ProcessExecutor(n_workers={self.n_workers})"
 
 
-def resolve_executor(spec):
+def resolve_executor(spec: Executor | str | None) -> Executor:
     """Resolve an executor instance from ``spec``.
 
     ``None`` consults the ``REPRO_EXECUTOR`` environment variable and

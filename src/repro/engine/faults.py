@@ -39,7 +39,15 @@ from __future__ import annotations
 import os
 import signal
 import time
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.engine.plan import JoinTask
+    from repro.geometry import PairAccumulator
 
 __all__ = [
     "FAULTS_ENV_VAR",
@@ -82,14 +90,14 @@ class FaultyTask:
     the executor's timeout stays invisible in the results.
     """
 
-    def __init__(self, inner, action, param=None):
+    def __init__(self, inner: JoinTask, action: str, param: float | None = None) -> None:
         self.inner = inner
         self.action = action
         self.param = param
         self.phase = inner.phase
         self.process_safe = inner.process_safe
 
-    def run(self, ctx, accumulator):
+    def run(self, ctx: Mapping[str, np.ndarray], accumulator: PairAccumulator) -> dict[str, int]:
         if self.action == "raise":
             raise InjectedFault("injected task failure")
         if self.action == "hang":
@@ -98,18 +106,18 @@ class FaultyTask:
             os.kill(os.getpid(), signal.SIGKILL)
         return self.inner.run(ctx, accumulator)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"FaultyTask({self.action!r}, inner={self.inner!r})"
 
 
 class FaultPlan:
     """A parsed set of faults plus the global task-launch counter."""
 
-    def __init__(self, faults=()):
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
         self.faults = list(faults)
         self.launched = 0
 
-    def wrap(self, task):
+    def wrap(self, task: JoinTask) -> JoinTask:
         """Number one task launch; wrap it if an unfired fault matches."""
         ordinal = self.launched
         self.launched += 1
@@ -119,17 +127,17 @@ class FaultPlan:
                 return FaultyTask(task, fault.action, fault.param)
         return task
 
-    def reset(self):
+    def reset(self) -> None:
         """Rearm every fault and restart the launch counter."""
         self.launched = 0
         for fault in self.faults:
             fault.fired = False
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"FaultPlan({self.faults!r}, launched={self.launched})"
 
 
-def parse_faults(spec):
+def parse_faults(spec: str) -> FaultPlan:
     """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`."""
     faults = []
     for part in spec.split(","):
@@ -162,17 +170,17 @@ def parse_faults(spec):
 _installed: FaultPlan | None = None
 #: Cache of the environment-derived plan, keyed by the spec string so
 #: firing state persists across steps but a changed spec re-parses.
-_env_cache: tuple = (None, None)
+_env_cache: tuple[str | None, FaultPlan | None] = (None, None)
 
 
-def install_fault_plan(plan):
+def install_fault_plan(plan: FaultPlan | None) -> FaultPlan | None:
     """Install ``plan`` as the active fault plan (``None`` to clear)."""
     global _installed
     _installed = plan
     return plan
 
 
-def active_plan():
+def active_plan() -> FaultPlan | None:
     """The installed plan, else the ``REPRO_FAULTS`` plan, else ``None``."""
     global _env_cache
     if _installed is not None:
@@ -185,7 +193,7 @@ def active_plan():
     return _env_cache[1]
 
 
-def wrap_tasks(tasks):
+def wrap_tasks(tasks: Sequence[JoinTask]) -> list[JoinTask]:
     """Number this batch of first launches against the active plan.
 
     Executors call this exactly once per task (on first scheduling);

@@ -37,12 +37,18 @@ outside the accumulator and the returned counters.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.engine.verify import verify_cross_groups, verify_self_groups
-from repro.geometry import window_pairs
+from repro.geometry import PairAccumulator, window_pairs
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
+    from repro.joins.base import SpatialJoinAlgorithm
 
 __all__ = [
     "JoinPlan",
@@ -58,7 +64,7 @@ __all__ = [
 ]
 
 
-def chunk_by_volume(counts, n_tasks):
+def chunk_by_volume(counts: np.ndarray, n_tasks: int) -> list[tuple[int, int]]:
     """Split ``range(len(counts))`` into ≤ ``n_tasks`` contiguous slices
     of roughly equal candidate volume.
 
@@ -92,10 +98,10 @@ class TaskResult:
     without any cross-process machinery.
     """
 
-    counters: dict
+    counters: dict[str, Any]
     seconds: float
     n_pairs: int
-    accumulator: object  # PairAccumulator shard (merged in task order)
+    accumulator: PairAccumulator  # pair shard (merged in task order)
     phase: str
     cpu_seconds: float = 0.0
 
@@ -110,9 +116,9 @@ class JoinPlan:
     stage, letting algorithms aggregate their own diagnostics.
     """
 
-    context: dict = field(default_factory=dict)
-    tasks: list = field(default_factory=list)
-    on_complete: object = None
+    context: dict[str, np.ndarray] = field(default_factory=dict)
+    tasks: list[JoinTask] = field(default_factory=list)
+    on_complete: Callable[[list[TaskResult]], None] | None = None
 
 
 class JoinTask:
@@ -129,7 +135,7 @@ class JoinTask:
     #: the context arrays and its own fields).
     process_safe = False
 
-    def run(self, ctx, accumulator):
+    def run(self, ctx: Mapping[str, np.ndarray], accumulator: PairAccumulator) -> dict[str, int]:
         raise NotImplementedError
 
 
@@ -137,12 +143,12 @@ class JoinTask:
 class FallbackJoinTask(JoinTask):
     """Single-task plan wrapping an unported algorithm's ``_join``."""
 
-    algorithm: object
-    dataset: object
+    algorithm: SpatialJoinAlgorithm
+    dataset: SpatialDataset
     phase = "join"
     process_safe = False
 
-    def run(self, ctx, accumulator):
+    def run(self, ctx: Mapping[str, np.ndarray], accumulator: PairAccumulator) -> dict[str, int]:
         tests = self.algorithm._join(self.dataset, accumulator)
         return {"overlap_tests": int(tests)}
 
@@ -153,12 +159,12 @@ class GroupSelfJoinTask(JoinTask):
 
     groups: np.ndarray
     count: str = "full"
-    pair_filter: str = None
-    keys: tuple = ("cat", "starts", "stops")
+    pair_filter: str | None = None
+    keys: tuple[str, str, str] = ("cat", "starts", "stops")
     phase: str = "join"
     process_safe = True
 
-    def run(self, ctx, accumulator):
+    def run(self, ctx: Mapping[str, np.ndarray], accumulator: PairAccumulator) -> dict[str, int]:
         cat_key, starts_key, stops_key = self.keys
         tests = verify_self_groups(
             ctx,
@@ -180,12 +186,12 @@ class GroupCrossJoinTask(JoinTask):
     pair_a: np.ndarray
     pair_b: np.ndarray
     count: str = "full"
-    a_keys: tuple = ("cat", "starts", "stops")
-    b_keys: tuple = ("cat", "starts", "stops")
+    a_keys: tuple[str, str, str] = ("cat", "starts", "stops")
+    b_keys: tuple[str, str, str] = ("cat", "starts", "stops")
     phase: str = "join"
     process_safe = True
 
-    def run(self, ctx, accumulator):
+    def run(self, ctx: Mapping[str, np.ndarray], accumulator: PairAccumulator) -> dict[str, int]:
         tests = verify_cross_groups(
             ctx,
             accumulator,
@@ -213,7 +219,7 @@ class CellPairSweepTask(JoinTask):
     phase: str = "external"
     process_safe = True
 
-    def run(self, ctx, accumulator):
+    def run(self, ctx: Mapping[str, np.ndarray], accumulator: PairAccumulator) -> dict[str, int]:
         from repro.core.celljoin import join_cell_pairs_batched
 
         tests, shortcuts = join_cell_pairs_batched(
@@ -240,7 +246,7 @@ class HotCellsTask(JoinTask):
     phase: str = "internal"
     process_safe = True
 
-    def run(self, ctx, accumulator):
+    def run(self, ctx: Mapping[str, np.ndarray], accumulator: PairAccumulator) -> dict[str, int]:
         from repro.core.celljoin import emit_hot_cells_batched
 
         emitted = emit_hot_cells_batched(
@@ -267,7 +273,7 @@ class SweepStripTask(JoinTask):
     phase: str = "join"
     process_safe = True
 
-    def run(self, ctx, accumulator):
+    def run(self, ctx: Mapping[str, np.ndarray], accumulator: PairAccumulator) -> dict[str, int]:
         from repro.geometry import sweep_self
 
         lo = ctx["lo"]

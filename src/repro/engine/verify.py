@@ -21,19 +21,28 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry import cross_join_groups, self_join_groups
+from repro.geometry import PairAccumulator, cross_join_groups, self_join_groups
+from repro.geometry.batch import PairCallback
+
+from collections.abc import Mapping
 
 __all__ = ["verify_self_groups", "verify_cross_groups"]
 
 
-def _plain_emitter(accumulator):
+def _plain_emitter(accumulator: PairAccumulator) -> PairCallback:
     def on_pairs(left, right, _groups):
         accumulator.extend(left, right)
 
     return on_pairs
 
 
-def _reference_point_emitter(accumulator, lo, groups, part_lo, part_hi):
+def _reference_point_emitter(
+    accumulator: PairAccumulator,
+    lo: np.ndarray,
+    groups: np.ndarray,
+    part_lo: np.ndarray,
+    part_hi: np.ndarray,
+) -> PairCallback:
     """PBSM reference-point filter over the task's ``groups`` subset.
 
     ``self_join_groups`` reports each batch's pair positions relative to
@@ -55,15 +64,15 @@ def _reference_point_emitter(accumulator, lo, groups, part_lo, part_hi):
 
 
 def verify_self_groups(
-    ctx,
-    accumulator,
-    groups,
-    count,
-    pair_filter=None,
-    cat_key="cat",
-    starts_key="starts",
-    stops_key="stops",
-):
+    ctx: Mapping[str, np.ndarray],
+    accumulator: PairAccumulator,
+    groups: np.ndarray,
+    count: str,
+    pair_filter: str | None = None,
+    cat_key: str = "cat",
+    starts_key: str = "starts",
+    stops_key: str = "stops",
+) -> int:
     """Verify all within-group candidates of ``groups``; return test count."""
     lo = ctx["lo"]
     if pair_filter is None:
@@ -87,14 +96,14 @@ def verify_self_groups(
 
 
 def verify_cross_groups(
-    ctx,
-    accumulator,
-    pair_a,
-    pair_b,
-    count,
-    a_keys=("cat", "starts", "stops"),
-    b_keys=("cat", "starts", "stops"),
-):
+    ctx: Mapping[str, np.ndarray],
+    accumulator: PairAccumulator,
+    pair_a: np.ndarray,
+    pair_b: np.ndarray,
+    count: str,
+    a_keys: tuple[str, str, str] = ("cat", "starts", "stops"),
+    b_keys: tuple[str, str, str] = ("cat", "starts", "stops"),
+) -> int:
     """Verify all cross-group candidates of the listed group pairs."""
     cat_a, starts_a, stops_a = (ctx[key] for key in a_keys)
     cat_b, starts_b, stops_b = (ctx[key] for key in b_keys)

@@ -12,11 +12,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import TYPE_CHECKING
 
 from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
 
+if TYPE_CHECKING:
+    from collections.abc import Sequence
 
-def main(argv=None):
+
+def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's figures at reproduction scale.",

@@ -15,11 +15,16 @@ from __future__ import annotations
 
 import csv
 import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from collections.abc import Mapping, Sequence
+    from pathlib import Path
 
 __all__ = ["jsonable", "write_json", "write_csv_series"]
 
 
-def jsonable(value):
+def jsonable(value: object) -> Any:
     """Recursively convert a result structure to JSON-serialisable types.
 
     Numpy scalars/arrays become Python numbers/lists; objects that are
@@ -52,20 +57,25 @@ def jsonable(value):
 class _Drop:
     """Sentinel: a value with no JSON representation (dropped silently)."""
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "<drop>"
 
 
 _DROP = _Drop()
 
 
-def write_json(result, path, indent=1):
+def write_json(result: object, path: str | Path, indent: int = 1) -> None:
     """Write one experiment's structured result dict to a JSON file."""
     with open(path, "w") as handle:
         json.dump(jsonable(result), handle, indent=indent)
 
 
-def write_csv_series(path, x_values, series_by_name, x_label="x"):
+def write_csv_series(
+    path: str | Path,
+    x_values: Sequence[object],
+    series_by_name: Mapping[str, Sequence[object]],
+    x_label: str = "x",
+) -> None:
     """Write aligned series (one column per algorithm) to a CSV file.
 
     ``None`` entries (the harness's DNF marker) become empty cells.

@@ -24,6 +24,8 @@ ablations extension: design-choice ablations called out in DESIGN.md
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 from repro.core import ThermalJoin
 from repro.experiments.plots import render_chart
 from repro.experiments.report import render_series_table, render_speedups, render_table
@@ -47,6 +49,13 @@ from repro.joins import (
     TouchJoin,
 )
 from repro.simulation import SimulationRunner, speedup_table
+
+if TYPE_CHECKING:
+    from collections.abc import Callable, Mapping, Sequence
+
+    from repro.datasets import SpatialDataset
+    from repro.datasets.motion import MotionModel
+    from repro.engine import Executor
 
 __all__ = [
     "ALGORITHM_FACTORIES",
@@ -127,8 +136,13 @@ FIG7_ALGORITHMS = ["ego", "touch", "cr-tree", "loose-octree", "thermal-join"]
 FIG9_ALGORITHMS = ["loose-octree", "touch", "cr-tree", "thermal-join"]
 
 
-def _simulate_matrix(workload_factory, algorithms, n_steps, time_budget,
-                     executor=None):
+def _simulate_matrix(
+    workload_factory: Callable[[], tuple[SpatialDataset, MotionModel | None]],
+    algorithms: Sequence[str],
+    n_steps: int,
+    time_budget: float | None,
+    executor: Executor | str | None = None,
+) -> dict[str, SimulationRunner]:
     """Run several algorithms over identical workload replays.
 
     ``workload_factory(seed_offset)`` must build a *fresh* (dataset,
@@ -154,14 +168,14 @@ def _simulate_matrix(workload_factory, algorithms, n_steps, time_budget,
     return runners
 
 
-def _total_or_none(runner):
+def _total_or_none(runner: SimulationRunner) -> float | None:
     """Total join time, or None when the run timed out or failed (DNF)."""
     if runner.timed_out or runner.failed_step is not None:
         return None
     return runner.total_join_seconds()
 
 
-def _robustness_notes(runners):
+def _robustness_notes(runners: Mapping[str, SimulationRunner]) -> list[str]:
     """Per-runner recovery/failure summary lines; empty when all clean.
 
     Degraded or retried steps still produce serial-identical results
@@ -186,7 +200,7 @@ def _robustness_notes(runners):
     return lines
 
 
-def _with_robustness(table, runners):
+def _with_robustness(table: str, runners: Mapping[str, SimulationRunner]) -> str:
     """Append recovery notes to a rendered table when any occurred."""
     notes = _robustness_notes(runners)
     if notes:
@@ -197,7 +211,12 @@ def _with_robustness(table, runners):
 # ----------------------------------------------------------------------
 # Figure 2 — motivation: join selectivity vs static join time
 # ----------------------------------------------------------------------
-def fig2(scale="default", time_budget=60.0, quiet=False, executor=None):
+def fig2(
+    scale: str = "default",
+    time_budget: float = 60.0,
+    quiet: bool = False,
+    executor: Executor | str | None = None,
+) -> dict[str, Any]:
     """Self-join time of 8 existing methods vs object volume (Figure 2).
 
     One static time step over the neural dataset; the object volume
@@ -231,7 +250,9 @@ def fig2(scale="default", time_budget=60.0, quiet=False, executor=None):
 # ----------------------------------------------------------------------
 # Figure 6 — convexity of F_t(r)
 # ----------------------------------------------------------------------
-def fig6(scale="default", quiet=False, executor=None):
+def fig6(
+    scale: str = "default", quiet: bool = False, executor: Executor | str | None = None
+) -> dict[str, Any]:
     """THERMAL-JOIN join time vs P-Grid resolution r (Figure 6).
 
     Four uniform datasets with object widths 10/15/20/25; a static join
@@ -268,7 +289,12 @@ def fig6(scale="default", quiet=False, executor=None):
 # ----------------------------------------------------------------------
 # Figure 7 — full neural simulation
 # ----------------------------------------------------------------------
-def fig7(scale="default", time_budget=600.0, quiet=False, executor=None):
+def fig7(
+    scale: str = "default",
+    time_budget: float = 600.0,
+    quiet: bool = False,
+    executor: Executor | str | None = None,
+) -> dict[str, Any]:
     """Full neural simulation over many steps (Figure 7a–d).
 
     Records per-step join results, join time, overlap tests and memory
@@ -326,7 +352,12 @@ def fig7(scale="default", time_budget=600.0, quiet=False, executor=None):
 # ----------------------------------------------------------------------
 # Figure 8 — neural scalability
 # ----------------------------------------------------------------------
-def fig8(scale="default", time_budget=300.0, quiet=False, executor=None):
+def fig8(
+    scale: str = "default",
+    time_budget: float = 300.0,
+    quiet: bool = False,
+    executor: Executor | str | None = None,
+) -> dict[str, Any]:
     """Neural scalability: join time vs dataset size and object extent
     (Figure 8a/b), short simulations as in the paper (10 steps there).
 
@@ -397,7 +428,12 @@ def fig8(scale="default", time_budget=300.0, quiet=False, executor=None):
 # ----------------------------------------------------------------------
 # Figure 9 — synthetic sensitivity analysis
 # ----------------------------------------------------------------------
-def fig9(scale="default", time_budget=300.0, quiet=False, executor=None):
+def fig9(
+    scale: str = "default",
+    time_budget: float = 300.0,
+    quiet: bool = False,
+    executor: Executor | str | None = None,
+) -> dict[str, Any]:
     """Synthetic sensitivity sweeps (Figure 9a–f).
 
     (a) dataset size, (b) object size, (c) object-width variation,
@@ -474,7 +510,9 @@ def fig9(scale="default", time_budget=300.0, quiet=False, executor=None):
 # ----------------------------------------------------------------------
 # Figure 10 — THERMAL-JOIN internals
 # ----------------------------------------------------------------------
-def fig10(scale="default", quiet=False, executor=None):
+def fig10(
+    scale: str = "default", quiet: bool = False, executor: Executor | str | None = None
+) -> dict[str, Any]:
     """Phase breakdown and footprint vs P-Grid resolution (Figure 10a/b)."""
     preset = SCALES[scale]
     dataset, _motion, _labels = scaled_neural(preset["neural_n"], seed=17)
@@ -510,7 +548,12 @@ def fig10(scale="default", quiet=False, executor=None):
 # ----------------------------------------------------------------------
 # Headline speedups
 # ----------------------------------------------------------------------
-def speedups(scale="default", time_budget=600.0, quiet=False, executor=None):
+def speedups(
+    scale: str = "default",
+    time_budget: float = 600.0,
+    quiet: bool = False,
+    executor: Executor | str | None = None,
+) -> dict[str, Any]:
     """Total-time speedup of THERMAL-JOIN over each competitor (the
     abstract's 8–12x claim, measured on the neural simulation)."""
     preset = SCALES[scale]
@@ -543,7 +586,9 @@ def speedups(scale="default", time_budget=600.0, quiet=False, executor=None):
 # ----------------------------------------------------------------------
 # Tuning behaviour
 # ----------------------------------------------------------------------
-def tuning(scale="default", quiet=False, executor=None):
+def tuning(
+    scale: str = "default", quiet: bool = False, executor: Executor | str | None = None
+) -> dict[str, Any]:
     """Hill-climbing convergence on a live workload (§4.3.2 claims)."""
     preset = SCALES[scale]
     dataset, motion, _labels = scaled_neural(preset["neural_n"], seed=23)
@@ -584,7 +629,9 @@ def tuning(scale="default", quiet=False, executor=None):
 # ----------------------------------------------------------------------
 # Ablations (extensions beyond the paper's figures)
 # ----------------------------------------------------------------------
-def ablations(scale="default", quiet=False, executor=None):
+def ablations(
+    scale: str = "default", quiet: bool = False, executor: Executor | str | None = None
+) -> dict[str, Any]:
     """Design-choice ablations: hot spots, enclosure shortcut,
     incremental maintenance, GC threshold (DESIGN.md §4).
 

@@ -10,6 +10,10 @@ shell.  Pure string output; no plotting dependencies.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from collections.abc import Mapping, Sequence
 
 __all__ = ["render_chart", "render_sparkline"]
 
@@ -17,7 +21,7 @@ __all__ = ["render_chart", "render_sparkline"]
 _MARKS = "o*x+#@%&"
 
 
-def _nice_format(value):
+def _nice_format(value: float) -> str:
     if value == 0:
         return "0"
     if abs(value) >= 1000 or abs(value) < 0.01:
@@ -26,14 +30,14 @@ def _nice_format(value):
 
 
 def render_chart(
-    x_values,
-    series_by_name,
-    width=64,
-    height=16,
-    log_y=True,
-    title=None,
-    y_label=None,
-):
+    x_values: Sequence[float],
+    series_by_name: Mapping[str, Sequence[float | None]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = True,
+    title: str | None = None,
+    y_label: str | None = None,
+) -> str:
     """Render line series as an ASCII scatter chart; returns a string.
 
     Parameters
@@ -54,7 +58,7 @@ def render_chart(
     for k, (name, values) in enumerate(series_by_name.items()):
         mark = _MARKS[k % len(_MARKS)]
         legend.append(f"{mark} {name}")
-        for x, y in zip(x_values, values):
+        for x, y in zip(x_values, values, strict=False):
             if y is None:
                 continue
             points.append((float(x), float(y), mark))
@@ -64,17 +68,14 @@ def render_chart(
     xs = [p[0] for p in points]
     ys = [p[1] for p in points]
     use_log = log_y and min(ys) > 0
-    if use_log:
-        ys_t = [math.log10(y) for y in ys]
-    else:
-        ys_t = ys
+    ys_t = [math.log10(y) for y in ys] if use_log else ys
     x_lo, x_hi = min(xs), max(xs)
     y_lo, y_hi = min(ys_t), max(ys_t)
     x_span = (x_hi - x_lo) or 1.0
     y_span = (y_hi - y_lo) or 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    for (x, _y, mark), y_t in zip(points, ys_t):
+    for (x, _y, mark), y_t in zip(points, ys_t, strict=True):
         col = int(round((x - x_lo) / x_span * (width - 1)))
         row = int(round((y_t - y_lo) / y_span * (height - 1)))
         grid[height - 1 - row][col] = mark
@@ -107,7 +108,7 @@ def render_chart(
     return "\n".join(lines)
 
 
-def render_sparkline(values, width=None):
+def render_sparkline(values: Sequence[float | None], width: int | None = None) -> str:
     """Compact one-line trend of a metric series (block characters)."""
     blocks = "▁▂▃▄▅▆▇█"
     clean = [v for v in values if v is not None]

@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 from repro.experiments import figures
+
+if TYPE_CHECKING:
+    from repro.engine import Executor
 
 __all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
 
@@ -20,12 +25,17 @@ EXPERIMENTS = {
 }
 
 
-def list_experiments():
+def list_experiments() -> list[tuple[str, str]]:
     """Return ``(id, description)`` pairs in registry order."""
     return [(name, desc) for name, (_fn, desc) in EXPERIMENTS.items()]
 
 
-def run_experiment(name, scale="default", quiet=False, executor=None):
+def run_experiment(
+    name: str,
+    scale: str = "default",
+    quiet: bool = False,
+    executor: Executor | str | None = None,
+) -> dict[str, Any]:
     """Run one experiment by id; returns its structured result dict.
 
     ``executor`` selects the engine executor for every algorithm the

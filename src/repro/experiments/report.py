@@ -8,6 +8,11 @@ units explicit: seconds, counts in millions, bytes in MB.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable, Mapping, Sequence
+
 __all__ = [
     "format_value",
     "render_table",
@@ -16,7 +21,7 @@ __all__ = [
 ]
 
 
-def format_value(value):
+def format_value(value: object) -> str:
     """Compact human formatting for one cell."""
     if value is None:
         return "-"
@@ -35,7 +40,11 @@ def format_value(value):
     return str(value)
 
 
-def render_table(headers, rows, title=None):
+def render_table(
+    headers: Sequence[object],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
     """Render a list-of-rows table with aligned columns; returns a string."""
     cells = [[format_value(v) for v in row] for row in rows]
     headers = [str(h) for h in headers]
@@ -46,14 +55,19 @@ def render_table(headers, rows, title=None):
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append("  ".join("-" * w for w in widths))
     for row in cells:
-        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 
-def render_series_table(x_label, x_values, series_by_name, title=None):
+def render_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series_by_name: Mapping[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
     """Render one metric series per algorithm against a swept variable.
 
     ``series_by_name`` maps a column name to a list aligned with
@@ -71,7 +85,9 @@ def render_series_table(x_label, x_values, series_by_name, title=None):
     return render_table(headers, rows, title=title)
 
 
-def render_speedups(speedups, title="Speedup of THERMAL-JOIN"):
+def render_speedups(
+    speedups: Mapping[str, float], title: str = "Speedup of THERMAL-JOIN"
+) -> str:
     """Render a {competitor: speedup} mapping, best competitor first."""
     rows = sorted(speedups.items(), key=lambda item: item[1])
     return render_table(

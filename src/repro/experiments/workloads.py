@@ -18,6 +18,8 @@ any ``n``:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.datasets import (
@@ -25,6 +27,14 @@ from repro.datasets import (
     make_neural_workload,
     make_uniform_workload,
 )
+
+if TYPE_CHECKING:
+    from repro.datasets import (
+        BranchJitter,
+        ClusterDrift,
+        RandomTranslation,
+        SpatialDataset,
+    )
 
 __all__ = [
     "PAPER_UNIFORM_DENSITY",
@@ -88,13 +98,13 @@ SCALES = {
 
 
 def scaled_uniform(
-    n,
-    width=15.0,
-    width_range=None,
-    translation=10.0,
-    density=PAPER_UNIFORM_DENSITY,
-    seed=0,
-):
+    n: int,
+    width: float = 15.0,
+    width_range: tuple[float, float] | None = None,
+    translation: float = 10.0,
+    density: float = PAPER_UNIFORM_DENSITY,
+    seed: int = 0,
+) -> tuple[SpatialDataset, RandomTranslation]:
     """Uniform benchmark at paper density, scaled to ``n`` objects.
 
     Returns ``(dataset, motion)``.
@@ -112,13 +122,13 @@ def scaled_uniform(
 
 
 def scaled_clustered(
-    n,
-    n_clusters=1,
-    sd_factor=1.0,
-    width=15.0,
-    translation=10.0,
-    seed=0,
-):
+    n: int,
+    n_clusters: int = 1,
+    sd_factor: float = 1.0,
+    width: float = 15.0,
+    translation: float = 10.0,
+    seed: int = 0,
+) -> tuple[SpatialDataset, ClusterDrift, np.ndarray]:
     """Skewed benchmark scaled for reproduction.
 
     ``sd_factor`` multiplies the base spread (two object widths), the
@@ -142,7 +152,9 @@ def scaled_clustered(
     )
 
 
-def scaled_neural(n, object_volume=15.0, seed=0, **kwargs):
+def scaled_neural(
+    n: int, object_volume: float = 15.0, seed: int = 0, **kwargs: object
+) -> tuple[SpatialDataset, BranchJitter, np.ndarray]:
     """Neural workload at reproduction scale (density held by the
     generator's default domain sizing).
 

@@ -34,10 +34,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Callable
+
 __all__ = ["cross_join_groups", "self_join_groups"]
 
+#: Per-batch emission callback: ``(left_ids, right_ids, pair_index)``.
+PairCallback = Callable[[np.ndarray, np.ndarray, np.ndarray], None]
 
-def _chunk_edges(counts, chunk_candidates):
+
+def _chunk_edges(counts: np.ndarray, chunk_candidates: int) -> np.ndarray:
     """Split group-pair lists into chunks bounded by candidate volume."""
     cum = np.cumsum(counts)
     total = int(cum[-1]) if counts.size else 0
@@ -48,7 +53,7 @@ def _chunk_edges(counts, chunk_candidates):
     return np.unique(np.concatenate([[0], inner, [counts.size]]))
 
 
-def _expand_windows(starts, stops):
+def _expand_windows(starts: np.ndarray, stops: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Flat enumeration of ``[starts, stops)`` windows: (row, position)."""
     counts = np.maximum(stops - starts, 0)
     total = int(counts.sum())
@@ -76,7 +81,7 @@ class _Columns:
 
     __slots__ = ("cat", "xlo", "xhi", "ylo", "yhi", "zlo", "zhi")
 
-    def __init__(self, lo, hi, cat):
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, cat: np.ndarray) -> None:
         self.cat = cat
         ordered_lo = lo[cat]
         ordered_hi = hi[cat]
@@ -88,7 +93,15 @@ class _Columns:
         self.zhi = np.ascontiguousarray(ordered_hi[:, 2])
 
 
-def _test_and_emit(side_a, side_b, left_pos, right_pos, pair_groups, count, on_pairs):
+def _test_and_emit(
+    side_a: _Columns,
+    side_b: _Columns,
+    left_pos: np.ndarray,
+    right_pos: np.ndarray,
+    pair_groups: np.ndarray,
+    count: str,
+    on_pairs: PairCallback,
+) -> int:
     """Shared candidate evaluation on positional indices.
 
     Tests dimensions progressively (x first, y/z on the survivors) and
@@ -99,10 +112,8 @@ def _test_and_emit(side_a, side_b, left_pos, right_pos, pair_groups, count, on_p
         side_a.xlo[left_pos] < side_b.xhi[right_pos],
         side_b.xlo[right_pos] < side_a.xhi[left_pos],
     )
-    if count == "full":
-        tests = int(left_pos.size)
-    else:  # "x-sweep": only x-overlapping candidates are charged
-        tests = int(x_overlap.sum())
+    # "x-sweep" charges only the x-overlapping candidates.
+    tests = int(left_pos.size) if count == "full" else int(x_overlap.sum())
     left_pos = left_pos[x_overlap]
     right_pos = right_pos[x_overlap]
     if left_pos.size == 0:
@@ -128,20 +139,20 @@ def _test_and_emit(side_a, side_b, left_pos, right_pos, pair_groups, count, on_p
 
 
 def cross_join_groups(
-    lo,
-    hi,
-    cat_a,
-    starts_a,
-    stops_a,
-    cat_b,
-    starts_b,
-    stops_b,
-    pair_a,
-    pair_b,
-    on_pairs,
-    count="full",
-    chunk_candidates=2_000_000,
-):
+    lo: np.ndarray,
+    hi: np.ndarray,
+    cat_a: np.ndarray,
+    starts_a: np.ndarray,
+    stops_a: np.ndarray,
+    cat_b: np.ndarray,
+    starts_b: np.ndarray,
+    stops_b: np.ndarray,
+    pair_a: np.ndarray,
+    pair_b: np.ndarray,
+    on_pairs: PairCallback,
+    count: str = "full",
+    chunk_candidates: int = 2_000_000,
+) -> int:
     """Join group ``pair_a[k]`` of side A against ``pair_b[k]`` of side B.
 
     Parameters
@@ -206,16 +217,16 @@ def cross_join_groups(
 
 
 def self_join_groups(
-    lo,
-    hi,
-    cat,
-    starts,
-    stops,
-    groups,
-    on_pairs,
-    count="full",
-    chunk_candidates=2_000_000,
-):
+    lo: np.ndarray,
+    hi: np.ndarray,
+    cat: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    groups: np.ndarray,
+    on_pairs: PairCallback,
+    count: str = "full",
+    chunk_candidates: int = 2_000_000,
+) -> int:
     """All unordered object pairs within each listed group.
 
     Same contract as :func:`cross_join_groups` with both sides equal;

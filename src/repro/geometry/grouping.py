@@ -13,7 +13,11 @@ import numpy as np
 __all__ = ["group_by_keys"]
 
 
-def group_by_keys(keys, secondary_sort=None, ids=None):
+def group_by_keys(
+    keys: np.ndarray,
+    secondary_sort: np.ndarray | None = None,
+    ids: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Group object indices by integer key.
 
     Parameters
@@ -44,10 +48,11 @@ def group_by_keys(keys, secondary_sort=None, ids=None):
     if n == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty.copy(), empty.copy(), empty.copy()
-    if secondary_sort is not None:
-        order = np.lexsort((np.asarray(secondary_sort), keys))
-    else:
-        order = np.argsort(keys, kind="stable")
+    order = (
+        np.lexsort((np.asarray(secondary_sort), keys))
+        if secondary_sort is not None
+        else np.argsort(keys, kind="stable")
+    )
     sorted_keys = keys[order]
     boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
     starts = np.concatenate([[0], boundaries]).astype(np.int64)

@@ -49,7 +49,7 @@ __all__ = [
 DIMENSIONS = 3
 
 
-def boxes_from_centers(centers, widths):
+def boxes_from_centers(centers: np.ndarray, widths: np.ndarray | float) -> tuple[np.ndarray, np.ndarray]:
     """Build ``(lo, hi)`` box arrays from object centers and widths.
 
     Parameters
@@ -90,17 +90,17 @@ def boxes_from_centers(centers, widths):
     return centers - half, centers + half
 
 
-def centers_from_boxes(lo, hi):
+def centers_from_boxes(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
     """Return the box centers, shape ``(n, d)``."""
     return (np.asarray(lo) + np.asarray(hi)) / 2.0
 
 
-def widths_from_boxes(lo, hi):
+def widths_from_boxes(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
     """Return per-dimension full widths, shape ``(n, d)``."""
     return np.asarray(hi) - np.asarray(lo)
 
 
-def validate_boxes(lo, hi):
+def validate_boxes(lo: np.ndarray, hi: np.ndarray) -> None:
     """Raise ``ValueError`` unless ``lo``/``hi`` describe proper boxes.
 
     Proper means matching 2-D shapes, finite values and strictly positive
@@ -117,13 +117,13 @@ def validate_boxes(lo, hi):
         raise ValueError("boxes must have strictly positive extent in every dimension")
 
 
-def overlap_single(lo_a, hi_a, lo_b, hi_b):
+def overlap_single(lo_a: np.ndarray, hi_a: np.ndarray, lo_b: np.ndarray, hi_b: np.ndarray) -> bool:
     """Strict overlap test for two individual boxes (1-D bound arrays)."""
     return bool(np.all(np.asarray(lo_a) < np.asarray(hi_b)) and
                 np.all(np.asarray(lo_b) < np.asarray(hi_a)))
 
 
-def overlap_elementwise(lo_a, hi_a, lo_b, hi_b):
+def overlap_elementwise(lo_a: np.ndarray, hi_a: np.ndarray, lo_b: np.ndarray, hi_b: np.ndarray) -> np.ndarray:
     """Row-wise strict overlap of two equally long box collections.
 
     Returns a boolean array of shape ``(n,)`` where entry ``k`` reports
@@ -135,7 +135,7 @@ def overlap_elementwise(lo_a, hi_a, lo_b, hi_b):
     )
 
 
-def overlap_matrix(lo_a, hi_a, lo_b, hi_b):
+def overlap_matrix(lo_a: np.ndarray, hi_a: np.ndarray, lo_b: np.ndarray, hi_b: np.ndarray) -> np.ndarray:
     """Full cross-product strict overlap between two box collections.
 
     Returns a boolean matrix of shape ``(len(a), len(b))``.  This is the
@@ -150,7 +150,7 @@ def overlap_matrix(lo_a, hi_a, lo_b, hi_b):
     return np.logical_and((lo_a < hi_b).all(axis=-1), (lo_b < hi_a).all(axis=-1))
 
 
-def encloses(outer_lo, outer_hi, inner_lo, inner_hi):
+def encloses(outer_lo: np.ndarray, outer_hi: np.ndarray, inner_lo: np.ndarray, inner_hi: np.ndarray) -> np.ndarray:
     """Row-wise test whether each ``outer`` box fully encloses ``inner``.
 
     ``inner_lo``/``inner_hi`` may be a single box (1-D) broadcast against
@@ -164,13 +164,13 @@ def encloses(outer_lo, outer_hi, inner_lo, inner_hi):
     )
 
 
-def encloses_single(outer_lo, outer_hi, inner_lo, inner_hi):
+def encloses_single(outer_lo: np.ndarray, outer_hi: np.ndarray, inner_lo: np.ndarray, inner_hi: np.ndarray) -> bool:
     """Scalar enclosure test for two individual boxes."""
     return bool(np.all(np.asarray(outer_lo) <= np.asarray(inner_lo)) and
                 np.all(np.asarray(outer_hi) >= np.asarray(inner_hi)))
 
 
-def contains_points(lo, hi, points):
+def contains_points(lo: np.ndarray, hi: np.ndarray, points: np.ndarray) -> np.ndarray:
     """Half-open containment of ``points`` in the single box ``[lo, hi)``.
 
     Grid cells throughout the system are half-open so that every point
@@ -183,12 +183,12 @@ def contains_points(lo, hi, points):
     )
 
 
-def box_volume(lo, hi):
+def box_volume(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
     """Volume of each box, shape ``(n,)``."""
     return np.prod(np.asarray(hi) - np.asarray(lo), axis=-1)
 
 
-def width_from_volume(volume, dimensions=DIMENSIONS):
+def width_from_volume(volume: float, dimensions: int = DIMENSIONS) -> float:
     """Side length of a cube with the given volume.
 
     The paper specifies object extents as volumes (e.g. ``15 micron^3``);
@@ -199,14 +199,14 @@ def width_from_volume(volume, dimensions=DIMENSIONS):
     return float(volume) ** (1.0 / dimensions)
 
 
-def volume_from_width(width, dimensions=DIMENSIONS):
+def volume_from_width(width: float, dimensions: int = DIMENSIONS) -> float:
     """Volume of a cube with the given side length."""
     if width <= 0:
         raise ValueError(f"width must be positive, got {width}")
     return float(width) ** dimensions
 
 
-def union_bounds(lo, hi):
+def union_bounds(lo: np.ndarray, hi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Tight bounds ``(lo_min, hi_max)`` covering an entire box collection."""
     lo = np.asarray(lo)
     hi = np.asarray(hi)
@@ -215,7 +215,7 @@ def union_bounds(lo, hi):
     return lo.min(axis=0), hi.max(axis=0)
 
 
-def enlarge_boxes(lo, hi, distance):
+def enlarge_boxes(lo: np.ndarray, hi: np.ndarray, distance: float) -> tuple[np.ndarray, np.ndarray]:
     """Enlarge boxes by ``distance`` on every side (Minkowski sum with a cube).
 
     This implements the paper's distance-join reduction (Section 3.1):
@@ -231,7 +231,7 @@ def enlarge_boxes(lo, hi, distance):
     return np.asarray(lo) - distance, np.asarray(hi) + distance
 
 
-def intersection_volume(lo_a, hi_a, lo_b, hi_b):
+def intersection_volume(lo_a: np.ndarray, hi_a: np.ndarray, lo_b: np.ndarray, hi_b: np.ndarray) -> np.ndarray:
     """Row-wise intersection volume of paired boxes (0 where disjoint)."""
     inter_lo = np.maximum(np.asarray(lo_a), np.asarray(lo_b))
     inter_hi = np.minimum(np.asarray(hi_a), np.asarray(hi_b))

@@ -18,7 +18,7 @@ MORTON_COORD_BITS = 21
 _MASK = (1 << MORTON_COORD_BITS) - 1
 
 
-def _spread_bits(values):
+def _spread_bits(values: np.ndarray) -> np.ndarray:
     """Spread each 21-bit integer so its bits occupy every third position.
 
     Classic magic-number bit spreading, vectorised over int64 arrays.
@@ -32,7 +32,7 @@ def _spread_bits(values):
     return x
 
 
-def _compact_bits(values):
+def _compact_bits(values: np.ndarray) -> np.ndarray:
     """Inverse of :func:`_spread_bits`."""
     x = values & np.int64(0x1249249249249249)
     x = (x | (x >> 2)) & np.int64(0x10C30C30C30C30C3)
@@ -43,7 +43,7 @@ def _compact_bits(values):
     return x
 
 
-def morton_encode(coords):
+def morton_encode(coords: np.ndarray) -> np.ndarray:
     """Encode non-negative grid coordinates ``(n, 3)`` into Morton keys."""
     coords = np.asarray(coords, dtype=np.int64)
     if coords.ndim != 2 or coords.shape[1] != 3:
@@ -60,7 +60,7 @@ def morton_encode(coords):
     )
 
 
-def morton_decode(keys):
+def morton_decode(keys: np.ndarray) -> np.ndarray:
     """Decode Morton keys back into ``(n, 3)`` grid coordinates."""
     keys = np.asarray(keys, dtype=np.int64)
     return np.stack(

@@ -30,7 +30,7 @@ __all__ = [
 ]
 
 
-def canonicalize_pairs(i_idx, j_idx):
+def canonicalize_pairs(i_idx: np.ndarray, j_idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Order each pair as ``(min, max)`` and drop reflexive entries.
 
     Returns two ``int64`` arrays of equal length.
@@ -47,7 +47,7 @@ def canonicalize_pairs(i_idx, j_idx):
     return lo, hi
 
 
-def pack_pairs(i_idx, j_idx, n):
+def pack_pairs(i_idx: np.ndarray, j_idx: np.ndarray, n: int) -> np.ndarray:
     """Pack canonical pairs into sortable ``int64`` keys ``i * n + j``."""
     i_idx = np.asarray(i_idx, dtype=np.int64)
     j_idx = np.asarray(j_idx, dtype=np.int64)
@@ -58,20 +58,20 @@ def pack_pairs(i_idx, j_idx, n):
     return i_idx * np.int64(n) + j_idx
 
 
-def unpack_pairs(keys, n):
+def unpack_pairs(keys: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
     """Invert :func:`pack_pairs`."""
     keys = np.asarray(keys, dtype=np.int64)
     return keys // np.int64(n), keys % np.int64(n)
 
 
-def unique_pairs(i_idx, j_idx, n):
+def unique_pairs(i_idx: np.ndarray, j_idx: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
     """Canonicalise, deduplicate and sort pairs; returns ``(i, j)`` arrays."""
     lo, hi = canonicalize_pairs(i_idx, j_idx)
     keys = np.unique(pack_pairs(lo, hi, n))
     return unpack_pairs(keys, n)
 
 
-def pairs_equal(pairs_a, pairs_b, n):
+def pairs_equal(pairs_a: tuple[np.ndarray, np.ndarray], pairs_b: tuple[np.ndarray, np.ndarray], n: int) -> bool:
     """Set equality of two pair collections given as ``(i, j)`` tuples."""
     keys_a = np.unique(pack_pairs(*canonicalize_pairs(*pairs_a), n))
     keys_b = np.unique(pack_pairs(*canonicalize_pairs(*pairs_b), n))
@@ -96,16 +96,16 @@ class PairAccumulator:
     the benchmark harness uses to keep large sweeps memory-friendly.
     """
 
-    def __init__(self, count_only=False):
+    def __init__(self, count_only: bool = False) -> None:
         self._batches_i = []
         self._batches_j = []
         self._count = 0
         self.count_only = count_only
 
-    def __len__(self):
+    def __len__(self) -> int:
         return self._count
 
-    def extend(self, i_idx, j_idx):
+    def extend(self, i_idx: np.ndarray, j_idx: np.ndarray) -> None:
         """Add a batch of pairs (any order; reflexive entries dropped)."""
         lo, hi = canonicalize_pairs(i_idx, j_idx)
         self._count += int(lo.size)
@@ -113,7 +113,7 @@ class PairAccumulator:
             self._batches_i.append(lo)
             self._batches_j.append(hi)
 
-    def extend_canonical(self, i_idx, j_idx):
+    def extend_canonical(self, i_idx: np.ndarray, j_idx: np.ndarray) -> None:
         """Add a batch already known to satisfy ``i < j``.
 
         Skips the canonicalisation pass; used on hot paths such as the
@@ -127,7 +127,7 @@ class PairAccumulator:
             self._batches_i.append(i_idx)
             self._batches_j.append(j_idx)
 
-    def add_count(self, n):
+    def add_count(self, n: int) -> None:
         """Record ``n`` pairs without materialising them.
 
         Only valid in ``count_only`` mode; parallel executors use this to
@@ -137,7 +137,7 @@ class PairAccumulator:
             raise RuntimeError("add_count requires a count_only accumulator")
         self._count += int(n)
 
-    def merge(self, other):
+    def merge(self, other: PairAccumulator) -> None:
         """Absorb another accumulator's batches (parallel join shards).
 
         The other accumulator must have the same ``count_only`` mode; it
@@ -152,7 +152,7 @@ class PairAccumulator:
         other._batches_j = []
         other._count = 0
 
-    def as_arrays(self):
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(i, j)`` arrays with all accumulated pairs (unsorted)."""
         if self.count_only:
             raise RuntimeError("accumulator was created count_only; pairs not kept")
@@ -164,13 +164,13 @@ class PairAccumulator:
             np.concatenate(self._batches_j),
         )
 
-    def as_unique_arrays(self, n):
+    def as_unique_arrays(self, n: int) -> tuple[np.ndarray, np.ndarray]:
         """Return deduplicated, sorted ``(i, j)`` arrays."""
         i_idx, j_idx = self.as_arrays()
         return unique_pairs(i_idx, j_idx, n)
 
 
-def brute_force_pairs(lo, hi, chunk_size=512):
+def brute_force_pairs(lo: np.ndarray, hi: np.ndarray, chunk_size: int = 512) -> tuple[np.ndarray, np.ndarray]:
     """Reference oracle: exact self-join by exhaustive comparison.
 
     Evaluates all ``n * (n - 1) / 2`` strict-overlap predicates in
@@ -201,7 +201,7 @@ def brute_force_pairs(lo, hi, chunk_size=512):
     return i_idx[order], j_idx[order]
 
 
-def pairs_to_adjacency(i_idx, j_idx, n):
+def pairs_to_adjacency(i_idx: np.ndarray, j_idx: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
     """Convert a pair set into CSR-style per-object neighbour lists.
 
     Simulations consume the join as "the neighbours of each object" (the
@@ -230,7 +230,7 @@ def pairs_to_adjacency(i_idx, j_idx, n):
     return offsets, targets
 
 
-def all_combinations(indices):
+def all_combinations(indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """All unordered pairs among ``indices`` without any overlap testing.
 
     This is the hot-spot emit of THERMAL-JOIN (Section 4.2.2): objects in

@@ -35,7 +35,7 @@ __all__ = [
 ]
 
 
-def sort_by_x(lo, hi, ids=None):
+def sort_by_x(lo: np.ndarray, hi: np.ndarray, ids: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Sort boxes (and optional global ids) ascending by lower x bound.
 
     Returns ``(lo, hi, ids)`` where ``ids`` defaults to positional
@@ -44,15 +44,16 @@ def sort_by_x(lo, hi, ids=None):
     """
     lo = np.asarray(lo, dtype=np.float64)
     hi = np.asarray(hi, dtype=np.float64)
-    if ids is None:
-        ids = np.arange(lo.shape[0], dtype=np.int64)
-    else:
-        ids = np.asarray(ids, dtype=np.int64)
+    ids = (
+        np.arange(lo.shape[0], dtype=np.int64)
+        if ids is None
+        else np.asarray(ids, dtype=np.int64)
+    )
     order = np.argsort(lo[:, 0], kind="stable")
     return lo[order], hi[order], ids[order]
 
 
-def window_pairs(starts, stops):
+def window_pairs(starts: np.ndarray, stops: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Expand per-row candidate windows into flat pair index arrays.
 
     Given ``starts``/``stops`` (exclusive) window bounds per left-hand
@@ -79,7 +80,9 @@ def window_pairs(starts, stops):
     return left, right
 
 
-def _filter_yz(lo_a, hi_a, lo_b, hi_b, left, right):
+def _filter_yz(
+    lo_a: np.ndarray, hi_a: np.ndarray, lo_b: np.ndarray, hi_b: np.ndarray, left: np.ndarray, right: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     """Keep pairs whose y and z intervals strictly overlap."""
     if left.size == 0:
         return left, right
@@ -90,7 +93,7 @@ def _filter_yz(lo_a, hi_a, lo_b, hi_b, left, right):
     return left[keep], right[keep]
 
 
-def sweep_self(lo, hi, ids=None):
+def sweep_self(lo: np.ndarray, hi: np.ndarray, ids: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray, int]:
     """Forward plane-sweep self-join of one x-sorted box collection.
 
     For each box ``i`` the sweep scans forward over boxes ``k > i`` while
@@ -105,10 +108,11 @@ def sweep_self(lo, hi, ids=None):
     lo = np.asarray(lo, dtype=np.float64)
     hi = np.asarray(hi, dtype=np.float64)
     n = lo.shape[0]
-    if ids is None:
-        ids = np.arange(n, dtype=np.int64)
-    else:
-        ids = np.asarray(ids, dtype=np.int64)
+    ids = (
+        np.arange(n, dtype=np.int64)
+        if ids is None
+        else np.asarray(ids, dtype=np.int64)
+    )
     if n < 2:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty.copy(), 0
@@ -121,7 +125,9 @@ def sweep_self(lo, hi, ids=None):
     return ids[left], ids[right], tests
 
 
-def sweep_between(lo_a, hi_a, ids_a, lo_b, hi_b, ids_b):
+def sweep_between(
+    lo_a: np.ndarray, hi_a: np.ndarray, ids_a: np.ndarray, lo_b: np.ndarray, hi_b: np.ndarray, ids_b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
     """Forward plane-sweep join between two disjoint x-sorted collections.
 
     Each x-overlapping (a, b) pair is scanned exactly once: from the ``a``

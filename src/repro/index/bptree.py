@@ -31,22 +31,26 @@ __all__ = ["BPlusTree"]
 class _Leaf:
     __slots__ = ("entries", "next")
 
-    def __init__(self):
+    def __init__(self) -> None:
         #: sorted list of (key, value) tuples
-        self.entries = []
+        self.entries: list[tuple[int, int]] = []
         #: next leaf in key order (the leaf chain for range scans)
-        self.next = None
+        self.next: _Leaf | None = None
 
 
 class _Internal:
     __slots__ = ("keys", "children")
 
-    def __init__(self):
+    def __init__(self) -> None:
         #: separator keys — composite ``(key, value)`` tuples so that
         #: duplicate keys route deterministically: ``children[i]`` holds
         #: entries < ``keys[i]``, ``children[i+1]`` entries >= ``keys[i]``.
-        self.keys = []
-        self.children = []
+        self.keys: list[tuple[int, int]] = []
+        self.children: list[_Node] = []
+
+
+#: A tree node: leaves hold entries, internals route by separator keys.
+_Node = _Leaf | _Internal
 
 
 class BPlusTree:
@@ -59,26 +63,26 @@ class BPlusTree:
         split when they exceed it and merge/borrow below ``order // 2``.
     """
 
-    def __init__(self, order=32):
+    def __init__(self, order: int = 32) -> None:
         if order < 4:
             raise ValueError(f"order must be at least 4, got {order}")
         self.order = int(order)
-        self._root = _Leaf()
+        self._root: _Node = _Leaf()
         self._size = 0
         self._height = 1
 
-    def __len__(self):
+    def __len__(self) -> int:
         return self._size
 
     @property
-    def height(self):
+    def height(self) -> int:
         """Tree height in levels (1 = a single leaf)."""
         return self._height
 
     # ------------------------------------------------------------------
     # Lookup helpers
     # ------------------------------------------------------------------
-    def _descend(self, route_key):
+    def _descend(self, route_key: tuple[int, int]) -> tuple[_Leaf, list[tuple[_Internal, int]]]:
         """Return (leaf, path) for a composite ``(key, value)`` route key;
         path is [(internal, child_idx), ...]."""
         node = self._root
@@ -92,7 +96,7 @@ class BPlusTree:
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
-    def insert(self, key, value):
+    def insert(self, key: int, value: int) -> bool:
         """Insert entry ``(key, value)``; returns False if already present."""
         key = int(key)
         value = int(value)
@@ -107,8 +111,9 @@ class BPlusTree:
             self._split(leaf, path)
         return True
 
-    def _split(self, node, path):
+    def _split(self, node: _Node, path: list[tuple[_Internal, int]]) -> None:
         """Split an overfull node, propagating up the recorded path."""
+        sibling: _Node
         if isinstance(node, _Leaf):
             sibling = _Leaf()
             mid = len(node.entries) // 2
@@ -142,7 +147,7 @@ class BPlusTree:
     # ------------------------------------------------------------------
     # Deletion
     # ------------------------------------------------------------------
-    def delete(self, key, value):
+    def delete(self, key: int, value: int) -> bool:
         """Remove entry ``(key, value)``; returns False if absent."""
         key = int(key)
         value = int(value)
@@ -156,10 +161,10 @@ class BPlusTree:
         self._rebalance(leaf, path)
         return True
 
-    def _min_fill(self):
+    def _min_fill(self) -> int:
         return self.order // 2
 
-    def _rebalance(self, node, path):
+    def _rebalance(self, node: _Node, path: list[tuple[_Internal, int]]) -> None:
         """Restore minimum occupancy after a deletion."""
         if not path:
             # Root: collapse a childless internal root.
@@ -224,7 +229,7 @@ class BPlusTree:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def range_values(self, key_lo, key_hi):
+    def range_values(self, key_lo: int, key_hi: int) -> list[int]:
         """All values with ``key_lo <= key <= key_hi`` (leaf-chain scan)."""
         key_lo = int(key_lo)
         key_hi = int(key_hi)
@@ -242,11 +247,11 @@ class BPlusTree:
             leaf = leaf.next
         return out
 
-    def values_for(self, key):
+    def values_for(self, key: int) -> list[int]:
         """All values stored under exactly ``key``."""
         return self.range_values(key, key)
 
-    def items(self):
+    def items(self) -> list[tuple[int, int]]:
         """All ``(key, value)`` entries in key order (leaf-chain walk)."""
         node = self._root
         while isinstance(node, _Internal):
@@ -257,7 +262,7 @@ class BPlusTree:
             node = node.next
         return out
 
-    def node_count(self):
+    def node_count(self) -> int:
         """Total node count (footprint accounting)."""
         count = 0
         stack = [self._root]
@@ -268,7 +273,7 @@ class BPlusTree:
                 stack.extend(node.children)
         return count
 
-    def check_invariants(self):
+    def check_invariants(self) -> None:
         """Validate structural invariants (test helper); raises on violation."""
         entries = self.items()
         if entries != sorted(entries):
@@ -279,7 +284,7 @@ class BPlusTree:
             )
         self._check_node(self._root, is_root=True)
 
-    def _check_node(self, node, is_root=False):
+    def _check_node(self, node: _Node, is_root: bool = False) -> None:
         if isinstance(node, _Leaf):
             if not is_root and len(node.entries) < self._min_fill():
                 raise AssertionError("underfull leaf")

@@ -19,17 +19,36 @@ paper's methodology (Section 5.1.1):
 Footprint model constants correspond to the paper-era C++
 implementation: 8-byte pointers and identifiers, 3-D MBRs as six
 doubles.
+
+Statistics are written through the recording methods on
+:class:`JoinStatistics` (enforced by repro-lint rule RPL202): the
+fields are aggregates with invariants — ``build_seconds`` mirrors the
+prepare stage, ``join_seconds`` the remaining stages, ``task_retries``
+the retry-class events — and the methods are the single place those
+invariants live.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.datasets.dataset import SpatialDataset
+    from repro.engine.executors import Executor
+    from repro.engine.plan import JoinPlan
+    from repro.geometry.pairs import PairAccumulator
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "POINTER_BYTES",
     "ID_BYTES",
     "MBR_BYTES",
     "FLOAT_BYTES",
+    "RETRY_EVENT_KINDS",
     "JoinStatistics",
     "JoinResult",
     "SpatialJoinAlgorithm",
@@ -43,6 +62,11 @@ ID_BYTES = 8
 MBR_BYTES = 48
 #: Size of one double-precision float.
 FLOAT_BYTES = 8
+
+#: Robustness-event kinds that represent a re-execution of a task.
+#: Defined here because ``JoinStatistics.task_retries`` is *defined* as
+#: the count of these kinds; the executors re-export the tuple.
+RETRY_EVENT_KINDS = ("task_retry", "task_inline", "task_timeout")
 
 
 @dataclass
@@ -98,17 +122,73 @@ class JoinStatistics:
     build_seconds: float = 0.0
     join_seconds: float = 0.0
     memory_bytes: int = 0
-    phase_seconds: dict = field(default_factory=dict)
-    stage_seconds: dict = field(default_factory=dict)
-    task_counters: list = field(default_factory=list)
-    events: list = field(default_factory=list)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    task_counters: list[dict[str, Any]] = field(default_factory=list)
+    events: list[dict[str, Any]] = field(default_factory=list)
     task_retries: int = 0
-    index_counters: dict = field(default_factory=dict)
+    index_counters: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     @property
-    def total_seconds(self):
+    def total_seconds(self) -> float:
         """Build plus join wall time for the step."""
         return self.build_seconds + self.join_seconds
+
+    # ------------------------------------------------------------------
+    # Recording methods — the only sanctioned write paths (RPL202)
+    # ------------------------------------------------------------------
+    def add_overlap_tests(self, tests: int) -> None:
+        """Charge ``tests`` pairwise overlap predicates to the step."""
+        self.overlap_tests += int(tests)
+
+    def record_task(self, counters: Mapping[str, Any]) -> None:
+        """Fold one executed task's counters into the step aggregate.
+
+        Appends a private copy to :attr:`task_counters` and charges the
+        task's ``overlap_tests`` share, keeping the step total equal to
+        the sum over tasks by construction.
+        """
+        self.overlap_tests += int(counters.get("overlap_tests", 0))
+        self.task_counters.append(dict(counters))
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Record one engine stage's wall time.
+
+        Maintains the invariant existing figures rely on:
+        ``build_seconds`` is the prepare stage, ``join_seconds`` the sum
+        of every other stage.
+        """
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + float(seconds)
+        if stage == "prepare":
+            self.build_seconds += float(seconds)
+        else:
+            self.join_seconds += float(seconds)
+
+    def record_phase(self, phase: str, seconds: float) -> None:
+        """Accumulate wall time for an algorithm-declared join phase."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + float(seconds)
+
+    def record_events(self, events: Iterable[Mapping[str, Any]]) -> None:
+        """Append robustness events, counting retry-class kinds.
+
+        ``task_retries`` mirrors the number of retry-class events by
+        definition; routing every event through here keeps the two in
+        lock-step.
+        """
+        for event in events:
+            self.events.append(dict(event))
+            if event.get("kind") in RETRY_EVENT_KINDS:
+                self.task_retries += 1
+
+    def record_memory(self, nbytes: int) -> None:
+        """Record the post-step analytic index footprint."""
+        self.memory_bytes = int(nbytes)
+
+    def record_index_counters(self, snapshot: Mapping[str, Mapping[str, Any]]) -> None:
+        """Store the per-provider index-counter snapshot for the step."""
+        self.index_counters = {
+            provider: dict(values) for provider, values in snapshot.items()
+        }
 
 
 @dataclass
@@ -158,23 +238,25 @@ class SpatialJoinAlgorithm:
     #: Human-readable algorithm name used by the experiment harness.
     name = "abstract"
 
-    def __init__(self, count_only=False, executor=None):
+    def __init__(
+        self, count_only: bool = False, executor: Executor | str | None = None
+    ) -> None:
         from repro.engine import resolve_executor
         from repro.obs import MetricsRegistry
 
         self.count_only = count_only
-        self.executor = resolve_executor(executor)
+        self.executor: Executor = resolve_executor(executor)
         self.stats = JoinStatistics()
         self._last_prepare_seconds = 0.0
         #: Read-only providers snapshot into ``JoinStatistics.index_counters``
         #: each step; subclasses register their index internals here.
-        self.metrics = MetricsRegistry()
+        self.metrics: MetricsRegistry = MetricsRegistry()
         self.metrics.register("executor", self._executor_metrics)
 
-    def _executor_metrics(self):
+    def _executor_metrics(self) -> dict[str, Any]:
         """Default provider: executor identity and degradation rung."""
         executor = self.executor
-        values = {"name": executor.name}
+        values: dict[str, Any] = {"name": executor.name}
         degraded = getattr(executor, "degraded", None)
         if degraded is not None:
             values["degraded"] = degraded
@@ -183,15 +265,15 @@ class SpatialJoinAlgorithm:
     # ------------------------------------------------------------------
     # Subclass responsibilities
     # ------------------------------------------------------------------
-    def _build(self, dataset):
+    def _build(self, dataset: SpatialDataset) -> None:
         """(Re)build or refresh the index for the dataset's current state."""
         raise NotImplementedError
 
-    def _join(self, dataset, accumulator):
+    def _join(self, dataset: SpatialDataset, accumulator: PairAccumulator) -> int:
         """Compute the self-join, emitting pairs; return the test count."""
         raise NotImplementedError
 
-    def plan(self, dataset):
+    def plan(self, dataset: SpatialDataset) -> JoinPlan:
         """Partition stage: emit this step's :class:`~repro.engine.JoinPlan`.
 
         The default wraps ``_join`` as one opaque task; ported
@@ -202,7 +284,7 @@ class SpatialJoinAlgorithm:
 
         return JoinPlan(tasks=[FallbackJoinTask(algorithm=self, dataset=dataset)])
 
-    def memory_footprint(self):
+    def memory_footprint(self) -> int:
         """Index footprint in bytes under the C-struct cost model.
 
         Excludes the raw object list itself (shared by all algorithms;
@@ -214,7 +296,7 @@ class SpatialJoinAlgorithm:
     # ------------------------------------------------------------------
     # Driver
     # ------------------------------------------------------------------
-    def step(self, dataset):
+    def step(self, dataset: SpatialDataset) -> JoinResult:
         """Run one full self-join step through the staged engine.
 
         Drives prepare → partition → verify → merge via
@@ -225,16 +307,17 @@ class SpatialJoinAlgorithm:
 
         return execute_step(self, dataset)
 
-    def join_pairs(self, dataset):
+    def join_pairs(self, dataset: SpatialDataset) -> tuple[np.ndarray, np.ndarray]:
         """Convenience: run a step and return sorted unique ``(i, j)`` arrays."""
         if self.count_only:
             raise RuntimeError("algorithm was created count_only")
         result = self.step(dataset)
         from repro.geometry import unique_pairs
 
+        assert result.pairs is not None
         return unique_pairs(*result.pairs, len(dataset))
 
-    def distance_join(self, dataset, distance):
+    def distance_join(self, dataset: SpatialDataset, distance: float) -> JoinResult:
         """Self-join with a distance predicate (the paper's §3.1 reduction).
 
         Pairs of objects within ``distance`` of each other (per-dimension,
@@ -244,7 +327,7 @@ class SpatialJoinAlgorithm:
         """
         return self.step(dataset.with_enlarged_extent(distance))
 
-    def neighbors(self, dataset):
+    def neighbors(self, dataset: SpatialDataset) -> tuple[np.ndarray, np.ndarray]:
         """Per-object neighbour lists in CSR form (offsets, neighbors).
 
         The representation simulations iterate over: object ``k``'s
@@ -255,12 +338,13 @@ class SpatialJoinAlgorithm:
         result = self.step(dataset)
         from repro.geometry import pairs_to_adjacency, unique_pairs
 
+        assert result.pairs is not None
         i_idx, j_idx = unique_pairs(*result.pairs, len(dataset))
         return pairs_to_adjacency(i_idx, j_idx, len(dataset))
 
-    def _phase_seconds(self):
+    def _phase_seconds(self) -> dict[str, float]:
         """Optional finer phase breakdown; subclasses may override."""
         return {}
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

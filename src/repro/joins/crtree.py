@@ -23,6 +23,12 @@ import numpy as np
 from repro.joins.base import POINTER_BYTES
 from repro.joins.rtree import SynchronousRTreeJoin
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
+    from repro.engine import Executor
+
 __all__ = ["CRTreeJoin"]
 
 #: Quantization grid per dimension (8 bits per coordinate).
@@ -43,11 +49,11 @@ class CRTreeJoin(SynchronousRTreeJoin):
     name = "cr-tree"
     entry_bytes = QRMBR_BYTES + POINTER_BYTES
 
-    def __init__(self, count_only=False, fanout=11, executor=None):
+    def __init__(self, count_only: bool = False, fanout: int = 11, executor: Executor | None = None) -> None:
         super().__init__(count_only=count_only, fanout=fanout, executor=executor)
         self._quantized = None
 
-    def _build(self, dataset):
+    def _build(self, dataset: SpatialDataset) -> None:
         super()._build(dataset)
         tree = self._tree
         quantized = []
@@ -72,5 +78,5 @@ class CRTreeJoin(SynchronousRTreeJoin):
             quantized.append((q_lo, q_hi))
         self._quantized = quantized
 
-    def _directory_boxes(self, level):
+    def _directory_boxes(self, level: int) -> tuple[np.ndarray, np.ndarray]:
         return self._quantized[level]

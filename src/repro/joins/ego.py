@@ -37,6 +37,12 @@ from repro.engine import (
 from repro.geometry import group_by_keys
 from repro.joins.base import ID_BYTES, POINTER_BYTES, SpatialJoinAlgorithm
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
+    from repro.engine import Executor
+
 __all__ = ["EGOJoin"]
 
 
@@ -52,14 +58,14 @@ class EGOJoin(SpatialJoinAlgorithm):
 
     name = "ego"
 
-    def __init__(self, count_only=False, epsilon_factor=1.0, executor=None):
+    def __init__(self, count_only: bool = False, epsilon_factor: float = 1.0, executor: Executor | None = None) -> None:
         super().__init__(count_only=count_only, executor=executor)
         if epsilon_factor <= 0:
             raise ValueError(f"epsilon_factor must be positive, got {epsilon_factor}")
         self.epsilon_factor = float(epsilon_factor)
         self._index = None
 
-    def _build(self, dataset):
+    def _build(self, dataset: SpatialDataset) -> None:
         lo, hi = dataset.boxes()
         epsilon = self.epsilon_factor * dataset.max_width
         origin, _ = dataset.bounds
@@ -77,7 +83,7 @@ class EGOJoin(SpatialJoinAlgorithm):
             "layers": layers,
         }
 
-    def plan(self, dataset):
+    def plan(self, dataset: SpatialDataset) -> JoinPlan:
         """Within-cell tasks plus neighbour-pair tasks over the grid order.
 
         The half neighbourhood of every cell is located up front by
@@ -137,7 +143,7 @@ class EGOJoin(SpatialJoinAlgorithm):
             )
         return JoinPlan(context=context, tasks=tasks)
 
-    def memory_footprint(self):
+    def memory_footprint(self) -> int:
         if self._index is None:
             return 0
         n_cells = self._index["keys"].size

@@ -19,9 +19,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry import group_by_keys, window_pairs
+from repro.geometry import group_by_keys, overlap_elementwise, window_pairs
 from repro.joins.base import MBR_BYTES, POINTER_BYTES, SpatialJoinAlgorithm
 from repro.joins.rtree import STRTree
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
+    from repro.engine import Executor
+    from repro.geometry import PairAccumulator
 
 __all__ = ["IndexedNestedLoopRTreeJoin"]
 
@@ -37,18 +44,18 @@ class IndexedNestedLoopRTreeJoin(SpatialJoinAlgorithm):
 
     name = "inl-rtree"
 
-    def __init__(self, count_only=False, fanout=16, executor=None):
+    def __init__(self, count_only: bool = False, fanout: int = 16, executor: Executor | None = None) -> None:
         super().__init__(count_only=count_only, executor=executor)
         self.fanout = int(fanout)
         self._tree = None
         self._boxes = None
 
-    def _build(self, dataset):
+    def _build(self, dataset: SpatialDataset) -> None:
         lo, hi = dataset.boxes()
         self._boxes = (lo, hi)
         self._tree = STRTree(lo, hi, self.fanout)
 
-    def _join(self, dataset, accumulator):
+    def _join(self, dataset: SpatialDataset, accumulator: PairAccumulator) -> None:
         tree = self._tree
         lo, hi = self._boxes
         n = tree.n_objects
@@ -63,9 +70,8 @@ class IndexedNestedLoopRTreeJoin(SpatialJoinAlgorithm):
             expanded_q = []
             expanded_n = []
             for node in range(count_top):
-                overlap = np.logical_and(
-                    (lo < tree.level_hi[top][node]).all(axis=1),
-                    (tree.level_lo[top][node] < hi).all(axis=1),
+                overlap = overlap_elementwise(
+                    lo, hi, tree.level_lo[top][node], tree.level_hi[top][node]
                 )
                 expanded_q.append(queries[overlap])
                 expanded_n.append(
@@ -89,9 +95,8 @@ class IndexedNestedLoopRTreeJoin(SpatialJoinAlgorithm):
                 child_c = np.minimum(child, count_below - 1)
                 overlap = np.logical_and(
                     valid,
-                    np.logical_and(
-                        (lo[queries] < box_hi[child_c]).all(axis=1),
-                        (box_lo[child_c] < hi[queries]).all(axis=1),
+                    overlap_elementwise(
+                        lo[queries], hi[queries], box_lo[child_c], box_hi[child_c]
                     ),
                 )
                 if overlap.any():
@@ -115,14 +120,12 @@ class IndexedNestedLoopRTreeJoin(SpatialJoinAlgorithm):
         left = tree.leaf_order[obj_pos[obj_row_idx]]
         right = q_cat[q_pos]
         tests = int(left.size)
-        overlap = np.logical_and(
-            (lo[left] < hi[right]).all(axis=1), (lo[right] < hi[left]).all(axis=1)
-        )
+        overlap = overlap_elementwise(lo[left], hi[left], lo[right], hi[right])
         keep = np.logical_and(overlap, left < right)  # exactly-once emission
         accumulator.extend(left[keep], right[keep])
         return tests
 
-    def memory_footprint(self):
+    def memory_footprint(self) -> int:
         if self._tree is None:
             return 0
         return (

@@ -27,14 +27,29 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.cells import pack_cell_ids
-from repro.geometry import cross_join_groups, group_by_keys
+from repro.geometry import cross_join_groups, encloses, group_by_keys
 from repro.joins.base import MBR_BYTES, POINTER_BYTES, SpatialJoinAlgorithm
 from repro.joins.octree import MAX_DEPTH, octree_root_cube
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
+    from repro.engine import Executor
+    from repro.geometry import PairAccumulator
 
 __all__ = ["LooseOctreeJoin"]
 
 
-def loose_containment_depths(lo, hi, centers, origin, root_side, p, max_depth):
+def loose_containment_depths(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    centers: np.ndarray,
+    origin: np.ndarray,
+    root_side: float,
+    p: float,
+    max_depth: int,
+) -> tuple[np.ndarray, np.ndarray]:
     """Deepest depth whose loose cell (around each center) contains each box.
 
     Containment in the loose cube is monotone up the tree (a parent's
@@ -53,9 +68,7 @@ def loose_containment_depths(lo, hi, centers, origin, root_side, p, max_depth):
         cell_coords = np.floor((centers[active] - origin) / cell).astype(np.int64)
         cube_lo = origin + cell_coords * cell - slack
         cube_hi = origin + (cell_coords + 1) * cell + slack
-        fits = np.logical_and(
-            (lo[active] >= cube_lo).all(axis=1), (hi[active] <= cube_hi).all(axis=1)
-        )
+        fits = encloses(cube_lo, cube_hi, lo[active], hi[active])
         fitting = active[fits]
         depths[fitting] = depth
         coords[fitting] = cell_coords[fits]
@@ -77,7 +90,7 @@ class LooseOctreeJoin(SpatialJoinAlgorithm):
 
     name = "loose-octree"
 
-    def __init__(self, count_only=False, looseness=0.1, max_depth=MAX_DEPTH, executor=None):
+    def __init__(self, count_only: bool = False, looseness: float = 0.1, max_depth: int = MAX_DEPTH, executor: Executor | None = None) -> None:
         super().__init__(count_only=count_only, executor=executor)
         if looseness < 0:
             raise ValueError(f"looseness must be non-negative, got {looseness}")
@@ -85,7 +98,7 @@ class LooseOctreeJoin(SpatialJoinAlgorithm):
         self.max_depth = int(max_depth)
         self._index = None
 
-    def _build(self, dataset):
+    def _build(self, dataset: SpatialDataset) -> None:
         lo, hi = dataset.boxes()
         origin, root_side = octree_root_cube(dataset)
         depths, coords = loose_containment_depths(
@@ -143,7 +156,7 @@ class LooseOctreeJoin(SpatialJoinAlgorithm):
             "deepest": deepest,
         }
 
-    def _join(self, dataset, accumulator):
+    def _join(self, dataset: SpatialDataset, accumulator: PairAccumulator) -> None:
         index = self._index
         lo = index["lo"]
         hi = index["hi"]
@@ -234,7 +247,7 @@ class LooseOctreeJoin(SpatialJoinAlgorithm):
             nodes = np.concatenate(next_nodes)
         return tests
 
-    def memory_footprint(self):
+    def memory_footprint(self) -> int:
         if self._index is None:
             return 0
         # The "present" sets already include every ancestor, so their

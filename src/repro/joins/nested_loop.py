@@ -14,6 +14,13 @@ import numpy as np
 from repro.geometry import mbr
 from repro.joins.base import SpatialJoinAlgorithm
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
+    from repro.engine import Executor
+    from repro.geometry import PairAccumulator
+
 __all__ = ["NestedLoopJoin"]
 
 
@@ -22,17 +29,17 @@ class NestedLoopJoin(SpatialJoinAlgorithm):
 
     name = "nested-loop"
 
-    def __init__(self, count_only=False, chunk_size=1024, executor=None):
+    def __init__(self, count_only: bool = False, chunk_size: int = 1024, executor: Executor | None = None) -> None:
         super().__init__(count_only=count_only, executor=executor)
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.chunk_size = chunk_size
 
-    def _build(self, dataset):
+    def _build(self, dataset: SpatialDataset) -> None:
         # No index to build.
         return None
 
-    def _join(self, dataset, accumulator):
+    def _join(self, dataset: SpatialDataset, accumulator: PairAccumulator) -> None:
         lo, hi = dataset.boxes()
         n = len(dataset)
         for start in range(0, n, self.chunk_size):
@@ -45,5 +52,5 @@ class NestedLoopJoin(SpatialJoinAlgorithm):
             accumulator.extend_canonical(bi[keep] + start, bj[keep] + start)
         return n * (n - 1) // 2
 
-    def memory_footprint(self):
+    def memory_footprint(self) -> int:
         return 0

@@ -28,6 +28,12 @@ from repro.engine import GroupCrossJoinTask, GroupSelfJoinTask, JoinPlan
 from repro.geometry import group_by_keys
 from repro.joins.base import MBR_BYTES, POINTER_BYTES, SpatialJoinAlgorithm
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
+    from repro.engine import Executor
+
 __all__ = [
     "MXCIFOctreeJoin",
     "octree_root_cube",
@@ -40,7 +46,7 @@ __all__ = [
 MAX_DEPTH = 12
 
 
-def octree_root_cube(dataset):
+def octree_root_cube(dataset: SpatialDataset) -> tuple[np.ndarray, float]:
     """Root cube covering the dataset bounds (cubified, origin-anchored)."""
     lo, hi = dataset.bounds
     side = float((hi - lo).max())
@@ -48,7 +54,13 @@ def octree_root_cube(dataset):
     return np.asarray(lo, dtype=np.float64), side * (1.0 + 1e-9)
 
 
-def containment_depths(lo, hi, origin, root_side, max_depth=MAX_DEPTH):
+def containment_depths(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    origin: np.ndarray,
+    root_side: float,
+    max_depth: int = MAX_DEPTH,
+) -> tuple[np.ndarray, np.ndarray]:
     """Deepest depth at which each box fits inside a single octree cell.
 
     Returns ``(depths, coords)`` where ``coords`` are the integer cell
@@ -73,7 +85,7 @@ def containment_depths(lo, hi, origin, root_side, max_depth=MAX_DEPTH):
     return depths, coords
 
 
-def count_directory_nodes(per_depth_coords):
+def count_directory_nodes(per_depth_coords: list[np.ndarray]) -> int:
     """Count the distinct directory nodes implied by the occupied cells.
 
     A real octree materialises every node on the path from the root to
@@ -96,14 +108,14 @@ class MXCIFOctreeJoin(SpatialJoinAlgorithm):
 
     name = "mxcif-octree"
 
-    def __init__(self, count_only=False, max_depth=MAX_DEPTH, executor=None):
+    def __init__(self, count_only: bool = False, max_depth: int = MAX_DEPTH, executor: Executor | None = None) -> None:
         super().__init__(count_only=count_only, executor=executor)
         if max_depth < 1:
             raise ValueError(f"max_depth must be at least 1, got {max_depth}")
         self.max_depth = int(max_depth)
         self._index = None
 
-    def _build(self, dataset):
+    def _build(self, dataset: SpatialDataset) -> None:
         lo, hi = dataset.boxes()
         origin, root_side = octree_root_cube(dataset)
         depths, coords = containment_depths(
@@ -130,7 +142,7 @@ class MXCIFOctreeJoin(SpatialJoinAlgorithm):
             )
         self._index = {"lo": lo, "hi": hi, "per_depth": per_depth}
 
-    def plan(self, dataset):
+    def plan(self, dataset: SpatialDataset) -> JoinPlan:
         """One task per subtree level plus one per (level, ancestor) pair.
 
         Levels are independent work units: each occupied depth joins its
@@ -189,7 +201,7 @@ class MXCIFOctreeJoin(SpatialJoinAlgorithm):
                 )
         return JoinPlan(context=context, tasks=tasks)
 
-    def memory_footprint(self):
+    def memory_footprint(self) -> int:
         if self._index is None:
             return 0
         per_depth_coords = [

@@ -31,6 +31,12 @@ from repro.engine import (
 from repro.geometry import group_by_keys
 from repro.joins.base import ID_BYTES, POINTER_BYTES, SpatialJoinAlgorithm
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
+    from repro.engine import Executor
+
 __all__ = ["PBSMJoin"]
 
 
@@ -48,7 +54,7 @@ class PBSMJoin(SpatialJoinAlgorithm):
 
     name = "pbsm"
 
-    def __init__(self, count_only=False, partition_factor=2.0, executor=None):
+    def __init__(self, count_only: bool = False, partition_factor: float = 2.0, executor: Executor | None = None) -> None:
         super().__init__(count_only=count_only, executor=executor)
         if partition_factor <= 0:
             raise ValueError(
@@ -57,7 +63,7 @@ class PBSMJoin(SpatialJoinAlgorithm):
         self.partition_factor = float(partition_factor)
         self._index = None
 
-    def _build(self, dataset):
+    def _build(self, dataset: SpatialDataset) -> None:
         lo, hi = dataset.boxes()
         width = self.partition_factor * dataset.max_width
         origin, _ = dataset.bounds
@@ -99,7 +105,7 @@ class PBSMJoin(SpatialJoinAlgorithm):
             "replicas": total,
         }
 
-    def plan(self, dataset):
+    def plan(self, dataset: SpatialDataset) -> JoinPlan:
         """One sweep task per volume-balanced slice of the partitions.
 
         Each task verifies its partitions' candidates with reference-point
@@ -132,7 +138,7 @@ class PBSMJoin(SpatialJoinAlgorithm):
         ]
         return JoinPlan(context=context, tasks=tasks)
 
-    def memory_footprint(self):
+    def memory_footprint(self) -> int:
         if self._index is None:
             return 0
         # Partition directory plus one pointer per *replicated* entry.

@@ -27,6 +27,12 @@ from repro.engine import (
 from repro.geometry import sort_by_x
 from repro.joins.base import ID_BYTES, SpatialJoinAlgorithm
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
+    from repro.engine import Executor
+
 __all__ = ["PlaneSweepJoin"]
 
 
@@ -35,15 +41,15 @@ class PlaneSweepJoin(SpatialJoinAlgorithm):
 
     name = "plane-sweep"
 
-    def __init__(self, count_only=False, executor=None):
+    def __init__(self, count_only: bool = False, executor: Executor | None = None) -> None:
         super().__init__(count_only=count_only, executor=executor)
         self._sorted = None
 
-    def _build(self, dataset):
+    def _build(self, dataset: SpatialDataset) -> None:
         lo, hi = dataset.boxes()
         self._sorted = sort_by_x(lo, hi)
 
-    def plan(self, dataset):
+    def plan(self, dataset: SpatialDataset) -> JoinPlan:
         """Split the sorted order into sweep strips of balanced volume.
 
         Strip boundaries are placed by each position's forward-window
@@ -63,7 +69,7 @@ class PlaneSweepJoin(SpatialJoinAlgorithm):
             for start, stop in chunk_by_volume(
                 window_sizes, DEFAULT_PARTITION_TASKS
             ):
-                carry = np.flatnonzero(hi[:start, 0] > lo[start, 0])
+                carry = np.flatnonzero(hi[:start, 0] > lo[start, 0])  # repro-lint: ignore[RPL201] sorted-x carry-in window, not a pairwise predicate; the sweep kernel charges candidates
                 tasks.append(SweepStripTask(start=start, stop=stop, carry=carry))
 
         def on_complete(_results):
@@ -71,7 +77,7 @@ class PlaneSweepJoin(SpatialJoinAlgorithm):
 
         return JoinPlan(context=context, tasks=tasks, on_complete=on_complete)
 
-    def memory_footprint(self):
+    def memory_footprint(self) -> int:
         # Only the transient sort permutation is held during a step.
         if self._sorted is None:
             return 0

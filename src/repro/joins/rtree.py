@@ -28,12 +28,19 @@ import math
 
 import numpy as np
 
-from repro.geometry import window_pairs
+from repro.geometry import overlap_elementwise, window_pairs
 from repro.joins.base import (
     MBR_BYTES,
     POINTER_BYTES,
     SpatialJoinAlgorithm,
 )
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
+    from repro.engine import Executor
+    from repro.geometry import PairAccumulator
 
 __all__ = ["STRTree", "SynchronousRTreeJoin"]
 
@@ -48,7 +55,7 @@ class STRTree:
     owns objects ``leaf_order[k * leaf_capacity : (k + 1) * leaf_capacity]``.
     """
 
-    def __init__(self, lo, hi, fanout):
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, fanout: int) -> None:
         if fanout < 2:
             raise ValueError(f"fanout must be at least 2, got {fanout}")
         self.fanout = int(fanout)
@@ -77,27 +84,27 @@ class STRTree:
             self.level_hi.append(np.maximum.reduceat(below_hi, starts, axis=0))
 
     @property
-    def n_levels(self):
+    def n_levels(self) -> int:
         """Number of directory levels, leaves included."""
         return len(self.level_lo)
 
-    def n_nodes(self):
+    def n_nodes(self) -> int:
         """Total node count across all levels."""
         return sum(level.shape[0] for level in self.level_lo)
 
-    def children_range(self, level, node):
+    def children_range(self, level: int, node: int) -> tuple[int, int]:
         """Child index range of ``node`` at ``level`` (level > 0)."""
         below = self.level_lo[level - 1].shape[0]
         start = node * self.fanout
         return start, min(start + self.fanout, below)
 
-    def leaf_object_range(self, leaf):
+    def leaf_object_range(self, leaf: int) -> tuple[int, int]:
         """Object slice (into ``leaf_order``) owned by ``leaf``."""
         start = leaf * self.fanout
         return start, min(start + self.fanout, self.n_objects)
 
 
-def _str_order(lo, hi, leaf_capacity):
+def _str_order(lo: np.ndarray, hi: np.ndarray, leaf_capacity: int) -> np.ndarray:
     """Sort-tile-recursive object ordering for leaf packing.
 
     Returns a permutation placing spatially adjacent objects into the
@@ -123,7 +130,9 @@ def _str_order(lo, hi, leaf_capacity):
     return order.astype(np.int64)
 
 
-def _expand_pairs(pair_i, pair_j, fanout, below_count):
+def _expand_pairs(
+    pair_i: np.ndarray, pair_j: np.ndarray, fanout: int, below_count: int
+) -> tuple[np.ndarray, np.ndarray]:
     """Expand node pairs to all child pairs ``(ci <= cj)`` of the level below.
 
     Distinct parents expand to the full cross product of their child
@@ -180,23 +189,23 @@ class SynchronousRTreeJoin(SpatialJoinAlgorithm):
     #: Bytes per directory entry (exact MBR + child pointer).
     entry_bytes = MBR_BYTES + POINTER_BYTES
 
-    def __init__(self, count_only=False, fanout=16, executor=None):
+    def __init__(self, count_only: bool = False, fanout: int = 16, executor: Executor | None = None) -> None:
         super().__init__(count_only=count_only, executor=executor)
         self.fanout = int(fanout)
         self._tree = None
         self._boxes = None
 
-    def _build(self, dataset):
+    def _build(self, dataset: SpatialDataset) -> None:
         lo, hi = dataset.boxes()
         self._boxes = (lo, hi)
         self._tree = STRTree(lo, hi, self.fanout)
 
-    def _directory_boxes(self, level):
+    def _directory_boxes(self, level: int) -> tuple[np.ndarray, np.ndarray]:
         """Boxes used for directory-level overlap tests (exact here;
         the CR-Tree overrides with quantized, conservative boxes)."""
         return self._tree.level_lo[level], self._tree.level_hi[level]
 
-    def _join(self, dataset, accumulator):
+    def _join(self, dataset: SpatialDataset, accumulator: PairAccumulator) -> None:
         tree = self._tree
         lo, hi = self._boxes
         tests = 0
@@ -212,9 +221,8 @@ class SynchronousRTreeJoin(SpatialJoinAlgorithm):
             box_lo, box_hi = self._directory_boxes(level)
             distinct = pair_i != pair_j
             tests += int(distinct.sum())
-            keep = np.logical_and(
-                (box_lo[pair_i] < box_hi[pair_j]).all(axis=1),
-                (box_lo[pair_j] < box_hi[pair_i]).all(axis=1),
+            keep = overlap_elementwise(
+                box_lo[pair_i], box_hi[pair_i], box_lo[pair_j], box_hi[pair_j]
             )
             keep |= ~distinct  # a node always joins itself
             pair_i = pair_i[keep]
@@ -260,13 +268,11 @@ class SynchronousRTreeJoin(SpatialJoinAlgorithm):
         left = np.concatenate(obj_left)
         right = np.concatenate(obj_right)
         tests += int(left.size)
-        overlap = np.logical_and(
-            (lo[left] < hi[right]).all(axis=1), (lo[right] < hi[left]).all(axis=1)
-        )
+        overlap = overlap_elementwise(lo[left], hi[left], lo[right], hi[right])
         accumulator.extend(left[overlap], right[overlap])
         return tests
 
-    def memory_footprint(self):
+    def memory_footprint(self) -> int:
         if self._tree is None:
             return 0
         # Every node contributes one entry in its parent (or the root

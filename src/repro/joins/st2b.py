@@ -36,6 +36,13 @@ from repro.geometry.morton import morton_decode, morton_encode
 from repro.index import BPlusTree
 from repro.joins.base import ID_BYTES, POINTER_BYTES, SpatialJoinAlgorithm
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
+    from repro.engine import Executor
+    from repro.geometry import PairAccumulator
+
 __all__ = ["ST2BJoin"]
 
 
@@ -50,7 +57,7 @@ class ST2BJoin(SpatialJoinAlgorithm):
 
     name = "st2b"
 
-    def __init__(self, count_only=False, order=32, executor=None):
+    def __init__(self, count_only: bool = False, order: int = 32, executor: Executor | None = None) -> None:
         super().__init__(count_only=count_only, executor=executor)
         self.order = int(order)
         self._tree = None
@@ -61,7 +68,7 @@ class ST2BJoin(SpatialJoinAlgorithm):
         self.index_deletes = 0
 
     # ------------------------------------------------------------------
-    def _cell_keys(self, dataset):
+    def _cell_keys(self, dataset: SpatialDataset) -> tuple[np.ndarray, np.ndarray]:
         origin, _ = dataset.bounds
         cell_width = self._grid["cell_width"]
         coords = np.floor((dataset.centers - origin) / cell_width).astype(np.int64)
@@ -71,7 +78,7 @@ class ST2BJoin(SpatialJoinAlgorithm):
         np.maximum(coords, 0, out=coords)
         return morton_encode(coords), coords
 
-    def _build(self, dataset):
+    def _build(self, dataset: SpatialDataset) -> None:
         max_width = dataset.max_width
         if self._tree is None or abs(self._grid["cell_width"] - max_width) > 1e-12:
             # First build (or extent change): bulk construction.
@@ -94,7 +101,7 @@ class ST2BJoin(SpatialJoinAlgorithm):
             self.index_inserts += 1
         self._object_keys = keys
 
-    def _join(self, dataset, accumulator):
+    def _join(self, dataset: SpatialDataset, accumulator: PairAccumulator) -> None:
         lo, hi = dataset.boxes()
         keys = self._object_keys
         cat, starts, stops, unique_keys = group_by_keys(keys)
@@ -159,7 +166,7 @@ class ST2BJoin(SpatialJoinAlgorithm):
             )
         return tests
 
-    def memory_footprint(self):
+    def memory_footprint(self) -> int:
         if self._tree is None:
             return 0
         # B+-Tree nodes: order slots of (key + pointer) each, plus the

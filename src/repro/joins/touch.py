@@ -23,9 +23,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry import cross_join_groups, group_by_keys
+from repro.geometry import cross_join_groups, group_by_keys, overlap_elementwise
 from repro.joins.base import MBR_BYTES, POINTER_BYTES, SpatialJoinAlgorithm
 from repro.joins.rtree import STRTree
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
+    from repro.engine import Executor
+    from repro.geometry import PairAccumulator
 
 __all__ = ["TouchJoin"]
 
@@ -41,24 +48,24 @@ class TouchJoin(SpatialJoinAlgorithm):
 
     name = "touch"
 
-    def __init__(self, count_only=False, fanout=2, executor=None):
+    def __init__(self, count_only: bool = False, fanout: int = 2, executor: Executor | None = None) -> None:
         super().__init__(count_only=count_only, executor=executor)
         self.fanout = int(fanout)
         self._tree = None
         self._boxes = None
 
-    def _build(self, dataset):
+    def _build(self, dataset: SpatialDataset) -> None:
         lo, hi = dataset.boxes()
         self._boxes = (lo, hi)
         self._tree = STRTree(lo, hi, self.fanout)
 
-    def _subtree_object_range(self, level, node):
+    def _subtree_object_range(self, level: int, node: int) -> tuple[int, int]:
         """Contiguous ``leaf_order`` range below ``node`` at ``level``."""
         span = self.fanout ** (level + 1)
         start = node * span
         return start, min(start + span, self._tree.n_objects)
 
-    def _join(self, dataset, accumulator):
+    def _join(self, dataset: SpatialDataset, accumulator: PairAccumulator) -> None:
         tree = self._tree
         lo, hi = self._boxes
         n = tree.n_objects
@@ -77,9 +84,8 @@ class TouchJoin(SpatialJoinAlgorithm):
                 child_c = np.minimum(child, count_below - 1)
                 overlap = np.logical_and(
                     valid,
-                    np.logical_and(
-                        (lo[queries] < box_hi[child_c]).all(axis=1),
-                        (box_lo[child_c] < hi[queries]).all(axis=1),
+                    overlap_elementwise(
+                        lo[queries], hi[queries], box_lo[child_c], box_hi[child_c]
                     ),
                 )
                 results.append((overlap, child_c))
@@ -93,13 +99,10 @@ class TouchJoin(SpatialJoinAlgorithm):
         # Both turn into exact object tests when they reach the leaves.
         route_q = np.arange(n, dtype=np.int64)
         count_top = tree.level_lo[top].shape[0]
-        if count_top == 1:
-            route_node = np.zeros(n, dtype=np.int64)
-        else:
-            # Virtual root whose children are the top-level nodes: handled
-            # by treating the top level as children of node 0 with a
-            # temporary fan-out equal to the top-level count.
-            route_node = np.zeros(n, dtype=np.int64)
+        # A multi-node top level acts as the children of a virtual root
+        # (handled below with a temporary fan-out equal to its count), so
+        # every query starts at node 0 either way.
+        route_node = np.zeros(n, dtype=np.int64)
         scan_q = np.empty(0, dtype=np.int64)
         scan_node = np.empty(0, dtype=np.int64)
 
@@ -124,20 +127,24 @@ class TouchJoin(SpatialJoinAlgorithm):
             new_scan_q = []
             new_scan_node = []
             if route_q.size:
-                if first_step:
-                    # Children of the virtual root: all top-level nodes.
-                    slots = [
+                # First step: children of the virtual root, i.e. every
+                # top-level node; afterwards the real fan-out slots.
+                slots = (
+                    [
                         (
-                            np.logical_and(
-                                (lo[route_q] < tree.level_hi[top][c]).all(axis=1),
-                                (tree.level_lo[top][c] < hi[route_q]).all(axis=1),
+                            overlap_elementwise(
+                                lo[route_q],
+                                hi[route_q],
+                                tree.level_lo[top][c],
+                                tree.level_hi[top][c],
                             ),
                             np.full(route_q.size, c, dtype=np.int64),
                         )
                         for c in range(count_top)
                     ]
-                else:
-                    slots = child_overlaps(route_q, route_node, child_level)
+                    if first_step
+                    else child_overlaps(route_q, route_node, child_level)
+                )
                 overlap_count = np.zeros(route_q.size, dtype=np.int64)
                 first_child = np.full(route_q.size, -1, dtype=np.int64)
                 for overlap, child_c in slots:
@@ -203,7 +210,7 @@ class TouchJoin(SpatialJoinAlgorithm):
             count="full",
         )
 
-    def memory_footprint(self):
+    def memory_footprint(self) -> int:
         if self._tree is None:
             return 0
         # Hierarchy entries plus one assignment pointer per object.

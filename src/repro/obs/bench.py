@@ -40,8 +40,12 @@ from __future__ import annotations
 import os
 import platform
 import sys
+from typing import TYPE_CHECKING, Any
 
 from repro.obs.jsonl import to_jsonable
+
+if TYPE_CHECKING:
+    from repro.simulation.runner import SimulationRunner, StepRecord
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -89,7 +93,7 @@ AGGREGATE_FIELDS = (
 )
 
 
-def environment_info():
+def environment_info() -> dict[str, Any]:
     """The environment block: interpreter, numpy, platform, cores."""
     import numpy
 
@@ -101,7 +105,7 @@ def environment_info():
     }
 
 
-def step_record_to_json(record):
+def step_record_to_json(record: StepRecord) -> dict[str, Any]:
     """One :class:`~repro.simulation.runner.StepRecord` as a JSON-ready
     step entry of the bench schema."""
     return to_jsonable(
@@ -121,7 +125,7 @@ def step_record_to_json(record):
     )
 
 
-def run_aggregates(runner):
+def run_aggregates(runner: SimulationRunner) -> dict[str, Any]:
     """Aggregates block for one completed simulation runner."""
     return {
         "total_seconds": runner.total_join_seconds(),
@@ -133,12 +137,12 @@ def run_aggregates(runner):
     }
 
 
-def _require(condition, message):
+def _require(condition: bool, message: str) -> None:
     if not condition:
         raise ValueError(f"invalid bench document: {message}")
 
 
-def validate_bench(doc):
+def validate_bench(doc: dict[str, Any]) -> dict[str, Any]:
     """Validate a bench document against the schema; returns ``doc``.
 
     Raises :class:`ValueError` naming the first violated constraint.

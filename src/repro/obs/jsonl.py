@@ -10,11 +10,13 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from types import TracebackType
+from typing import Any
 
 __all__ = ["JsonlWriter", "json_default", "to_jsonable"]
 
 
-def json_default(value):
+def json_default(value: object) -> Any:
     """``json.dumps`` fallback: numpy scalars/arrays, sets, everything else
     by ``repr`` (a trace line must never fail to serialise)."""
     item = getattr(value, "item", None)
@@ -28,7 +30,7 @@ def json_default(value):
     return repr(value)
 
 
-def to_jsonable(value):
+def to_jsonable(value: object) -> Any:
     """Round-trip ``value`` through the tolerant encoder into plain
     Python containers (used before schema validation)."""
     return json.loads(json.dumps(value, default=json_default))
@@ -42,31 +44,38 @@ class JsonlWriter:
     manager.  Parent directories are created as needed.
     """
 
-    def __init__(self, path):
+    def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        self._file = None
+        self._file: Any = None
         self.lines_written = 0
 
-    def write(self, obj):
+    def write(self, obj: object) -> None:
         if self._file is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._file = self.path.open("w", encoding="utf-8")
+            # noqa-justified: held open across writes for streaming append;
+            # closed by close()/__exit__.
+            self._file = self.path.open("w", encoding="utf-8")  # noqa: SIM115
         json.dump(obj, self._file, default=json_default)
         self._file.write("\n")
         self._file.flush()
         self.lines_written += 1
 
-    def close(self):
+    def close(self) -> None:
         if self._file is not None:
             self._file.close()
             self._file = None
 
-    def __enter__(self):
+    def __enter__(self) -> JsonlWriter:
         return self
 
-    def __exit__(self, exc_type, exc, tb):
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         self.close()
         return False
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"JsonlWriter({str(self.path)!r}, lines={self.lines_written})"

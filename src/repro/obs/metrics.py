@@ -23,12 +23,19 @@ which the test suite enforces).
 
 from __future__ import annotations
 
-__all__ = ["MetricsRegistry"]
+from collections.abc import Callable, Mapping
+from typing import Any
+
+#: A provider: zero-argument callable returning a flat metric dict (or
+#: ``None``/``{}`` when the component has nothing to report yet).
+MetricsProvider = Callable[[], "Mapping[str, Any] | None"]
+
+__all__ = ["MetricsRegistry", "MetricsProvider"]
 
 _SCALAR_TYPES = (bool, int, float, str, type(None))
 
 
-def _scalar(value):
+def _scalar(value: object) -> bool | int | float | str | None:
     """Coerce a provider value to a JSON-ready scalar."""
     if isinstance(value, _SCALAR_TYPES):
         return value
@@ -41,10 +48,10 @@ def _scalar(value):
 class MetricsRegistry:
     """Named read-only providers of per-component counter snapshots."""
 
-    def __init__(self):
-        self._providers = {}
+    def __init__(self) -> None:
+        self._providers: dict[str, MetricsProvider] = {}
 
-    def register(self, name, provider):
+    def register(self, name: str, provider: MetricsProvider) -> None:
         """Register ``provider`` under ``name``; names must be unique."""
         if not callable(provider):
             raise TypeError(f"provider for {name!r} must be callable")
@@ -52,26 +59,26 @@ class MetricsRegistry:
             raise ValueError(f"metrics provider {name!r} already registered")
         self._providers[name] = provider
 
-    def unregister(self, name):
+    def unregister(self, name: str) -> None:
         """Remove a provider; unknown names are ignored."""
         self._providers.pop(name, None)
 
-    def names(self):
+    def names(self) -> list[str]:
         """Registered provider names, in registration order."""
         return list(self._providers)
 
-    def snapshot(self):
+    def snapshot(self) -> dict[str, dict[str, Any]]:
         """Evaluate every provider into a ``{name: {metric: scalar}}`` tree.
 
         Providers returning ``None`` or an empty dict are omitted, so a
         component that has not run yet simply contributes nothing.
         """
-        out = {}
+        out: dict[str, dict[str, Any]] = {}
         for name, provider in self._providers.items():
             values = provider()
             if values:
                 out[name] = {key: _scalar(value) for key, value in values.items()}
         return out
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"MetricsRegistry({', '.join(self._providers) or 'empty'})"

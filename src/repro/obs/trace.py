@@ -39,7 +39,14 @@ from __future__ import annotations
 
 import os
 import time
+from typing import TYPE_CHECKING
+
 from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Any
+
+if TYPE_CHECKING:
+    from repro.obs.jsonl import JsonlWriter
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
@@ -75,9 +82,9 @@ class Span:
     start: float = 0.0
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
-    counters: dict = field(default_factory=dict)
+    counters: dict[str, Any] = field(default_factory=dict)
 
-    def to_json(self):
+    def to_json(self) -> dict[str, Any]:
         """The span as a JSON-ready dict (one trace JSONL line)."""
         return {
             "kind": "span",
@@ -99,16 +106,21 @@ class _SpanContext:
 
     __slots__ = ("_tracer", "span", "_t0", "_c0")
 
-    def __init__(self, tracer, span):
+    def __init__(self, tracer: Tracer, span: Span) -> None:
         self._tracer = tracer
         self.span = span
 
-    def __enter__(self):
+    def __enter__(self) -> Span:
         self._t0 = time.perf_counter()
         self._c0 = time.process_time()
         return self.span
 
-    def __exit__(self, exc_type, exc, tb):
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         self.span.wall_seconds = time.perf_counter() - self._t0
         self.span.cpu_seconds = time.process_time() - self._c0
         self._tracer._emit(self.span)
@@ -120,10 +132,15 @@ class _NullSpanContext:
 
     __slots__ = ()
 
-    def __enter__(self):
+    def __enter__(self) -> None:
         return None
 
-    def __exit__(self, exc_type, exc, tb):
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 
@@ -141,20 +158,26 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, sink=None):
+    def __init__(self, sink: JsonlWriter | None = None) -> None:
         self.sink = sink
-        self.spans = []
+        self.spans: list[Span] = []
         self._next_id = 1
         self._step = 0
         self._origin = time.perf_counter()
 
     # ------------------------------------------------------------------
-    def begin_step(self):
+    def begin_step(self) -> int:
         """Advance the step sequence number; returns it."""
         self._step += 1
         return self._step
 
-    def span(self, name, phase=None, parent=None, counters=None):
+    def span(
+        self,
+        name: str,
+        phase: str | None = None,
+        parent: Span | None = None,
+        counters: dict[str, Any] | None = None,
+    ) -> _SpanContext:
         """Open a live span as a context manager; yields the Span."""
         span = Span(
             span_id=self._take_id(),
@@ -167,8 +190,15 @@ class Tracer:
         )
         return _SpanContext(self, span)
 
-    def record(self, name, phase=None, parent=None, wall_seconds=0.0,
-               cpu_seconds=0.0, counters=None):
+    def record(
+        self,
+        name: str,
+        phase: str | None = None,
+        parent: Span | None = None,
+        wall_seconds: float = 0.0,
+        cpu_seconds: float = 0.0,
+        counters: dict[str, Any] | None = None,
+    ) -> Span:
         """Emit an already-measured span (e.g. a task timed by a worker
         process and shipped back through the result channel)."""
         span = Span(
@@ -185,23 +215,23 @@ class Tracer:
         self._emit(span)
         return span
 
-    def drain(self):
+    def drain(self) -> list[Span]:
         """Return and clear the collected spans."""
         spans, self.spans = self.spans, []
         return spans
 
     # ------------------------------------------------------------------
-    def _take_id(self):
+    def _take_id(self) -> int:
         span_id = self._next_id
         self._next_id += 1
         return span_id
 
-    def _emit(self, span):
+    def _emit(self, span: Span) -> None:
         self.spans.append(span)
         if self.sink is not None:
             self.sink.write(span.to_json())
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"Tracer(spans={len(self.spans)}, sink={self.sink!r})"
 
 
@@ -209,32 +239,38 @@ class NullTracer:
     """Disabled tracer: every operation is a constant-time no-op."""
 
     enabled = False
-    sink = None
+    sink: JsonlWriter | None = None
 
-    def begin_step(self):
+    def begin_step(self) -> int:
         return 0
 
-    def span(self, name, phase=None, parent=None, counters=None):
+    def span(
+        self,
+        name: str,
+        phase: str | None = None,
+        parent: Span | None = None,
+        counters: dict[str, Any] | None = None,
+    ) -> _NullSpanContext:
         return _NULL_SPAN
 
-    def record(self, *args, **kwargs):
+    def record(self, *args: Any, **kwargs: Any) -> None:
         return None
 
-    def drain(self):
+    def drain(self) -> list[Span]:
         return []
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "NullTracer()"
 
 
 # ----------------------------------------------------------------------
 # Active-tracer management
 # ----------------------------------------------------------------------
-_ACTIVE = NullTracer()
+_ACTIVE: Tracer | NullTracer = NullTracer()
 _ENV_CHECKED = False
 
 
-def get_tracer():
+def get_tracer() -> Tracer | NullTracer:
     """The process-wide active tracer (a :class:`NullTracer` by default).
 
     On first call, the ``REPRO_TRACE`` environment variable is consulted:
@@ -251,7 +287,7 @@ def get_tracer():
     return _ACTIVE
 
 
-def set_tracer(tracer):
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
     """Install ``tracer`` as the active tracer; returns the previous one."""
     global _ACTIVE, _ENV_CHECKED
     _ENV_CHECKED = True  # an explicit tracer overrides the environment
@@ -260,7 +296,7 @@ def set_tracer(tracer):
     return previous
 
 
-def emit_record(kind, payload):
+def emit_record(kind: str, payload: dict[str, Any]) -> None:
     """Write a non-span record (series dump, experiment result) to the
     active tracer's sink, if tracing into one; no-op otherwise."""
     tracer = get_tracer()

@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from collections.abc import Mapping, Sequence
+
+    from repro.simulation.runner import StepRecord
+
 __all__ = ["series", "speedup", "speedup_table", "converged_at"]
 
 
-def series(records, field):
+def series(records: Sequence[StepRecord], field: str) -> list[Any]:
     """Extract one per-step metric as a list (Figure-7-style series).
 
     ``field`` is any :class:`~repro.simulation.runner.StepRecord`
@@ -14,7 +21,10 @@ def series(records, field):
     return [getattr(record, field) for record in records]
 
 
-def speedup(baseline_records, candidate_records):
+def speedup(
+    baseline_records: Sequence[StepRecord],
+    candidate_records: Sequence[StepRecord],
+) -> float:
     """Total-join-time speedup of ``candidate`` over ``baseline``.
 
     Ratios above 1 mean the candidate is faster; this is the quantity
@@ -27,7 +37,10 @@ def speedup(baseline_records, candidate_records):
     return baseline_total / candidate_total
 
 
-def speedup_table(records_by_name, reference_name):
+def speedup_table(
+    records_by_name: Mapping[str, Sequence[StepRecord]],
+    reference_name: str,
+) -> dict[str, float]:
     """Speedups of ``reference_name`` over every other recorded algorithm.
 
     Returns ``{name: speedup}`` excluding the reference itself, with the
@@ -44,7 +57,9 @@ def speedup_table(records_by_name, reference_name):
     }
 
 
-def converged_at(values, threshold=0.1, window=2):
+def converged_at(
+    values: Sequence[float], threshold: float = 0.1, window: int = 2
+) -> int | None:
     """First index where ``values`` stays within ``threshold`` relative
     change for ``window`` consecutive steps (tuning-convergence probe).
 

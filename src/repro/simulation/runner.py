@@ -21,6 +21,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.datasets import SpatialDataset
+    from repro.datasets.motion import MotionModel
+    from repro.joins.base import SpatialJoinAlgorithm
 
 __all__ = ["StepRecord", "SimulationRunner"]
 
@@ -49,19 +55,19 @@ class StepRecord:
     build_seconds: float
     overlap_tests: int
     memory_bytes: int
-    phase_seconds: dict
-    stage_seconds: dict = field(default_factory=dict)
-    events: list = field(default_factory=list)
+    phase_seconds: dict[str, float]
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    events: list[dict[str, Any]] = field(default_factory=list)
     task_retries: int = 0
-    index_counters: dict = field(default_factory=dict)
+    index_counters: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     @property
-    def total_seconds(self):
+    def total_seconds(self) -> float:
         """Build plus join time of the step."""
         return self.build_seconds + self.join_seconds
 
     @property
-    def degraded(self):
+    def degraded(self) -> bool:
         """True when the step's executor broke, rebuilt or downgraded."""
         return any(
             event.get("kind") in _DEGRADED_EVENT_KINDS for event in self.events
@@ -101,19 +107,25 @@ class SimulationRunner:
         The exception that ended the run, or ``None``.
     """
 
-    def __init__(self, dataset, motion, algorithm, time_budget=None):
+    def __init__(
+        self,
+        dataset: SpatialDataset,
+        motion: MotionModel | None,
+        algorithm: SpatialJoinAlgorithm,
+        time_budget: float | None = None,
+    ) -> None:
         if time_budget is not None and time_budget <= 0:
             raise ValueError(f"time_budget must be positive, got {time_budget}")
         self.dataset = dataset
         self.motion = motion
         self.algorithm = algorithm
         self.time_budget = time_budget
-        self.records = []
+        self.records: list[StepRecord] = []
         self.timed_out = False
-        self.failed_step = None
-        self.failure = None
+        self.failed_step: int | None = None
+        self.failure: Exception | None = None
 
-    def run(self, n_steps):
+    def run(self, n_steps: int) -> list[StepRecord]:
         """Execute ``n_steps`` simulation steps; returns the records.
 
         Each step joins the dataset's *current* state and then advances
@@ -161,22 +173,22 @@ class SimulationRunner:
     # ------------------------------------------------------------------
     # Aggregates over the recorded steps
     # ------------------------------------------------------------------
-    def total_join_seconds(self):
+    def total_join_seconds(self) -> float:
         """Sum of build + join time over all recorded steps."""
         return sum(record.total_seconds for record in self.records)
 
-    def total_overlap_tests(self):
+    def total_overlap_tests(self) -> int:
         """Sum of overlap tests over all recorded steps."""
         return sum(record.overlap_tests for record in self.records)
 
-    def peak_memory_bytes(self):
+    def peak_memory_bytes(self) -> int:
         """Largest per-step footprint observed."""
         return max((record.memory_bytes for record in self.records), default=0)
 
-    def total_task_retries(self):
+    def total_task_retries(self) -> int:
         """Sum of task re-executions over all recorded steps."""
         return sum(record.task_retries for record in self.records)
 
-    def degraded_steps(self):
+    def degraded_steps(self) -> list[int]:
         """Step indices whose executor broke, rebuilt or downgraded."""
         return [record.step for record in self.records if record.degraded]

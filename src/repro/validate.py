@@ -15,8 +15,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from collections.abc import Callable, Sequence
 
 from repro.experiments.figures import ALGORITHM_FACTORIES
 from repro.experiments.workloads import scaled_clustered, scaled_neural, scaled_uniform
@@ -32,14 +36,14 @@ WORKLOADS = {
 
 
 def validate(
-    workload="uniform",
-    n=2000,
-    steps=2,
-    algorithms=None,
-    use_oracle=True,
-    seed=0,
-    log=print,
-):
+    workload: str = "uniform",
+    n: int = 2000,
+    steps: int = 2,
+    algorithms: Sequence[str] | None = None,
+    use_oracle: bool = True,
+    seed: int = 0,
+    log: Callable[[str], None] = print,
+) -> bool:
     """Run the requested joins over identical steps and compare pair sets.
 
     Returns True when every algorithm (and, optionally, the brute-force
@@ -85,7 +89,7 @@ def validate(
     return ok
 
 
-def main(argv=None):
+def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.validate",
         description="Cross-check join implementations pair-exactly.",

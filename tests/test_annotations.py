@@ -1,0 +1,79 @@
+"""Annotation-completeness gate over ``src/repro``.
+
+The repo ships a ``py.typed`` marker and a strict-leaning mypy
+configuration, but mypy itself only runs in CI.  This test enforces the
+load-bearing half of that contract everywhere pytest runs: every
+module-level and class-level function or method in ``src/repro`` must
+annotate all of its parameters (``self``/``cls`` excepted) and its
+return type.  Nested helper functions are exempt — mypy infers those
+from context and they are free to stay lightweight.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _unannotated_defs(tree: ast.Module) -> list[tuple[int, str, list[str]]]:
+    """(lineno, name, missing) for each incompletely annotated top-level def."""
+    findings: list[tuple[int, str, list[str]]] = []
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.depth = 0  # function nesting depth; class bodies stay at 0
+
+        def _check(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+            if self.depth == 0:
+                args = node.args
+                positional = args.posonlyargs + args.args
+                missing = []
+                for index, arg in enumerate(positional + args.kwonlyargs):
+                    first = index == 0 and arg in positional[:1]
+                    if first and arg.arg in ("self", "cls"):
+                        continue
+                    if arg.annotation is None:
+                        missing.append(arg.arg)
+                for star in (args.vararg, args.kwarg):
+                    if star is not None and star.annotation is None:
+                        missing.append("*" + star.arg)
+                if node.returns is None:
+                    missing.append("return")
+                if missing:
+                    findings.append((node.lineno, node.name, missing))
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            self._check(node)
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            self._check(node)
+
+    Visitor().visit(tree)
+    return findings
+
+
+def test_package_root_exists() -> None:
+    assert SRC_ROOT.is_dir(), f"missing package root {SRC_ROOT}"
+
+
+def test_py_typed_marker_ships() -> None:
+    """PEP 561: the marker must exist so installed copies expose types."""
+    assert (SRC_ROOT / "py.typed").is_file()
+
+
+def test_all_public_defs_are_fully_annotated() -> None:
+    problems = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for lineno, name, missing in _unannotated_defs(tree):
+            rel = path.relative_to(SRC_ROOT.parent.parent)
+            problems.append(f"{rel}:{lineno}: {name} missing {', '.join(missing)}")
+    assert not problems, (
+        "unannotated defs in src/repro (annotate them; see docs/static-analysis.md):\n"
+        + "\n".join(problems)
+    )

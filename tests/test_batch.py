@@ -28,7 +28,7 @@ class Collector:
         self.groups = []
 
     def __call__(self, left, right, groups):
-        for a, b, g in zip(left.tolist(), right.tolist(), groups.tolist()):
+        for a, b, g in zip(left.tolist(), right.tolist(), groups.tolist(), strict=True):
             self.pairs.add((a, b))
             self.groups.append(g)
 

@@ -87,7 +87,7 @@ class TestBisectRuns:
 class TestJoinCellPairsBatched:
     def _expected_pairs(self, lo, hi, cat, starts, stops, pair_a, pair_b, n):
         expected = set()
-        for ga, gb in zip(pair_a, pair_b):
+        for ga, gb in zip(pair_a, pair_b, strict=True):
             for a in cat[starts[ga]:stops[ga]]:
                 for b in cat[starts[gb]:stops[gb]]:
                     if a != b and mbr.overlap_single(lo[a], hi[a], lo[b], hi[b]):
@@ -109,7 +109,7 @@ class TestJoinCellPairsBatched:
             np.asarray(pair_a), np.asarray(pair_b), acc, **kwargs,
         )
         n = lo.shape[0]
-        got = set(zip(*(arr.tolist() for arr in unique_pairs(*acc.as_arrays(), n))))
+        got = set(zip(*(arr.tolist() for arr in unique_pairs(*acc.as_arrays(), n)), strict=True))
         expected = self._expected_pairs(lo, hi, cat, starts, stops, pair_a, pair_b, n)
         return got, expected, tests, shortcuts, len(acc)
 
@@ -160,7 +160,7 @@ class TestJoinCellPairsBatched:
         seq_acc = PairAccumulator()
         seq_tests = 0
         seq_shortcuts = 0
-        for ga, gb in zip(pair_a, pair_b):
+        for ga, gb in zip(pair_a, pair_b, strict=True):
             t, s = join_sorted_lists(
                 lo,
                 hi,

@@ -71,7 +71,7 @@ class TestChunkByVolume:
         slices = chunk_by_volume(counts, 3)
         assert slices[0][0] == 0
         assert slices[-1][1] == counts.size
-        for (_, stop), (nxt, _) in zip(slices, slices[1:]):
+        for (_, stop), (nxt, _) in zip(slices, slices[1:], strict=False):
             assert stop == nxt
 
     def test_respects_task_bound(self):

@@ -50,7 +50,7 @@ class TestNeighbors:
         offsets, neighbors = ThermalJoin(resolution=1.0).neighbors(dataset)
         lo, hi = dataset.boxes()
         exp_i, exp_j = brute_force_pairs(lo, hi)
-        expected = set(zip(exp_i.tolist(), exp_j.tolist()))
+        expected = set(zip(exp_i.tolist(), exp_j.tolist(), strict=True))
         rebuilt = set()
         for obj in range(len(dataset)):
             mine = neighbors[offsets[obj]:offsets[obj + 1]]

@@ -87,7 +87,7 @@ class TestPairAccumulator:
         acc.extend([5], [4])
         i, j = acc.as_arrays()
         assert len(acc) == 3
-        assert sorted(zip(i.tolist(), j.tolist())) == [(0, 1), (2, 3), (4, 5)]
+        assert sorted(zip(i.tolist(), j.tolist(), strict=True)) == [(0, 1), (2, 3), (4, 5)]
 
     def test_reflexive_dropped_on_entry(self):
         acc = PairAccumulator()
@@ -128,7 +128,7 @@ class TestBruteForce:
         centers = np.array([[0.0, 0, 0], [1.5, 0, 0], [3.0, 0, 0]])
         lo, hi = mbr.boxes_from_centers(centers, 2.0)
         i, j = brute_force_pairs(lo, hi)
-        assert list(zip(i.tolist(), j.tolist())) == [(0, 1), (1, 2)]
+        assert list(zip(i.tolist(), j.tolist(), strict=True)) == [(0, 1), (1, 2)]
 
     def test_no_reflexive_or_commutative_duplicates(self):
         rng = np.random.default_rng(3)
@@ -156,7 +156,7 @@ class TestBruteForce:
 class TestAllCombinations:
     def test_emits_every_unordered_pair(self):
         i, j = all_combinations([7, 3, 9])
-        assert sorted(zip(i.tolist(), j.tolist())) == [(3, 7), (3, 9), (7, 9)]
+        assert sorted(zip(i.tolist(), j.tolist(), strict=True)) == [(3, 7), (3, 9), (7, 9)]
 
     def test_canonical_order(self):
         i, j = all_combinations([9, 1, 5, 2])

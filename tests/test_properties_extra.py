@@ -78,7 +78,7 @@ class TestAdjacencyProperties:
             for other in neighbors[offsets[obj]:offsets[obj + 1]]:
                 assert obj != other
                 rebuilt.add((min(obj, int(other)), max(obj, int(other))))
-        assert rebuilt == set(zip(ui.tolist(), uj.tolist()))
+        assert rebuilt == set(zip(ui.tolist(), uj.tolist(), strict=True))
 
     @given(st.integers(1, 40))
     @settings(max_examples=20)

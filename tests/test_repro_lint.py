@@ -1,0 +1,664 @@
+"""The repro-lint gate linting itself: per-rule fixtures, suppressions, CLI.
+
+Each rule gets at least one violating fixture and one clean fixture,
+written to a temporary tree whose directory names mimic the real
+package layout — scope matching works on resolved-path substrings, so
+``tmp/repro/joins/mod.py`` patrols exactly like ``src/repro/joins/``.
+The CLI tests pin the ruff-style exit-code contract (0 clean, 1
+findings, 2 usage/parse error) that the CI gate relies on, and a final
+self-check keeps the repository itself clean.
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:  # `python -m pytest` adds it; `pytest` may not
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.repro_lint import cli  # noqa: E402
+from tools.repro_lint.core import (  # noqa: E402
+    RULES,
+    Diagnostic,
+    collect_suppressions,
+    lint_file,
+    lint_paths,
+)
+
+ALL_CODES = {
+    "RPL001",
+    "RPL002",
+    "RPL003",
+    "RPL101",
+    "RPL102",
+    "RPL201",
+    "RPL202",
+    "RPL301",
+}
+
+
+def lint_source(
+    tmp_path: Path, rel: str, source: str, select: str | None = None
+) -> list[Diagnostic]:
+    """Write ``source`` at ``tmp_path/rel`` and lint it."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    chosen = frozenset({select}) if select else None
+    return lint_file(path, select=chosen)
+
+
+def codes_of(findings: list[Diagnostic]) -> set[str]:
+    return {finding.code for finding in findings}
+
+
+# ----------------------------------------------------------------------
+# Registry sanity
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_rules_registered(self) -> None:
+        assert {rule.code for rule in RULES} == ALL_CODES
+
+    def test_rules_carry_title_and_rationale(self) -> None:
+        for rule in RULES:
+            assert rule.title
+            assert rule.rationale
+
+
+# ----------------------------------------------------------------------
+# RPL001 — numpy global RNG (patrols everywhere)
+# ----------------------------------------------------------------------
+class TestNumpyGlobalRandom:
+    def test_global_rng_call_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "pkg/mod.py",
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            """,
+        )
+        assert codes_of(findings) == {"RPL001"}
+
+    def test_global_seed_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path, "pkg/mod.py", "import numpy as np\nnp.random.seed(0)\n"
+        )
+        assert codes_of(findings) == {"RPL001"}
+
+    def test_unseeded_default_rng_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "pkg/mod.py",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+        assert codes_of(findings) == {"RPL001"}
+        assert "explicit seed" in findings[0].message
+
+    def test_legacy_import_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(tmp_path, "pkg/mod.py", "from numpy.random import rand\n")
+        assert codes_of(findings) == {"RPL001"}
+
+    def test_seeded_generator_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "pkg/mod.py",
+            """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            x = rng.random(3)
+            """,
+        )
+        assert findings == []
+
+    def test_generator_machinery_import_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path, "pkg/mod.py", "from numpy.random import Generator, PCG64\n"
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL002 — stdlib random in the deterministic core
+# ----------------------------------------------------------------------
+class TestStdlibRandom:
+    def test_import_in_core_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(tmp_path, "repro/core/mod.py", "import random\n")
+        assert codes_of(findings) == {"RPL002"}
+
+    def test_from_import_in_joins_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path, "repro/joins/mod.py", "from random import choice\n"
+        )
+        assert codes_of(findings) == {"RPL002"}
+
+    def test_out_of_scope_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_source(tmp_path, "repro/datasets/mod.py", "import random\n")
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL003 — wall-clock reads in the deterministic core
+# ----------------------------------------------------------------------
+class TestWallClock:
+    def test_perf_counter_in_joins_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/mod.py",
+            """
+            import time
+
+            def join(boxes):
+                start = time.perf_counter()
+                return start
+            """,
+        )
+        assert codes_of(findings) == {"RPL003"}
+
+    def test_bare_imported_clock_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/geometry/mod.py",
+            """
+            from time import perf_counter as clock
+
+            def f():
+                return clock()
+            """,
+        )
+        assert codes_of(findings) == {"RPL003"}
+
+    def test_datetime_now_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/core/mod.py",
+            """
+            import datetime
+
+            def f():
+                return datetime.now()
+            """,
+        )
+        assert codes_of(findings) == {"RPL003"}
+
+    def test_whitelisted_site_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/core/thermal.py",
+            """
+            import time
+
+            class ThermalJoin:
+                def _build(self, dataset):
+                    start = time.perf_counter()
+                    return time.perf_counter() - start
+            """,
+        )
+        assert findings == []
+
+    def test_whitelist_does_not_leak_to_other_scopes(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/core/thermal.py",
+            """
+            import time
+
+            class ThermalJoin:
+                def step(self, dataset):
+                    return time.perf_counter()
+            """,
+        )
+        assert codes_of(findings) == {"RPL003"}
+
+    def test_engine_timing_is_out_of_scope(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/engine/mod.py",
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL101 — executor submission discipline
+# ----------------------------------------------------------------------
+class TestExecutorSubmission:
+    def test_lambda_submission_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/engine/executors.py",
+            """
+            def run(pool):
+                return pool.submit(lambda: 1)
+            """,
+        )
+        assert codes_of(findings) == {"RPL101"}
+
+    def test_nested_function_submission_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/engine/executors.py",
+            """
+            def run(pool):
+                def task():
+                    return 1
+                return pool.submit(task)
+            """,
+        )
+        assert codes_of(findings) == {"RPL101"}
+
+    def test_computed_callable_submission_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/engine/executors.py",
+            """
+            def run(pool, tasks):
+                return pool.submit(tasks[0])
+            """,
+        )
+        assert codes_of(findings) == {"RPL101"}
+
+    def test_module_level_function_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/engine/executors.py",
+            """
+            def work(chunk):
+                return chunk
+
+            def run(pool, chunk):
+                return pool.submit(work, chunk)
+            """,
+        )
+        assert findings == []
+
+    def test_other_modules_are_out_of_scope(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/engine/plan.py",
+            """
+            def run(pool):
+                return pool.submit(lambda: 1)
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL102 — shared-memory views must be read-only
+# ----------------------------------------------------------------------
+class TestSharedMemoryReadOnly:
+    def test_unlocked_view_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/engine/shm.py",
+            """
+            import numpy as np
+
+            def attach(shm):
+                view = np.ndarray((3,), dtype="f8", buffer=shm.buf)
+                return view
+            """,
+        )
+        assert codes_of(findings) == {"RPL102"}
+
+    def test_setflags_lock_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/engine/shm.py",
+            """
+            import numpy as np
+
+            def attach(shm):
+                view = np.ndarray((3,), dtype="f8", buffer=shm.buf)
+                view.setflags(write=False)
+                return view
+            """,
+        )
+        assert findings == []
+
+    def test_writeable_flag_lock_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/engine/shm.py",
+            """
+            import numpy as np
+
+            def attach(shm):
+                view = np.ndarray((3,), dtype="f8", buffer=shm.buf)
+                view.flags.writeable = False
+                return view
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL201 — ad-hoc coordinate comparisons
+# ----------------------------------------------------------------------
+class TestUncountedOverlap:
+    def test_raw_bound_comparison_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/mod.py",
+            """
+            def overlaps(lo_a, hi_b):
+                return lo_a <= hi_b
+            """,
+        )
+        assert codes_of(findings) == {"RPL201"}
+
+    def test_attribute_bounds_fire(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/core/mod.py",
+            """
+            def check(a, b):
+                return a.xlo < b.xhi
+            """,
+        )
+        assert codes_of(findings) == {"RPL201"}
+
+    def test_non_bound_names_are_clean(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/mod.py",
+            """
+            def smaller(first, second):
+                return first <= second
+            """,
+        )
+        assert findings == []
+
+    def test_geometry_kernels_are_out_of_scope(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/geometry/mod.py",
+            """
+            def overlaps(lo_a, hi_b):
+                return lo_a <= hi_b
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL202 — JoinStatistics write discipline
+# ----------------------------------------------------------------------
+class TestStatisticsWrite:
+    def test_augmented_field_write_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/mod.py",
+            """
+            def record(stats):
+                stats.overlap_tests += 5
+            """,
+        )
+        assert codes_of(findings) == {"RPL202"}
+
+    def test_attribute_rooted_write_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/engine/mod.py",
+            """
+            def record(result):
+                result.stats.events = []
+            """,
+        )
+        assert codes_of(findings) == {"RPL202"}
+
+    def test_recording_method_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/mod.py",
+            """
+            def record(stats, seconds):
+                stats.record_stage("verify", seconds)
+            """,
+        )
+        assert findings == []
+
+    def test_base_module_recording_methods_exempt(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/base.py",
+            """
+            class JoinStatistics:
+                def record_stage(self, stage, seconds):
+                    self.stage_seconds[stage] = seconds
+            """,
+            select="RPL202",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL301 — JoinResult.pairs contract
+# ----------------------------------------------------------------------
+class TestJoinResultContract:
+    def test_canonical_annotation_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/base.py",
+            """
+            class JoinResult:
+                pairs: tuple | None = None
+            """,
+        )
+        assert findings == []
+
+    def test_drifted_annotation_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/base.py",
+            """
+            class JoinResult:
+                pairs: list = []
+            """,
+        )
+        assert codes_of(findings) == {"RPL301"}
+
+    def test_post_hoc_pairs_assignment_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/mod.py",
+            """
+            def patch(result, i_idx, j_idx):
+                result.pairs = (i_idx, j_idx)
+            """,
+        )
+        assert codes_of(findings) == {"RPL301"}
+
+    def test_list_pairs_construction_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/mod.py",
+            """
+            def build(n, tests, i_idx, j_idx):
+                return JoinResult(n, tests, pairs=[i_idx, j_idx])
+            """,
+        )
+        assert codes_of(findings) == {"RPL301"}
+
+    def test_tuple_or_none_construction_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/mod.py",
+            """
+            def build(n, tests, i_idx, j_idx, count_only):
+                pairs = None if count_only else (i_idx, j_idx)
+                return JoinResult(n, tests, pairs=pairs)
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    SOURCE = """
+    def overlaps(lo_a, hi_b):
+        return lo_a <= hi_b  {comment}
+    """
+
+    def test_coded_suppression_silences_that_code(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/mod.py",
+            self.SOURCE.format(
+                comment="# repro-lint: ignore[RPL201] counted in the caller"
+            ),
+        )
+        assert findings == []
+
+    def test_bare_suppression_silences_all_codes(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/mod.py",
+            self.SOURCE.format(comment="# repro-lint: ignore"),
+        )
+        assert findings == []
+
+    def test_wrong_code_does_not_suppress(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/mod.py",
+            self.SOURCE.format(comment="# repro-lint: ignore[RPL999]"),
+        )
+        assert codes_of(findings) == {"RPL201"}
+
+    def test_suppression_is_line_scoped(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/mod.py",
+            """
+            # repro-lint: ignore[RPL201]
+            def overlaps(lo_a, hi_b):
+                return lo_a <= hi_b
+            """,
+        )
+        assert codes_of(findings) == {"RPL201"}
+
+    def test_collect_suppressions_parses_code_lists(self) -> None:
+        got = collect_suppressions(
+            "x = 1  # repro-lint: ignore[rpl201, RPL202]\ny = 2  # repro-lint: ignore\n"
+        )
+        assert got == {1: frozenset({"RPL201", "RPL202"}), 2: None}
+
+
+# ----------------------------------------------------------------------
+# Drivers and the CLI exit-code contract
+# ----------------------------------------------------------------------
+class TestDrivers:
+    def test_lint_paths_walks_and_sorts(self, tmp_path: Path) -> None:
+        (tmp_path / "repro" / "joins").mkdir(parents=True)
+        (tmp_path / "repro" / "joins" / "b.py").write_text(
+            "def f(lo_a, hi_b):\n    return lo_a <= hi_b\n", encoding="utf-8"
+        )
+        (tmp_path / "repro" / "joins" / "a.py").write_text(
+            "import random\n", encoding="utf-8"
+        )
+        (tmp_path / "repro" / "joins" / "notes.txt").write_text("skip", encoding="utf-8")
+        findings, checked = lint_paths([tmp_path])
+        assert checked == 2
+        assert [finding.code for finding in findings] == ["RPL002", "RPL201"]
+        assert findings == sorted(findings)
+
+    def test_diagnostic_render_format(self, tmp_path: Path) -> None:
+        findings = lint_source(tmp_path, "repro/core/mod.py", "import random\n")
+        (finding,) = findings
+        rendered = finding.render()
+        assert rendered.endswith(f": {finding.code} {finding.message}")
+        assert f"{finding.path}:{finding.line}:{finding.col}:" in rendered
+
+
+class TestCli:
+    def _write(self, tmp_path: Path, rel: str, source: str) -> Path:
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return path
+
+    def test_exit_zero_on_clean_tree(
+        self, tmp_path: Path, capsys: pytest.CaptureFixture[str]
+    ) -> None:
+        self._write(tmp_path, "repro/joins/mod.py", "def f() -> int:\n    return 1\n")
+        assert cli.main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(
+        self, tmp_path: Path, capsys: pytest.CaptureFixture[str]
+    ) -> None:
+        path = self._write(tmp_path, "repro/core/mod.py", "import random\n")
+        assert cli.main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert f"{path}:1:1: RPL002" in out
+        assert "1 finding(s)" in out
+
+    def test_exit_two_without_paths(self, capsys: pytest.CaptureFixture[str]) -> None:
+        assert cli.main([]) == 2
+        assert "no paths given" in capsys.readouterr().err
+
+    def test_exit_two_on_missing_path(
+        self, tmp_path: Path, capsys: pytest.CaptureFixture[str]
+    ) -> None:
+        assert cli.main([str(tmp_path / "nowhere")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_exit_two_on_syntax_error(
+        self, tmp_path: Path, capsys: pytest.CaptureFixture[str]
+    ) -> None:
+        path = self._write(tmp_path, "broken.py", "def f(:\n")
+        assert cli.main([str(path)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_exit_two_on_unknown_select_code(
+        self, tmp_path: Path, capsys: pytest.CaptureFixture[str]
+    ) -> None:
+        path = self._write(tmp_path, "mod.py", "x = 1\n")
+        assert cli.main(["--select", "RPL999", str(path)]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_select_filters_rules(
+        self, tmp_path: Path, capsys: pytest.CaptureFixture[str]
+    ) -> None:
+        path = self._write(
+            tmp_path,
+            "repro/core/mod.py",
+            "import random\nimport numpy as np\nnp.random.seed(0)\n",
+        )
+        assert cli.main(["--select", "rpl002", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "RPL002" in out
+        assert "RPL001" not in out
+
+    def test_list_rules_prints_catalogue(
+        self, capsys: pytest.CaptureFixture[str]
+    ) -> None:
+        assert cli.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in sorted(ALL_CODES):
+            assert code in out
+
+
+# ----------------------------------------------------------------------
+# The repository lints itself
+# ----------------------------------------------------------------------
+def test_repository_is_clean() -> None:
+    """The CI gate (`python -m tools.repro_lint src benchmarks tests`) holds."""
+    findings = cli.run_paths(
+        [str(REPO_ROOT / name) for name in ("src", "benchmarks", "tests")]
+    )
+    assert findings == [], "\n".join(finding.render() for finding in findings)

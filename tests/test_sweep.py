@@ -60,7 +60,7 @@ class TestSweepSelf:
         centers = np.array([[0.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 50.0, 0.0]])
         lo, hi = mbr.boxes_from_centers(centers, 4.0)
         i_ids, j_ids, _ = sweep_self(*sort_by_x(lo, hi))
-        got = set(zip(*unique_pairs(i_ids, j_ids, 3)))
+        got = set(zip(*unique_pairs(i_ids, j_ids, 3), strict=True))
         assert got == {(0, 1)}
 
     def test_fewer_than_two_boxes(self):
@@ -85,7 +85,7 @@ class TestSweepSelf:
 class TestSweepBetween:
     def _cross_oracle(self, lo_a, hi_a, lo_b, hi_b):
         matrix = mbr.overlap_matrix(lo_a, hi_a, lo_b, hi_b)
-        return set(zip(*np.nonzero(matrix)))
+        return set(zip(*np.nonzero(matrix), strict=True))
 
     def test_matches_cross_oracle(self, rng):
         lo_a, hi_a = random_boxes(rng, 80, span=30.0)
@@ -93,7 +93,7 @@ class TestSweepBetween:
         sa = sort_by_x(lo_a, hi_a)
         sb = sort_by_x(lo_b, hi_b)
         a_ids, b_ids, tests = sweep_between(*sa, *sb)
-        got = set(zip(a_ids.tolist(), b_ids.tolist()))
+        got = set(zip(a_ids.tolist(), b_ids.tolist(), strict=True))
         exp = self._cross_oracle(lo_a, hi_a, lo_b, hi_b)
         assert got == exp
         assert len(got) == a_ids.size  # no duplicates

@@ -48,7 +48,7 @@ class TestJoinCells:
         acc = PairAccumulator()
         TGrid().join_cells(cells, lo, hi, dataset.centers, dataset.widths, acc)
         n = len(dataset)
-        got = set(zip(*(a.tolist() for a in unique_pairs(*acc.as_arrays(), n))))
+        got = set(zip(*(a.tolist() for a in unique_pairs(*acc.as_arrays(), n)), strict=True))
         assert got == naive_internal_pairs(dataset, cells)
 
     def test_no_duplicate_emissions(self):
@@ -79,7 +79,7 @@ class TestJoinCells:
         tgrid.join_cells(cells, lo, hi, dataset.centers, dataset.widths, acc)
         assert tgrid.fallbacks > 0
         n = len(dataset)
-        got = set(zip(*(a.tolist() for a in unique_pairs(*acc.as_arrays(), n))))
+        got = set(zip(*(a.tolist() for a in unique_pairs(*acc.as_arrays(), n)), strict=True))
         assert got == naive_internal_pairs(dataset, cells)
 
     def test_peak_cells_tracked(self):
@@ -104,7 +104,7 @@ class TestJoinCells:
         # Sparse layout: nothing shares a cell, nothing to join.
         expected = naive_internal_pairs(dataset, grid.occupied)
         n = len(dataset)
-        got = set(zip(*(a.tolist() for a in unique_pairs(*acc.as_arrays(), n))))
+        got = set(zip(*(a.tolist() for a in unique_pairs(*acc.as_arrays(), n)), strict=True))
         assert got == expected
 
     def test_budget_validation(self):

@@ -1,0 +1,5 @@
+"""Developer tooling for the THERMAL-JOIN reproduction.
+
+Nothing in this package ships with the ``repro`` distribution; it holds
+repo-internal gates such as :mod:`tools.repro_lint`.
+"""

@@ -1,0 +1,20 @@
+"""repro-lint: project-specific static analysis for the reproduction.
+
+An AST-based checker enforcing the contracts that keep the parallel
+join engine honest — determinism (RPL0xx), executor safety (RPL1xx),
+instrumentation honesty (RPL2xx) and API contracts (RPL3xx).  Run as::
+
+    python -m tools.repro_lint src benchmarks tests
+
+See ``docs/static-analysis.md`` for the rule catalogue and
+``tools.repro_lint.config`` for scopes and whitelists.
+"""
+
+from __future__ import annotations
+
+from tools.repro_lint.cli import main, run_paths
+from tools.repro_lint.core import RULES, Diagnostic
+
+__version__ = "1.0.0"
+
+__all__ = ["main", "run_paths", "Diagnostic", "RULES", "__version__"]

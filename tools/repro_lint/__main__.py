@@ -1,0 +1,7 @@
+"""``python -m tools.repro_lint`` entry point."""
+
+from __future__ import annotations
+
+from tools.repro_lint.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""Command-line entry point: ``python -m tools.repro_lint src benchmarks tests``.
+
+Exit codes follow the ruff convention the CI gate relies on:
+
+* ``0`` — no findings;
+* ``1`` — at least one finding (printed as ``path:line:col: CODE msg``);
+* ``2`` — usage error, missing path, or unparsable source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+# Importing the rules module populates the registry.
+from tools.repro_lint import rules  # noqa: F401  (imported for registration)
+from tools.repro_lint.core import RULES, Diagnostic, lint_paths
+
+__all__ = ["main", "run_paths"]
+
+
+def run_paths(
+    paths: Sequence[str],
+    select: frozenset[str] | None = None,
+) -> list[Diagnostic]:
+    """Programmatic API used by the test suite: lint and return findings."""
+    findings, _checked = lint_paths(paths, select=select)
+    return findings
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Project-specific AST lint for the THERMAL-JOIN reproduction: "
+            "determinism, executor safety, instrumentation honesty and API "
+            "contracts.  Suppress a finding with "
+            "'# repro-lint: ignore[RPLxxx] justification'."
+        ),
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES, key=lambda rule: rule.code):
+            print(f"{rule.code}  {rule.title}")
+            print(f"       {rule.rationale}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return 2
+
+    select: frozenset[str] | None = None
+    if args.select:
+        select = frozenset(code.strip().upper() for code in args.select.split(","))
+        known = {rule.code for rule in RULES}
+        unknown = select - known
+        if unknown:
+            print(
+                f"repro-lint: error: unknown rule code(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    try:
+        findings, checked = lint_paths(args.paths, select=select)
+    except FileNotFoundError as error:
+        print(f"repro-lint: error: {error}", file=sys.stderr)
+        return 2
+    except SyntaxError as error:
+        print(f"repro-lint: error: cannot parse {error.filename}: {error}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"repro-lint: {len(findings)} finding(s) in {checked} file(s)")
+        return 1
+    print(f"repro-lint: clean ({checked} file(s) checked)")
+    return 0

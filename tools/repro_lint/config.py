@@ -1,0 +1,136 @@
+"""Repo-specific configuration for the repro-lint rules.
+
+Everything scope- or policy-shaped lives here so the rule logic in
+:mod:`tools.repro_lint.rules` stays mechanical: which directories a rule
+patrols, which callables are sanctioned, and the explicit whitelist for
+wall-clock use inside the deterministic core.
+
+Scopes are matched as substrings of each file's *resolved* POSIX path,
+so they work identically for the real tree (``src/repro/...``) and for
+the temporary trees the fixture tests build.
+"""
+
+from __future__ import annotations
+
+import re
+
+# ----------------------------------------------------------------------
+# Scopes
+# ----------------------------------------------------------------------
+#: Modules that must be bit-reproducible given the same seed: the grids,
+#: the join algorithms and the geometric substrate.  Randomness must
+#: arrive as a seed / ``numpy.random.Generator`` parameter (the
+#: ``datasets`` convention) and wall-clock reads are banned outside
+#: :data:`TIMING_WHITELIST`.
+DETERMINISTIC_SCOPE: tuple[str, ...] = (
+    "/repro/core/",
+    "/repro/joins/",
+    "/repro/geometry/",
+)
+
+#: The executor module — the only place tasks cross a process boundary.
+EXECUTORS_SCOPE: tuple[str, ...] = ("/repro/engine/executors.py",)
+
+#: The engine package: shared-memory views are created here.
+ENGINE_SCOPE: tuple[str, ...] = ("/repro/engine/",)
+
+#: Modules whose candidate filtering must charge
+#: ``JoinStatistics.overlap_tests`` through the counted helpers of
+#: :mod:`repro.geometry` rather than ad-hoc coordinate comparisons.
+COUNTED_SCOPE: tuple[str, ...] = ("/repro/joins/", "/repro/core/")
+
+#: The contract module itself (exempt from the write-path rules — its
+#: recording methods are the sanctioned writers).
+BASE_MODULE: tuple[str, ...] = ("/repro/joins/base.py",)
+
+#: Everything that is part of the shipped library.
+LIBRARY_SCOPE: tuple[str, ...] = ("/repro/",)
+
+# ----------------------------------------------------------------------
+# RPL001 — numpy global RNG
+# ----------------------------------------------------------------------
+#: ``numpy.random`` attributes that construct *seedable* generator
+#: machinery.  Everything else on the module (``np.random.rand``,
+#: ``np.random.seed``, ...) drives the hidden global ``RandomState`` and
+#: is banned everywhere in the repo.
+NP_RANDOM_ALLOWED: frozenset[str] = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+# ----------------------------------------------------------------------
+# RPL003 — wall-clock reads
+# ----------------------------------------------------------------------
+#: ``time`` module functions that read a clock.
+WALL_CLOCK_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: ``datetime`` constructors that read a clock.
+DATETIME_NOW_FUNCTIONS: frozenset[str] = frozenset({"now", "utcnow", "today"})
+
+#: Sanctioned wall-clock sites inside :data:`DETERMINISTIC_SCOPE`, as
+#: ``(path substring, dotted scope qualname)`` → one-line justification.
+#: A qualname entry also covers scopes nested inside it.
+TIMING_WHITELIST: dict[tuple[str, str], str] = {
+    (
+        "/repro/core/thermal.py",
+        "ThermalJoin._build",
+    ): "build_seconds instrumentation: the wall time *is* the measured quantity",
+}
+
+# ----------------------------------------------------------------------
+# RPL201 — ad-hoc overlap predicates
+# ----------------------------------------------------------------------
+#: Identifier shapes that denote box-bound arrays: ``lo``, ``hi``,
+#: ``lo_a``, ``xlo``, ``part_hi``, ``b_center_lo``...  Deliberately
+#: name-based: the counted kernels in :mod:`repro.geometry` are out of
+#: scope, so inside ``joins/`` and ``core/`` a raw ``lo``-vs-``hi``
+#: comparison is either an uncounted overlap test (a bug the paper's
+#: Figure 7(c) methodology forbids) or a justified, suppressed kernel.
+BOUND_NAME_RE = re.compile(r"(^|_)[xyz]?(lo|hi)\d*(_|$)")
+
+# ----------------------------------------------------------------------
+# RPL202 / RPL301 — statistics and result contracts
+# ----------------------------------------------------------------------
+#: The instrumentation fields of ``JoinStatistics``; writable only from
+#: its own recording methods (and its constructor).
+STATISTICS_FIELDS: frozenset[str] = frozenset(
+    {
+        "overlap_tests",
+        "build_seconds",
+        "join_seconds",
+        "memory_bytes",
+        "phase_seconds",
+        "stage_seconds",
+        "task_counters",
+        "events",
+        "task_retries",
+        "index_counters",
+    }
+)
+
+#: Names an expression may be rooted at for RPL202 to treat it as a
+#: statistics object.
+STATISTICS_ROOTS: frozenset[str] = frozenset({"stats", "statistics"})
+
+#: The exact annotation the ``JoinResult.pairs`` contract requires.
+JOIN_RESULT_PAIRS_ANNOTATION = "tuple | None"

@@ -1,0 +1,212 @@
+"""Core machinery for repro-lint: diagnostics, suppressions, file walks.
+
+The linter is deliberately dependency-free: :mod:`ast` for structure,
+:mod:`tokenize` for comments (``ast`` drops them), and nothing else.
+Rules are small classes registered with :func:`register`; each receives
+a :class:`FileContext` and yields :class:`Diagnostic` objects.  Line
+suppressions use the same shape as ruff's ``noqa``::
+
+    risky_call()  # repro-lint: ignore[RPL003] one-line justification
+
+A bare ``# repro-lint: ignore`` (no code list) suppresses every rule on
+that line; a code list suppresses exactly those codes.
+"""
+
+from __future__ import annotations
+
+import ast
+import contextlib
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "Rule",
+    "RULES",
+    "register",
+    "collect_suppressions",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "walk_scoped",
+]
+
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def collect_suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number → suppressed codes (``None`` means *all* codes)."""
+    suppressions: dict[int, frozenset[str] | None] = {}
+    # An untokenizable file already failed ast.parse upstream.
+    with contextlib.suppress(tokenize.TokenError):
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = SUPPRESSION_RE.search(token.string)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                suppressions[token.start[0]] = None
+            else:
+                parsed = frozenset(
+                    code.strip().upper() for code in codes.split(",") if code.strip()
+                )
+                existing = suppressions.get(token.start[0], frozenset())
+                if existing is None:
+                    continue
+                suppressions[token.start[0]] = parsed | existing
+    return suppressions
+
+
+class FileContext:
+    """Everything a rule needs to know about one parsed file."""
+
+    def __init__(self, path: Path, display: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.display = display
+        #: Resolved POSIX path used for scope matching, so rules behave
+        #: identically on the real tree and on fixture trees.
+        self.resolved = path.resolve().as_posix()
+        self.source = source
+        self.tree = tree
+        self.suppressions = collect_suppressions(source)
+
+    def in_scope(self, patterns: Iterable[str]) -> bool:
+        return any(pattern in self.resolved for pattern in patterns)
+
+    def diagnostic(self, node: ast.AST, code: str, message: str) -> Diagnostic:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Diagnostic(self.display, line, col, code, message)
+
+    def suppressed(self, diagnostic: Diagnostic) -> bool:
+        codes = self.suppressions.get(diagnostic.line, frozenset())
+        if diagnostic.line not in self.suppressions:
+            return False
+        return codes is None or diagnostic.code in codes
+
+
+class Rule:
+    """Base class: one diagnostic code, one :meth:`check` pass."""
+
+    code = "RPL000"
+    title = "abstract rule"
+    rationale = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+
+#: Registry, populated by :mod:`tools.repro_lint.rules` at import time.
+RULES: list[Rule] = []
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    RULES.append(rule_class())
+    return rule_class
+
+
+def walk_scoped(tree: ast.Module) -> Iterator[tuple[ast.AST, str]]:
+    """Yield ``(node, qualname)`` for every node in ``tree``.
+
+    ``qualname`` is the dotted path of enclosing class/function scopes
+    (empty at module level).  A ``FunctionDef``/``ClassDef`` node itself
+    is reported under its *enclosing* scope; its body under its own.
+    """
+    stack: list[str] = []
+
+    def visit(node: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                yield child, ".".join(stack)
+                stack.append(child.name)
+                yield from visit(child)
+                stack.pop()
+            else:
+                yield child, ".".join(stack)
+                yield from visit(child)
+
+    yield from visit(tree)
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".benchmarks", "results"}
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS or part.startswith(".") for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def lint_file(
+    path: Path,
+    display: str | None = None,
+    select: frozenset[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint one file; raises ``SyntaxError`` on unparsable source."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    ctx = FileContext(path, display or str(path), source, tree)
+    findings: list[Diagnostic] = []
+    for rule in RULES:
+        if select is not None and rule.code not in select:
+            continue
+        for diagnostic in rule.check(ctx):
+            if not ctx.suppressed(diagnostic):
+                findings.append(diagnostic)
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    select: frozenset[str] | None = None,
+) -> tuple[list[Diagnostic], int]:
+    """Lint every python file under ``paths``.
+
+    Returns ``(diagnostics, files_checked)``; diagnostics are sorted by
+    location.  Import the rules module first (the CLI does) or the
+    registry is empty.
+    """
+    findings: list[Diagnostic] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, display=str(path), select=select))
+        checked += 1
+    findings.sort()
+    return findings, checked
