@@ -33,6 +33,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from repro.core import ThermalJoin  # noqa: E402
+from repro.datasets import IntermittentTranslation  # noqa: E402
 from repro.experiments.workloads import scaled_neural, scaled_uniform  # noqa: E402
 from repro.joins import PBSMJoin, PlaneSweepJoin  # noqa: E402
 from repro.obs import (  # noqa: E402
@@ -51,8 +52,23 @@ from repro.simulation import SimulationRunner  # noqa: E402
 #: serial counts exactly (the engine's interchangeability guarantee).
 EXECUTORS = ("serial", "thread:2")
 
-SMOKE = {"uniform_n": 500, "neural_n": 500, "n_steps": 3}
-DEFAULT = {"uniform_n": 4_000, "neural_n": 4_000, "n_steps": 6}
+#: ``incremental_steps`` is longer than ``n_steps`` because the
+#: pair-maintenance runs need the tuner to converge (a few full steps)
+#: before the incremental regime shows up in the series at all.
+SMOKE = {"uniform_n": 500, "neural_n": 500, "n_steps": 3, "incremental_steps": 6}
+DEFAULT = {"uniform_n": 4_000, "neural_n": 4_000, "n_steps": 6, "incremental_steps": 10}
+
+#: Pair-maintenance scenarios (schema v2): each is
+#: ``(workload name, IntermittentTranslation kwargs, churn_threshold)``.
+#: ``uniform-low-motion`` moves a tiny fraction of objects a short
+#: distance each step — the regime where the incremental path should
+#: beat the full re-join by a wide margin — while ``uniform-high-churn``
+#: pins ``churn_threshold=0.0`` so every delta step *forces* a fallback,
+#: exercising the degradation path and its counters end to end.
+INCREMENTAL_SCENARIOS = (
+    ("uniform-low-motion", {"move_fraction": 0.02, "distance": 3.0}, None),
+    ("uniform-high-churn", {"move_fraction": 0.50, "distance": 10.0}, 0.0),
+)
 
 
 def _algorithms(executor):
@@ -94,7 +110,7 @@ def run_matrix(config, trace_path=None):
         writer = JsonlWriter(trace_path)
         previous = set_tracer(Tracer(sink=writer))
     try:
-        runs = _run_matrix_inner(config)
+        runs = _run_matrix_inner(config) + _incremental_runs(config)
     finally:
         if trace_path is not None:
             set_tracer(previous)
@@ -145,6 +161,94 @@ def _run_matrix_inner(config):
     return runs
 
 
+def _incremental_runs(config):
+    """Pair-maintenance section of the bench matrix.
+
+    Each scenario runs THERMAL-JOIN twice on a fresh copy of the same
+    trajectory — once recomputing from scratch every step
+    (``thermal-join``) and once maintaining the pair set through motion
+    deltas (``thermal-join-incremental``) — and asserts that maintenance
+    never changes the result series.  The maintained run's per-step
+    ``incremental`` block carries the mode, the moved fraction and the
+    reuse/fallback counters.
+    """
+    runs = []
+    n_steps = config.get("incremental_steps", config["n_steps"])
+    for workload, motion_kwargs, churn_threshold in INCREMENTAL_SCENARIOS:
+
+        def factory(kwargs=motion_kwargs):
+            dataset, _ = scaled_uniform(config["uniform_n"], seed=7)
+            motion = IntermittentTranslation(dataset, seed=8, **kwargs)
+            return dataset, motion
+
+        series = {}
+        for label, maintain in (("thermal-join", False), ("thermal-join-incremental", True)):
+            algorithm_kwargs = {"pair_maintenance": maintain}
+            if maintain and churn_threshold is not None:
+                algorithm_kwargs["churn_threshold"] = churn_threshold
+            dataset, motion = factory()
+            algorithm = ThermalJoin(
+                count_only=True, executor="serial", **algorithm_kwargs
+            )
+            runner = SimulationRunner(dataset, motion, algorithm)
+            records = runner.run(n_steps)
+            if runner.failure is not None:
+                raise runner.failure
+            series[label] = [
+                (record.n_results, record.overlap_tests) for record in records
+            ]
+            runs.append(
+                {
+                    "workload": workload,
+                    "algorithm": label,
+                    "executor": "serial",
+                    "n_objects": len(dataset),
+                    "n_steps": len(records),
+                    "steps": [step_record_to_json(record) for record in records],
+                    "aggregates": run_aggregates(runner),
+                }
+            )
+            algorithm.executor.close()
+        full = [n for n, _ in series["thermal-join"]]
+        maintained = [n for n, _ in series["thermal-join-incremental"]]
+        if full != maintained:
+            raise AssertionError(
+                f"pair maintenance changed the {workload} result series"
+            )
+    return runs
+
+
+def incremental_speedup(document):
+    """Mean full-step time / mean incremental-step time on the
+    low-motion scenario (``None`` when no incremental steps ran).
+
+    Compared over the steps in which the maintained run actually took
+    the incremental path, so the tuner warm-up steps (identical in both
+    runs by construction) don't dilute the ratio.
+    """
+    by_label = {
+        run["algorithm"]: run["steps"]
+        for run in document["runs"]
+        if run["workload"] == "uniform-low-motion"
+    }
+    full = by_label.get("thermal-join")
+    maintained = by_label.get("thermal-join-incremental")
+    if not full or not maintained:
+        return None
+    incremental_steps = [
+        (f, m)
+        for f, m in zip(full, maintained, strict=True)
+        if m["incremental"].get("mode") == "incremental"
+    ]
+    if not incremental_steps:
+        return None
+    full_mean = sum(f["join_seconds"] for f, _ in incremental_steps)
+    incr_mean = sum(m["join_seconds"] for _, m in incremental_steps)
+    if incr_mean <= 0:
+        return None
+    return full_mean / incr_mean
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -173,9 +277,15 @@ def main(argv=None):
     document = run_matrix(config, trace_path=args.trace)
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(document, indent=2) + "\n")
+    speedup = incremental_speedup(document)
     print(
         f"wrote {args.out}: {len(document['runs'])} runs, "
         f"schema v{document['schema_version']}"
+        + (
+            f", low-motion incremental speedup {speedup:.1f}x"
+            if speedup is not None
+            else ""
+        )
         + (f", trace at {args.trace}" if args.trace else "")
     )
     return document
@@ -199,6 +309,23 @@ def test_smoke_matrix_is_schema_valid(tmp_path):
     assert trace_path.exists()
     spans = [json.loads(line) for line in trace_path.read_text().splitlines()]
     assert spans and all(span["kind"] == "span" for span in spans)
+
+    # Pair-maintenance section: modes and counters must be present, the
+    # low-motion run must actually take the incremental path and the
+    # forced-fallback run must never take it.
+    modes = {}
+    for run in plain["runs"]:
+        if run["algorithm"] != "thermal-join-incremental":
+            continue
+        blocks = [step["incremental"] for step in run["steps"]]
+        assert all(block for block in blocks), "incremental counters missing"
+        modes[run["workload"]] = [block["mode"] for block in blocks]
+        assert all(
+            "pairs_reused" in block and "fallbacks" in block for block in blocks
+        )
+    assert "incremental" in modes["uniform-low-motion"]
+    assert "incremental" not in modes["uniform-high-churn"]
+    assert "fallback" in modes["uniform-high-churn"]
 
 
 if __name__ == "__main__":

@@ -36,18 +36,24 @@ import time
 
 import numpy as np
 
+from repro.core.cells import half_neighborhood_offsets, pack_cell_id_scalar
 from repro.core.pgrid import PGrid
 from repro.core.tgrid import TGrid
 from repro.core.tuning import HillClimbingTuner
 from repro.engine import (
     DEFAULT_PARTITION_TASKS,
     CellPairSweepTask,
+    ChurnPolicy,
+    GroupCrossJoinTask,
     GroupSelfJoinTask,
     HotCellsTask,
     JoinPlan,
     JoinTask,
     chunk_by_volume,
+    execute_delta_step,
+    incremental_from_env,
 )
+from repro.geometry import MaintainedPairSet
 from repro.joins.base import SpatialJoinAlgorithm
 
 from typing import TYPE_CHECKING
@@ -57,6 +63,7 @@ if TYPE_CHECKING:
 
     from repro.core.cells import PGridCell
     from repro.datasets import SpatialDataset
+    from repro.datasets.delta import MotionDelta
     from repro.engine import Executor
     from repro.geometry import PairAccumulator
     from repro.joins.base import JoinResult
@@ -144,6 +151,21 @@ class ThermalJoin(SpatialJoinAlgorithm):
         Ablation knob: disable incremental maintenance — the P-Grid is
         rebuilt from scratch every step (the "throw-away index"
         strategy of the static baselines).
+    pair_maintenance:
+        Maintain the *result* across steps, not just the index: when a
+        :class:`~repro.datasets.delta.MotionDelta` arrives through
+        :meth:`step_delta`, pairs incident to moved objects are dropped
+        and only the moved-incident candidates re-verified; pairs
+        between settled objects are reused verbatim.  The maintained set
+        is bit-identical to a full re-join at every step.  ``None``
+        (default) consults the ``REPRO_INCREMENTAL`` environment
+        variable; ``True``/``False`` override it.
+    churn_threshold:
+        Fixed moved-fraction threshold above which :meth:`step_delta`
+        falls back to a full re-join.  ``None`` (default) uses an
+        observed, adaptive :class:`~repro.engine.ChurnPolicy` that
+        learns the break-even point from measured operation costs;
+        ``0.0`` forces a fallback whenever anything moved.
     memory_quota_bytes:
         Optional cap on the P-Grid footprint — the improvement the paper
         sketches in §6.3 ("avoiding a very fine resolution grid that
@@ -177,6 +199,8 @@ class ThermalJoin(SpatialJoinAlgorithm):
         hot_spots: bool = True,
         enclosure_shortcut: bool = True,
         incremental: bool = True,
+        pair_maintenance: bool | None = None,
+        churn_threshold: float | None = None,
         memory_quota_bytes: int | None = None,
         n_workers: int = 1,
         executor: Executor | str | None = None,
@@ -216,9 +240,34 @@ class ThermalJoin(SpatialJoinAlgorithm):
         self.last_step_info: dict[str, object] = {}
         self._boxes = None
         self._build_seconds = 0.0
+        if pair_maintenance is None:
+            pair_maintenance = incremental_from_env()
+        self.pair_maintenance = bool(pair_maintenance)
+        if churn_threshold is None:
+            self.churn = ChurnPolicy()
+        else:
+            self.churn = ChurnPolicy(threshold=churn_threshold, adaptive=False)
+        #: The result set carried across steps (pair-maintenance mode).
+        self._maintained: MaintainedPairSet | None = None
+        self._maintained_uid: int | None = None
+        self._maintained_version: int | None = None
+        self._incr: dict[str, object] = {
+            "mode": "off",
+            "moved_fraction": 0.0,
+            "pairs_reused": 0,
+            "pairs_dropped": 0,
+            "pairs_reverified": 0,
+            "pairs_added": 0,
+            "maintained_pairs": 0,
+            "fallbacks": 0,
+            "full_steps": 0,
+            "incremental_steps": 0,
+            "churn_threshold": self.churn.threshold,
+        }
         self.metrics.register("pgrid", self._pgrid_metrics)
         self.metrics.register("tgrid", self._tgrid_metrics)
         self.metrics.register("tuner", self._tuner_metrics)
+        self.metrics.register("incremental", self._incremental_metrics)
 
     # ------------------------------------------------------------------
     # Metrics providers (read-only; snapshot each step by the engine)
@@ -253,6 +302,11 @@ class ThermalJoin(SpatialJoinAlgorithm):
                 retunes=self.tuner.retunes,
                 observations=len(self.tuner.history),
             )
+        return values
+
+    def _incremental_metrics(self) -> dict[str, object]:
+        values = dict(self._incr)
+        values["churn_threshold"] = self.churn.threshold
         return values
 
     # ------------------------------------------------------------------
@@ -460,6 +514,148 @@ class ThermalJoin(SpatialJoinAlgorithm):
 
         return JoinPlan(context=context, tasks=tasks, on_complete=on_complete)
 
+    # ------------------------------------------------------------------
+    # Delta join phase: re-verify only moved-incident candidates
+    # ------------------------------------------------------------------
+    def delta_plan(self, dataset: SpatialDataset, delta: MotionDelta) -> JoinPlan:
+        """Partition the re-verification of moved-incident candidates.
+
+        Objects are classified moved/settled from the delta; the refreshed
+        P-Grid's per-cell object lists are split into a *moved* grouping
+        and a *settled* grouping (both inherit the in-cell x-sort).  Any
+        pair with a moved endpoint has centers closer than the largest
+        object width per dimension, so its cells are at most
+        ``pgrid.layers`` apart — exactly the neighbourhood the full
+        join's hyperlinks cover.  Three task families emit every such
+        candidate exactly once:
+
+        * moved × settled over each moved cell's full neighbourhood
+          (including its own cell; settled groups never initiate);
+        * moved × moved across distinct cells, once per unordered cell
+          pair via the half-neighbourhood offsets;
+        * moved × moved within a cell, as a strict-upper-triangle
+          self-join.
+
+        All tasks are pure functions of ndarray context (process-safe),
+        chunked deterministically, with x-sweep test accounting — so
+        executors, retries and fault injection behave exactly as on the
+        full plan.
+        """
+        lo, hi = self._boxes
+        pgrid = self.pgrid
+        cat = pgrid.cat
+        starts = pgrid.cell_starts
+        stops = pgrid.cell_stops
+        moved_mask = delta.moved_mask()
+        moved_in_cat = moved_mask[cat]
+        csum = np.concatenate([[0], np.cumsum(moved_in_cat)]).astype(np.int64)
+        moved_counts = csum[stops] - csum[starts]
+        settled_counts = (stops - starts) - moved_counts
+        mstops = np.cumsum(moved_counts).astype(np.int64)
+        sstops = np.cumsum(settled_counts).astype(np.int64)
+        context = {
+            "lo": lo,
+            "hi": hi,
+            "mcat": cat[moved_in_cat],
+            "mstarts": mstops - moved_counts,
+            "mstops": mstops,
+            "scat": cat[~moved_in_cat],
+            "sstarts": sstops - settled_counts,
+            "sstops": sstops,
+        }
+
+        # Enumerate candidate cell pairs around the cells holding moved
+        # objects.  Slot order and offset order are fixed, so the pair
+        # lists — and the task chunking below — are deterministic.
+        cells = pgrid.cells
+        occupied = pgrid.occupied
+        offsets = half_neighborhood_offsets(pgrid.layers)
+        has_moved = moved_counts > 0
+        has_settled = settled_counts > 0
+        ms_a: list[int] = []  # moved group × settled group
+        ms_b: list[int] = []
+        mm_a: list[int] = []  # moved group × moved group, distinct cells
+        mm_b: list[int] = []
+        for slot in np.flatnonzero(has_moved):
+            slot = int(slot)
+            cx, cy, cz = occupied[slot].coords
+            if has_settled[slot]:
+                ms_a.append(slot)
+                ms_b.append(slot)
+            for ox, oy, oz in offsets:
+                front = cells.get(pack_cell_id_scalar(cx + ox, cy + oy, cz + oz))
+                if front is not None and front.slot >= 0:
+                    if has_settled[front.slot]:
+                        ms_a.append(slot)
+                        ms_b.append(front.slot)
+                    if has_moved[front.slot]:
+                        # Unordered moved-cell pair, seen once: the back
+                        # scan of the other cell cannot re-reach it.
+                        mm_a.append(slot)
+                        mm_b.append(front.slot)
+                back = cells.get(pack_cell_id_scalar(cx - ox, cy - oy, cz - oz))
+                if back is not None and back.slot >= 0 and has_settled[back.slot]:
+                    ms_a.append(slot)
+                    ms_b.append(back.slot)
+
+        tasks: list[JoinTask] = []
+
+        def cross_tasks(pair_a, pair_b, b_counts, b_keys):
+            pair_a = np.asarray(pair_a, dtype=np.int64)
+            pair_b = np.asarray(pair_b, dtype=np.int64)
+            if not pair_a.size:
+                return
+            weights = moved_counts[pair_a] * b_counts[pair_b]
+            for start, stop in chunk_by_volume(weights, DEFAULT_PARTITION_TASKS):
+                tasks.append(
+                    GroupCrossJoinTask(
+                        pair_a=pair_a[start:stop],
+                        pair_b=pair_b[start:stop],
+                        count="x-sweep",
+                        a_keys=("mcat", "mstarts", "mstops"),
+                        b_keys=b_keys,
+                        phase="reverify",
+                    )
+                )
+
+        cross_tasks(ms_a, ms_b, settled_counts, ("scat", "sstarts", "sstops"))
+        cross_tasks(mm_a, mm_b, moved_counts, ("mcat", "mstarts", "mstops"))
+        self_slots = np.flatnonzero(moved_counts > 1)
+        if self_slots.size:
+            tasks.append(
+                GroupSelfJoinTask(
+                    groups=self_slots,
+                    count="x-sweep",
+                    keys=("mcat", "mstarts", "mstops"),
+                    phase="reverify",
+                )
+            )
+
+        moved_cells = int(has_moved.sum())
+        cell_pair_joins = len(ms_a) + len(mm_a)
+
+        def on_complete(results):
+            self.last_step_info = {
+                "mode": "incremental",
+                "resolution": self.current_resolution,
+                "cell_width": self.pgrid.cell_width,
+                "occupied_cells": len(self.pgrid.occupied),
+                "total_cells": len(self.pgrid.cells),
+                "vacant_cells": self.pgrid.n_vacant,
+                "moved_objects": delta.n_moved,
+                "moved_cells": moved_cells,
+                "hot_spot_cells": 0,
+                "tgrid_cells": 0,
+                "tgrid_fallbacks": self.tgrid.fallbacks,
+                "cell_pair_joins": cell_pair_joins,
+                "shortcut_pairs": 0,
+                "cells_created": self._cells_created_this_step,
+                "gc_runs": self.pgrid.gc_runs,
+                "layers": self.pgrid.layers,
+            }
+
+        return JoinPlan(context=context, tasks=tasks, on_complete=on_complete)
+
     def _phase_seconds(self) -> dict[str, float]:
         # The engine adds each task's wall time onto its phase; only the
         # build phase is timed here.
@@ -470,9 +666,15 @@ class ThermalJoin(SpatialJoinAlgorithm):
         }
 
     # ------------------------------------------------------------------
-    # Step driver with self-tuning
+    # Step driver with self-tuning and pair-set maintenance
     # ------------------------------------------------------------------
     def step(self, dataset: SpatialDataset) -> JoinResult:
+        if self.pair_maintenance:
+            return self._full_step(dataset, mode="full")
+        return self._plain_step(dataset)
+
+    def _plain_step(self, dataset: SpatialDataset) -> JoinResult:
+        """One from-scratch join step, feeding the resolution tuner."""
         result = super().step(dataset)
         if self.tuner is not None:
             cost = (
@@ -484,6 +686,108 @@ class ThermalJoin(SpatialJoinAlgorithm):
             if resolution_changed:
                 # Force a from-scratch rebuild at the new resolution.
                 self.pgrid = None
+        return result
+
+    def _full_step(self, dataset: SpatialDataset, mode: str) -> JoinResult:
+        """Full re-join that (re)seeds the maintained pair set.
+
+        Pairs must be materialised to seed the set, so ``count_only`` is
+        lifted around the engine step and the returned result re-honours
+        it.  The seeded state is re-snapshot into ``index_counters`` so
+        the step's record already shows the maintained-set size.
+        """
+        from repro.joins.base import JoinResult
+
+        self._incr.update(
+            mode=mode,
+            pairs_reused=0,
+            pairs_dropped=0,
+            pairs_reverified=0,
+            pairs_added=0,
+        )
+        self._incr["full_steps"] = int(self._incr["full_steps"]) + 1
+        was_count_only = self.count_only
+        self.count_only = False
+        try:
+            result = self._plain_step(dataset)
+        finally:
+            self.count_only = was_count_only
+        assert result.pairs is not None
+        self._maintained = MaintainedPairSet(len(dataset), *result.pairs)
+        self._maintained_uid = dataset.uid
+        self._maintained_version = dataset.version
+        self.churn.observe_full(self._operations_cost(result))
+        self._incr["maintained_pairs"] = len(self._maintained)
+        # Refresh only the incremental entry: re-snapshotting every
+        # provider here would run *after* a possible tuner retune
+        # dropped the P-Grid, wiping the engine-time pgrid counters.
+        result.stats.record_index_counters(
+            {
+                **result.stats.index_counters,
+                "incremental": self._incremental_metrics(),
+            }
+        )
+        return JoinResult(
+            n_results=result.n_results,
+            stats=result.stats,
+            pairs=None if was_count_only else result.pairs,
+        )
+
+    def _delta_applicable(self, dataset: SpatialDataset, delta: MotionDelta) -> bool:
+        """Whether ``delta`` bridges the maintained state to ``dataset``.
+
+        The delta must describe exactly the ``maintained version →
+        current version`` transition of *this* dataset instance, and the
+        tuner must be done moving the resolution (while it still climbs,
+        full steps are required anyway so it can observe comparable
+        costs; drift-retune steps re-enter that state).
+        """
+        return (
+            self._maintained is not None
+            and delta.dataset_uid == dataset.uid
+            and self._maintained_uid == dataset.uid
+            and delta.n_objects == len(dataset)
+            and delta.base_version == self._maintained_version
+            and delta.version == dataset.version
+            and (self.tuner is None or self.tuner.converged)
+        )
+
+    def step_delta(self, dataset: SpatialDataset, delta: MotionDelta | None) -> JoinResult:
+        """Maintain the pair set through ``delta`` instead of re-joining.
+
+        Falls back to a full (seeding) step when maintenance is off, the
+        delta does not match the maintained state, or the churn policy
+        rules the moved fraction too high to pay off.
+        """
+        if not self.pair_maintenance:
+            return self.step(dataset)
+        if delta is None or not self._delta_applicable(dataset, delta):
+            self._incr["moved_fraction"] = (
+                0.0 if delta is None else delta.moved_fraction
+            )
+            return self._full_step(dataset, mode="full")
+        moved_fraction = delta.moved_fraction
+        self._incr["moved_fraction"] = moved_fraction
+        if not self.churn.admits(moved_fraction):
+            self._incr["fallbacks"] = int(self._incr["fallbacks"]) + 1
+            return self._full_step(dataset, mode="fallback")
+
+        self._incr["mode"] = "incremental"
+        self._incr["incremental_steps"] = int(self._incr["incremental_steps"]) + 1
+        maintained = self._maintained
+        assert maintained is not None
+        result = execute_delta_step(
+            self, dataset, delta, maintained, on_maintained=self._incr.update
+        )
+        self._maintained_version = delta.version
+        # The tuner is NOT fed here: incremental costs are not comparable
+        # with the full-join costs it climbs on.  The churn policy is —
+        # that is exactly the signal it adapts its threshold from.
+        self.churn.observe_incremental(
+            float(result.stats.overlap_tests)
+            + _OPS_RESULT * float(int(self._incr["pairs_reverified"])),
+            moved_fraction,
+        )
         return result
 
     def _operations_cost(self, result: JoinResult) -> float:

@@ -2,9 +2,11 @@
 
 from repro.datasets.clustered import make_clustered_dataset, make_clustered_workload
 from repro.datasets.dataset import SpatialDataset
+from repro.datasets.delta import MotionDelta
 from repro.datasets.motion import (
     BranchJitter,
     ClusterDrift,
+    IntermittentTranslation,
     MotionModel,
     RandomTranslation,
 )
@@ -17,8 +19,10 @@ from repro.datasets.uniform import (
 
 __all__ = [
     "SpatialDataset",
+    "MotionDelta",
     "MotionModel",
     "RandomTranslation",
+    "IntermittentTranslation",
     "ClusterDrift",
     "BranchJitter",
     "UNIFORM_BOUNDS",

@@ -12,13 +12,20 @@ algorithms address objects by their stable positional index.
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Mapping
 
 import numpy as np
 
+from repro.datasets.delta import MotionDelta
 from repro.geometry import mbr
 
 __all__ = ["SpatialDataset"]
+
+#: Process-wide deterministic instance counter: datasets created in the
+#: same order get the same uids, so cached join state keyed by uid stays
+#: reproducible run-to-run.
+_UID_COUNTER = itertools.count()
 
 #: Byte cost of one object record in the paper's C++ layout: a 3-D MBR as
 #: six doubles (48 B), a 64-bit identifier and two 64-bit attribute slots
@@ -104,6 +111,11 @@ class SpatialDataset:
         #: Monotonic counter bumped by every in-place position update; join
         #: algorithms use it to detect that a rebuild/refresh is required.
         self.version = 0
+        #: Deterministic per-instance identity; deltas and maintained join
+        #: state are pinned to it so state cached against one dataset is
+        #: never applied to another (``with_enlarged_extent`` views get a
+        #: fresh uid for the same reason).
+        self.uid = next(_UID_COUNTER)
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -167,6 +179,32 @@ class SpatialDataset:
         self.centers += deltas
         self.version += 1
 
+    def commit_motion(self, before: np.ndarray) -> MotionDelta:
+        """Commit an in-place center mutation and describe it as a delta.
+
+        The delta-aware update path of the step lifecycle: the motion
+        model snapshots ``centers`` (``before``), mutates the dataset in
+        place, then calls ``commit_motion`` with the snapshot.  The
+        version bump and the :class:`~repro.datasets.delta.MotionDelta`
+        are produced together, so the delta provably describes exactly
+        the ``version → version + 1`` transition.
+        """
+        before = np.asarray(before, dtype=np.float64)
+        if before.shape != self.centers.shape:
+            raise ValueError(
+                f"snapshot shape {before.shape} does not match centers "
+                f"shape {self.centers.shape}"
+            )
+        base_version = self.version
+        self.version += 1
+        return MotionDelta.from_positions(
+            before,
+            self.centers,
+            dataset_uid=self.uid,
+            base_version=base_version,
+            version=self.version,
+        )
+
     # ------------------------------------------------------------------
     # Derived datasets
     # ------------------------------------------------------------------
@@ -187,6 +225,7 @@ class SpatialDataset:
         enlarged._bounds = self._bounds
         enlarged.attributes = self.attributes
         enlarged.version = self.version
+        enlarged.uid = next(_UID_COUNTER)
         return enlarged
 
     def copy(self) -> SpatialDataset:

@@ -1,10 +1,13 @@
-"""Motion models: unpredictable, all-objects-per-step position updates.
+"""Motion models: unpredictable in-place position updates per step.
 
 Every model mutates a :class:`~repro.datasets.dataset.SpatialDataset` in
-place, moving *all* objects at every step — the defining temporal
-property of the paper's workload (Section 3.2).  The join algorithms
-treat these updates as a black box, exactly as the paper requires
-("we therefore treat the simulation application as a black box").
+place and returns a typed :class:`~repro.datasets.delta.MotionDelta`
+describing exactly which objects moved and by how much.  The paper's
+workload moves *all* objects at every step (Section 3.2) and the join
+algorithms treat the updates as a black box ("we therefore treat the
+simulation application as a black box"); the delta does not change that
+contract — a join is free to ignore it — but it enables incremental
+pair-set maintenance (ROADMAP item 2) for consumers that opt in.
 
 Models
 ------
@@ -14,6 +17,13 @@ Models
     fixed length at initialisation and is translated by it every step;
     components are inverted when the object would cross the domain
     boundary, keeping the spatial extent constant.
+
+``IntermittentTranslation``
+    Low-churn variant of ``RandomTranslation``: only a seeded random
+    subset of objects moves at each step (think equilibrated regions of
+    a thermal simulation where most particles sit below the displacement
+    threshold).  This is the motion-coherent regime where maintaining
+    the pair set beats recomputing it.
 
 ``ClusterDrift``
     The skewed benchmark's motion: all objects of a cluster share one
@@ -32,10 +42,18 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.datasets.delta import MotionDelta
+
 if TYPE_CHECKING:
     from repro.datasets.dataset import SpatialDataset
 
-__all__ = ["MotionModel", "RandomTranslation", "ClusterDrift", "BranchJitter"]
+__all__ = [
+    "MotionModel",
+    "RandomTranslation",
+    "IntermittentTranslation",
+    "ClusterDrift",
+    "BranchJitter",
+]
 
 
 def _unit_vectors(rng: np.random.Generator, n: int) -> np.ndarray:
@@ -72,8 +90,8 @@ def _reflect(centers: np.ndarray, velocities: np.ndarray, lo: np.ndarray, hi: np
 class MotionModel:
     """Base class: one in-place dataset update per :meth:`step` call."""
 
-    def step(self, dataset: SpatialDataset) -> None:
-        """Advance the simulation by one time step, mutating ``dataset``."""
+    def step(self, dataset: SpatialDataset) -> MotionDelta:
+        """Advance one time step, mutating ``dataset``; return the delta."""
         raise NotImplementedError
 
     def run(self, dataset: SpatialDataset, n_steps: int) -> None:
@@ -105,11 +123,63 @@ class RandomTranslation(MotionModel):
         self.velocities = _unit_vectors(rng, dataset.n_objects) * self.distance
         self._bounds = dataset.bounds
 
-    def step(self, dataset: SpatialDataset) -> None:
+    def step(self, dataset: SpatialDataset) -> MotionDelta:
+        before = dataset.centers.copy()
         dataset.centers += self.velocities
         lo, hi = self._bounds
         _reflect(dataset.centers, self.velocities, lo, hi)
-        dataset.version += 1
+        return dataset.commit_motion(before)
+
+
+class IntermittentTranslation(MotionModel):
+    """``RandomTranslation`` where only a random subset moves per step.
+
+    Each object keeps a persistent fixed-length motion vector, but at
+    every step an independent seeded coin decides per object whether it
+    moves at all.  With ``move_fraction`` well below one this produces
+    the low-churn, motion-coherent workload where incremental pair-set
+    maintenance pays off; at ``move_fraction=1.0`` it degenerates to
+    :class:`RandomTranslation`.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset the model will drive.
+    distance:
+        Translation distance per step for the objects that do move.
+    move_fraction:
+        Probability that a given object moves at a given step.
+    seed:
+        Seed for the private random generator.
+    """
+
+    def __init__(
+        self,
+        dataset: SpatialDataset,
+        distance: float = 10.0,
+        move_fraction: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if distance < 0:
+            raise ValueError(f"distance must be non-negative, got {distance}")
+        if not 0.0 <= move_fraction <= 1.0:
+            raise ValueError(f"move_fraction must be in [0, 1], got {move_fraction}")
+        self.distance = float(distance)
+        self.move_fraction = float(move_fraction)
+        self._rng = np.random.default_rng(seed)
+        self.velocities = _unit_vectors(self._rng, dataset.n_objects) * self.distance
+        self._bounds = dataset.bounds
+
+    def step(self, dataset: SpatialDataset) -> MotionDelta:
+        before = dataset.centers.copy()
+        idx = np.flatnonzero(self._rng.random(dataset.n_objects) < self.move_fraction)
+        lo, hi = self._bounds
+        moved_centers = dataset.centers[idx] + self.velocities[idx]
+        moved_velocities = self.velocities[idx]
+        _reflect(moved_centers, moved_velocities, lo, hi)
+        dataset.centers[idx] = moved_centers
+        self.velocities[idx] = moved_velocities
+        return dataset.commit_motion(before)
 
 
 class ClusterDrift(MotionModel):
@@ -145,11 +215,12 @@ class ClusterDrift(MotionModel):
         self.velocities = cluster_velocities[cluster_labels]
         self._bounds = dataset.bounds
 
-    def step(self, dataset: SpatialDataset) -> None:
+    def step(self, dataset: SpatialDataset) -> MotionDelta:
+        before = dataset.centers.copy()
         dataset.centers += self.velocities
         lo, hi = self._bounds
         _reflect(dataset.centers, self.velocities, lo, hi)
-        dataset.version += 1
+        return dataset.commit_motion(before)
 
 
 class BranchJitter(MotionModel):
@@ -209,7 +280,8 @@ class BranchJitter(MotionModel):
         self._bounds = dataset.bounds
         self._scratch = np.zeros_like(dataset.centers)
 
-    def step(self, dataset: SpatialDataset) -> None:
+    def step(self, dataset: SpatialDataset) -> MotionDelta:
+        before = dataset.centers.copy()
         # Unpredictable centroid walk: a fresh random direction per step.
         self._velocities = _unit_vectors(self._rng, self._centroids.shape[0])
         self._velocities *= self.drift
@@ -225,4 +297,4 @@ class BranchJitter(MotionModel):
         # clipping would pin objects onto the boundary across steps).
         self._scratch[:] = 0.0
         _reflect(dataset.centers, self._scratch, lo, hi)
-        dataset.version += 1
+        return dataset.commit_motion(before)

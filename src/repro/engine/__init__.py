@@ -61,6 +61,12 @@ from repro.engine.plan import (
     chunk_by_volume,
 )
 from repro.engine.engine import DEFAULT_PARTITION_TASKS, execute_step
+from repro.engine.incremental import (
+    INCREMENTAL_ENV_VAR,
+    ChurnPolicy,
+    execute_delta_step,
+    incremental_from_env,
+)
 
 __all__ = [
     "Executor",
@@ -84,5 +90,9 @@ __all__ = [
     "SweepStripTask",
     "chunk_by_volume",
     "execute_step",
+    "execute_delta_step",
+    "ChurnPolicy",
+    "INCREMENTAL_ENV_VAR",
+    "incremental_from_env",
     "DEFAULT_PARTITION_TASKS",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "unique_pairs",
     "pairs_equal",
     "PairAccumulator",
+    "MaintainedPairSet",
     "brute_force_pairs",
     "all_combinations",
 ]
@@ -168,6 +169,83 @@ class PairAccumulator:
         """Return deduplicated, sorted ``(i, j)`` arrays."""
         i_idx, j_idx = self.as_arrays()
         return unique_pairs(i_idx, j_idx, n)
+
+
+class MaintainedPairSet:
+    """A join result maintained across simulation steps.
+
+    Incremental pair-set maintenance (ROADMAP item 2) keeps the previous
+    step's result and patches it instead of recomputing: pairs incident
+    to a moved object are dropped (:meth:`remove_incident`) and the
+    freshly re-verified moved-incident pairs are merged back in
+    (:meth:`merge_delta`).  Pairs are stored as sorted unique packed
+    ``int64`` keys in the canonical ``i < j`` encoding of
+    :func:`pack_pairs`, so set algebra is exact and the extracted arrays
+    are deterministic regardless of executor or task order.
+
+    These two operations (plus construction from a full join result) are
+    the *only* sanctioned mutators — repro-lint rule RPL203 enforces
+    that library code never pokes the underlying key array directly,
+    which is what makes the bit-identity contract with the full re-join
+    auditable.
+    """
+
+    def __init__(self, n: int, i_idx: np.ndarray, j_idx: np.ndarray) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = int(n)
+        lo, hi = canonicalize_pairs(i_idx, j_idx)
+        self._keys = np.unique(pack_pairs(lo, hi, self.n))
+
+    def __len__(self) -> int:
+        return int(self._keys.size)
+
+    def remove_incident(self, moved_mask: np.ndarray) -> int:
+        """Drop every pair with at least one endpoint in ``moved_mask``.
+
+        ``moved_mask`` is a boolean ``(n,)`` array; returns the number of
+        pairs removed.  This is exact: a pair between two *settled*
+        objects cannot have changed, so everything that survives is
+        reusable verbatim.
+        """
+        moved_mask = np.asarray(moved_mask, dtype=bool)
+        if moved_mask.shape != (self.n,):
+            raise ValueError(
+                f"moved_mask must have shape ({self.n},), got {moved_mask.shape}"
+            )
+        i_idx, j_idx = unpack_pairs(self._keys, self.n)
+        keep = ~(moved_mask[i_idx] | moved_mask[j_idx])
+        removed = int(self._keys.size - int(keep.sum()))
+        self._keys = self._keys[keep]
+        return removed
+
+    def merge_delta(self, i_idx: np.ndarray, j_idx: np.ndarray) -> int:
+        """Insert re-verified pairs (any order); returns the number added.
+
+        Input pairs are canonicalised and deduplicated before the merge,
+        so emitting the same pair from two verify tasks is harmless.
+        """
+        lo, hi = canonicalize_pairs(i_idx, j_idx)
+        fresh = np.unique(pack_pairs(lo, hi, self.n))
+        # Both sides are sorted, so merge by insertion position instead
+        # of re-sorting the whole key set (union1d would): O(P + k log P)
+        # for k fresh keys against P maintained ones.
+        positions = np.searchsorted(self._keys, fresh)
+        bounded = np.minimum(positions, max(self._keys.size - 1, 0))
+        if self._keys.size:
+            new = (positions == self._keys.size) | (self._keys[bounded] != fresh)
+            fresh = fresh[new]
+            positions = positions[new]
+        self._keys = np.insert(self._keys, positions, fresh)
+        return int(fresh.size)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current pair set as sorted canonical ``(i, j)`` arrays."""
+        return unpack_pairs(self._keys.copy(), self.n)
+
+    def packed_keys(self) -> np.ndarray:
+        """Copy of the sorted packed keys (for set comparisons in tests)."""
+        return self._keys.copy()
 
 
 def brute_force_pairs(lo: np.ndarray, hi: np.ndarray, chunk_size: int = 512) -> tuple[np.ndarray, np.ndarray]:

@@ -38,6 +38,7 @@ if TYPE_CHECKING:
     import numpy as np
 
     from repro.datasets.dataset import SpatialDataset
+    from repro.datasets.delta import MotionDelta
     from repro.engine.executors import Executor
     from repro.engine.plan import JoinPlan
     from repro.geometry.pairs import PairAccumulator
@@ -306,6 +307,21 @@ class SpatialJoinAlgorithm:
         from repro.engine import execute_step
 
         return execute_step(self, dataset)
+
+    def step_delta(
+        self, dataset: SpatialDataset, delta: MotionDelta | None
+    ) -> JoinResult:
+        """Delta-aware step: join the dataset knowing what just moved.
+
+        ``delta`` describes the motion committed since the previous step
+        (or ``None`` when the caller has no delta — the first step of a
+        run, or a motion model that predates the delta lifecycle).  The
+        result contract is identical to :meth:`step`: algorithms that
+        exploit the delta must return exactly the pairs a full re-join
+        would.  The default ignores the delta and re-joins from scratch,
+        so every algorithm is delta-safe without opting in.
+        """
+        return self.step(dataset)
 
     def join_pairs(self, dataset: SpatialDataset) -> tuple[np.ndarray, np.ndarray]:
         """Convenience: run a step and return sorted unique ``(i, j)`` arrays."""

@@ -8,10 +8,10 @@ and the environment that produced them.  The schema is versioned;
 :func:`validate_bench` is what CI runs against the freshly produced
 document and what the test suite runs against a smoke run.
 
-Document shape (``BENCH_SCHEMA_VERSION`` 1)::
+Document shape (``BENCH_SCHEMA_VERSION`` 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "kind": "bench_steps",
       "environment": {"python": ..., "numpy": ..., "platform": ...,
                        "cpu_count": ...},
@@ -33,6 +33,11 @@ Each step record carries the Figure-7 series (``n_results``,
 ``memory_bytes``) plus the engine stage breakdown, the robustness
 record (``events``, ``task_retries``) and the metrics-registry snapshot
 (``index_counters`` — tuner resolution, P-Grid cell accounting, ...).
+
+Schema version 2 adds the ``incremental`` step key: the pair-maintenance
+counters (mode, moved fraction, pairs reused/re-verified, fallback
+count) surfaced by algorithms that maintain their result across steps;
+``{}`` for algorithms without the provider.
 """
 
 from __future__ import annotations
@@ -55,7 +60,7 @@ __all__ = [
     "validate_bench",
 ]
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: Required keys of one per-step record.
 STEP_FIELDS = (
@@ -69,6 +74,7 @@ STEP_FIELDS = (
     "index_counters",
     "events",
     "task_retries",
+    "incremental",
 )
 
 #: Required keys of one run entry.
@@ -121,6 +127,7 @@ def step_record_to_json(record: StepRecord) -> dict[str, Any]:
             "index_counters": dict(record.index_counters),
             "events": list(record.events),
             "task_retries": record.task_retries,
+            "incremental": dict(getattr(record, "incremental", {}) or {}),
         }
     )
 

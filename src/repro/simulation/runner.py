@@ -60,6 +60,12 @@ class StepRecord:
     events: list[dict[str, Any]] = field(default_factory=list)
     task_retries: int = 0
     index_counters: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Pair-maintenance counters for the step (the ``incremental``
+    #: provider of the metrics registry: mode, moved_fraction,
+    #: pairs_reused, pairs_reverified, fallbacks, ...).  Empty for
+    #: algorithms without the provider, so pre-existing records and
+    #: readers keep working unchanged.
+    incremental: dict[str, Any] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -135,9 +141,12 @@ class SimulationRunner:
         if n_steps <= 0:
             raise ValueError(f"n_steps must be positive, got {n_steps}")
         started = time.perf_counter()
+        # The delta committed by the previous motion step, threaded into
+        # the next join step.  Step 0 has none (initial configuration).
+        pending_delta = None
         for step in range(n_steps):
             try:
-                result = self.algorithm.step(self.dataset)
+                result = self.algorithm.step_delta(self.dataset, pending_delta)
             except Exception as exc:
                 self.failed_step = step
                 self.failure = exc
@@ -156,6 +165,7 @@ class SimulationRunner:
                     events=list(stats.events),
                     task_retries=stats.task_retries,
                     index_counters=dict(stats.index_counters),
+                    incremental=dict(stats.index_counters.get("incremental", {})),
                 )
             )
             if (
@@ -167,7 +177,7 @@ class SimulationRunner:
                 self.timed_out = True
                 break
             if self.motion is not None and step + 1 < n_steps:
-                self.motion.step(self.dataset)
+                pending_delta = self.motion.step(self.dataset)
         return self.records
 
     # ------------------------------------------------------------------

@@ -1,0 +1,493 @@
+"""Incremental pair-set maintenance: bit-identity with the full re-join.
+
+The tentpole contract of the motion-delta pipeline (ROADMAP item 2):
+whatever the motion model, the executor backend or the churn regime,
+the maintained pair set after every step is *bit-identical* to what a
+from-scratch re-join of the current positions produces, and the
+overlap-test accounting stays deterministic.  These tests drive the
+whole pipeline — ``MotionModel.step`` deltas, ``SpatialDataset.commit_motion``
+versioning, ``MaintainedPairSet`` set algebra, ``ChurnPolicy`` mode
+decisions, ``ThermalJoin.step_delta`` and the runner's delta threading —
+against the brute-force oracle and a clean full-join reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ThermalJoin
+from repro.datasets import (
+    IntermittentTranslation,
+    MotionDelta,
+    RandomTranslation,
+    make_uniform_dataset,
+)
+from repro.datasets.motion import BranchJitter, ClusterDrift
+from repro.engine import ChurnPolicy, install_fault_plan
+from repro.engine import faults as faults_module
+from repro.geometry import MaintainedPairSet, brute_force_pairs, pack_pairs
+from repro.geometry.pairs import canonicalize_pairs
+from repro.joins import PlaneSweepJoin
+from repro.simulation import SimulationRunner
+
+BOUNDS = (np.zeros(3), np.full(3, 140.0))
+
+
+def small_dataset(n=350, seed=7):
+    return make_uniform_dataset(n, width=15.0, bounds=BOUNDS, seed=seed)
+
+
+def oracle_keys(dataset):
+    lo, hi = dataset.boxes()
+    i_idx, j_idx = brute_force_pairs(lo, hi)
+    return pack_pairs(i_idx, j_idx, len(dataset))
+
+
+def result_keys(result, n):
+    lo, hi = canonicalize_pairs(
+        np.asarray(result.pairs[0]), np.asarray(result.pairs[1])
+    )
+    return np.unique(pack_pairs(lo, hi, n))
+
+
+MOTIONS = {
+    "intermittent-low": lambda ds: IntermittentTranslation(
+        ds, distance=4.0, move_fraction=0.05, seed=3
+    ),
+    "intermittent-high": lambda ds: IntermittentTranslation(
+        ds, distance=20.0, move_fraction=0.4, seed=3
+    ),
+    "random-translation": lambda ds: RandomTranslation(ds, distance=6.0, seed=3),
+    "cluster-drift": lambda ds: ClusterDrift(
+        ds, np.arange(len(ds)) % 7, distance=5.0, seed=3
+    ),
+    "branch-jitter": lambda ds: BranchJitter(
+        ds, np.arange(len(ds)) % 7, drift=2.0, jitter=0.5, seed=3
+    ),
+}
+
+
+def run_maintained(motion_name, n_steps=6, executor="serial", **algo_kwargs):
+    """Drive a maintained ThermalJoin through ``n_steps`` of motion.
+
+    Returns ``(per-step packed keys, per-step (n_results, overlap_tests),
+    per-step modes)`` with every step's keys checked against the oracle.
+    """
+    dataset = small_dataset()
+    motion = MOTIONS[motion_name](dataset)
+    algorithm = ThermalJoin(
+        pair_maintenance=True, executor=executor, **algo_kwargs
+    )
+    delta = None
+    keys, series, modes = [], [], []
+    for _ in range(n_steps):
+        result = algorithm.step_delta(dataset, delta)
+        got = result_keys(result, len(dataset))
+        assert np.array_equal(got, oracle_keys(dataset))
+        keys.append(got)
+        series.append((result.n_results, result.stats.overlap_tests))
+        modes.append(algorithm._incr["mode"])
+        delta = motion.step(dataset)
+    algorithm.executor.close()
+    return keys, series, modes
+
+
+# ----------------------------------------------------------------------
+# The bit-identity property: every motion model, every executor
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    @pytest.mark.parametrize("motion_name", sorted(MOTIONS))
+    def test_serial_matches_oracle_every_step(self, motion_name):
+        _, _, modes = run_maintained(motion_name)
+        assert modes[0] == "full"
+
+    @pytest.mark.parametrize("motion_name", ["intermittent-low", "random-translation"])
+    def test_thread_backend_matches_serial_series(self, motion_name):
+        keys_serial, series_serial, modes_serial = run_maintained(motion_name)
+        keys_thread, series_thread, modes_thread = run_maintained(
+            motion_name, executor="thread:2"
+        )
+        assert series_thread == series_serial
+        assert modes_thread == modes_serial
+        for a, b in zip(keys_serial, keys_thread, strict=True):
+            assert np.array_equal(a, b)
+
+    def test_process_backend_matches_serial_series(self):
+        keys_serial, series_serial, modes_serial = run_maintained(
+            "intermittent-low"
+        )
+        keys_process, series_process, modes_process = run_maintained(
+            "intermittent-low", executor="process:2"
+        )
+        assert series_process == series_serial
+        assert modes_process == modes_serial
+        for a, b in zip(keys_serial, keys_process, strict=True):
+            assert np.array_equal(a, b)
+
+    def test_incremental_path_actually_runs(self):
+        _, _, modes = run_maintained("intermittent-low", n_steps=8)
+        assert "incremental" in modes
+
+    def test_repeat_run_is_deterministic(self):
+        first = run_maintained("intermittent-low")
+        second = run_maintained("intermittent-low")
+        assert first[1] == second[1]
+        assert first[2] == second[2]
+
+
+# ----------------------------------------------------------------------
+# Fallback semantics
+# ----------------------------------------------------------------------
+class TestFallback:
+    def test_forced_fallback_matches_plain_full_join(self):
+        """churn_threshold=0.0 must reproduce the plain re-join exactly —
+        result keys, overlap tests and tuner resolution."""
+        keys, series, modes = run_maintained(
+            "intermittent-low", churn_threshold=0.0
+        )
+        assert "incremental" not in modes
+        assert "fallback" in modes
+
+        dataset = small_dataset()
+        motion = MOTIONS["intermittent-low"](dataset)
+        plain = ThermalJoin()
+        for step_keys, (n_results, overlap_tests) in zip(keys, series, strict=True):
+            result = plain.step(dataset)
+            assert result.n_results == n_results
+            assert result.stats.overlap_tests == overlap_tests
+            assert np.array_equal(result_keys(result, len(dataset)), step_keys)
+            motion.step(dataset)
+
+    def test_fallback_counter_increments(self):
+        dataset = small_dataset()
+        motion = MOTIONS["intermittent-low"](dataset)
+        algorithm = ThermalJoin(pair_maintenance=True, churn_threshold=0.0)
+        delta = None
+        for _ in range(5):
+            algorithm.step_delta(dataset, delta)
+            delta = motion.step(dataset)
+        counters = algorithm.metrics.snapshot()["incremental"]
+        assert counters["fallbacks"] > 0
+        assert counters["incremental_steps"] == 0
+
+    def test_none_delta_runs_full(self):
+        dataset = small_dataset()
+        algorithm = ThermalJoin(pair_maintenance=True)
+        algorithm.step_delta(dataset, None)
+        assert algorithm._incr["mode"] == "full"
+
+    def test_stale_delta_runs_full(self):
+        """A delta that skipped a committed motion step is inapplicable."""
+        dataset = small_dataset()
+        motion = MOTIONS["intermittent-low"](dataset)
+        algorithm = ThermalJoin(pair_maintenance=True, resolution=4)
+        algorithm.step_delta(dataset, None)
+        motion.step(dataset)  # committed but never joined
+        stale = motion.step(dataset)
+        result = algorithm.step_delta(dataset, stale)
+        assert algorithm._incr["mode"] == "full"
+        assert np.array_equal(
+            result_keys(result, len(dataset)), oracle_keys(dataset)
+        )
+
+    def test_foreign_dataset_delta_runs_full(self):
+        dataset = small_dataset()
+        other = small_dataset(seed=8)
+        motion = MOTIONS["intermittent-low"](other)
+        algorithm = ThermalJoin(pair_maintenance=True, resolution=4)
+        algorithm.step_delta(dataset, None)
+        foreign = motion.step(other)
+        algorithm.step_delta(dataset, foreign)
+        assert algorithm._incr["mode"] == "full"
+
+
+# ----------------------------------------------------------------------
+# Fault injection: recovery must not perturb the maintained set
+# ----------------------------------------------------------------------
+class TestFaults:
+    @pytest.fixture(autouse=True)
+    def _clean_fault_state(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        install_fault_plan(None)
+        faults_module._env_cache = (None, None)
+        yield
+        install_fault_plan(None)
+        faults_module._env_cache = (None, None)
+
+    def test_injected_raise_is_invisible_in_results(self, monkeypatch):
+        reference = run_maintained("intermittent-low", executor="thread:2")
+        monkeypatch.setenv("REPRO_FAULTS", "raise@1,raise@4")
+        faults_module._env_cache = (None, None)
+        faulted = run_maintained("intermittent-low", executor="thread:2")
+        assert faulted[1] == reference[1]
+        assert faulted[2] == reference[2]
+        for a, b in zip(reference[0], faulted[0], strict=True):
+            assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Runner integration: delta threading and the incremental record block
+# ----------------------------------------------------------------------
+class TestRunnerIntegration:
+    def test_runner_series_matches_plain_run(self):
+        def workload():
+            dataset = small_dataset()
+            return dataset, MOTIONS["intermittent-low"](dataset)
+
+        dataset, motion = workload()
+        maintained = SimulationRunner(
+            dataset, motion, ThermalJoin(pair_maintenance=True, count_only=True)
+        )
+        records = maintained.run(8)
+
+        dataset, motion = workload()
+        plain = SimulationRunner(
+            dataset, motion, ThermalJoin(count_only=True)
+        )
+        plain_records = plain.run(8)
+
+        assert [r.n_results for r in records] == [
+            r.n_results for r in plain_records
+        ]
+        # Tuner decisions must be unaffected by maintenance (incremental
+        # steps are gated on convergence and never feed the tuner).
+        assert [r.index_counters["tuner"]["resolution"] for r in records] == [
+            r.index_counters["tuner"]["resolution"] for r in plain_records
+        ]
+        modes = [r.incremental["mode"] for r in records]
+        assert modes[0] == "full"
+        assert "incremental" in modes
+        for record in records:
+            assert "pairs_reused" in record.incremental
+            assert "fallbacks" in record.incremental
+
+    def test_incremental_block_empty_without_provider(self):
+        dataset = small_dataset(n=120)
+        motion = MOTIONS["intermittent-low"](dataset)
+        runner = SimulationRunner(
+            dataset, motion, PlaneSweepJoin(count_only=True)
+        )
+        records = runner.run(2)
+        assert all(record.incremental == {} for record in records)
+
+    def test_base_step_delta_ignores_the_delta(self):
+        dataset = small_dataset(n=120)
+        motion = MOTIONS["intermittent-low"](dataset)
+        algorithm = PlaneSweepJoin()
+        algorithm.step_delta(dataset, None)
+        delta = motion.step(dataset)
+        result = algorithm.step_delta(dataset, delta)
+        assert np.array_equal(
+            result_keys(result, len(dataset)), oracle_keys(dataset)
+        )
+
+
+# ----------------------------------------------------------------------
+# Layer units: MotionDelta, commit_motion, MaintainedPairSet, ChurnPolicy
+# ----------------------------------------------------------------------
+class TestMotionDelta:
+    def test_from_positions_diffs_changed_rows(self):
+        before = np.zeros((5, 3))
+        after = before.copy()
+        after[1] += (1.0, 0.0, 0.0)
+        after[4] += (0.0, -2.0, 0.0)
+        delta = MotionDelta.from_positions(
+            before, after, dataset_uid=1, base_version=0, version=1
+        )
+        assert delta.moved.tolist() == [1, 4]
+        assert delta.n_moved == 2
+        assert delta.moved_fraction == pytest.approx(0.4)
+        assert delta.max_displacement == pytest.approx(2.0)
+        assert delta.moved_mask().tolist() == [False, True, False, False, True]
+        np.testing.assert_allclose(
+            delta.displacement, [(1.0, 0.0, 0.0), (0.0, -2.0, 0.0)]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MotionDelta(
+                dataset_uid=0,
+                base_version=0,
+                version=1,
+                n_objects=3,
+                moved=np.array([2, 1]),  # not strictly increasing
+                displacement=np.zeros((2, 3)),
+            )
+        with pytest.raises(ValueError):
+            MotionDelta(
+                dataset_uid=0,
+                base_version=0,
+                version=1,
+                n_objects=3,
+                moved=np.array([0, 5]),  # out of range
+                displacement=np.zeros((2, 3)),
+            )
+        with pytest.raises(ValueError):
+            MotionDelta(
+                dataset_uid=0,
+                base_version=0,
+                version=1,
+                n_objects=3,
+                moved=np.array([0, 1]),
+                displacement=np.zeros((3, 3)),  # shape mismatch
+            )
+
+    def test_commit_motion_bumps_version(self):
+        dataset = small_dataset(n=50)
+        before = dataset.centers.copy()
+        dataset.centers[3] += 1.0
+        version = dataset.version
+        delta = dataset.commit_motion(before)
+        assert dataset.version == version + 1
+        assert delta.base_version == version
+        assert delta.version == dataset.version
+        assert delta.dataset_uid == dataset.uid
+        assert delta.moved.tolist() == [3]
+
+    def test_commit_motion_rejects_shape_mismatch(self):
+        dataset = small_dataset(n=50)
+        with pytest.raises(ValueError):
+            dataset.commit_motion(np.zeros((3, 3)))
+
+    def test_motion_models_report_exactly_the_moved_rows(self):
+        for name, factory in MOTIONS.items():
+            dataset = small_dataset(n=80)
+            motion = factory(dataset)
+            before = dataset.centers.copy()
+            delta = motion.step(dataset)
+            changed = np.flatnonzero((before != dataset.centers).any(axis=1))
+            assert delta.moved.tolist() == changed.tolist(), name
+            np.testing.assert_allclose(
+                dataset.centers[delta.moved],
+                before[delta.moved] + delta.displacement,
+                err_msg=name,
+            )
+
+    def test_intermittent_translation_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            dataset = small_dataset(n=80)
+            motion = IntermittentTranslation(
+                dataset, distance=4.0, move_fraction=0.2, seed=5
+            )
+            motion.step(dataset)
+            motion.step(dataset)
+            runs.append(dataset.centers.copy())
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_intermittent_translation_validation(self):
+        dataset = small_dataset(n=10)
+        with pytest.raises(ValueError):
+            IntermittentTranslation(dataset, distance=-1.0)
+        with pytest.raises(ValueError):
+            IntermittentTranslation(dataset, move_fraction=1.5)
+
+
+class TestMaintainedPairSet:
+    def test_matches_set_oracle(self):
+        rng = np.random.default_rng(0)
+        n = 60
+        i_idx = rng.integers(0, n, 500)
+        j_idx = rng.integers(0, n, 500)
+        keep = i_idx != j_idx
+        maintained = MaintainedPairSet(n, i_idx[keep], j_idx[keep])
+        oracle = {
+            (min(a, b), max(a, b))
+            for a, b in zip(i_idx[keep].tolist(), j_idx[keep].tolist())
+        }
+        assert len(maintained) == len(oracle)
+
+        moved = np.zeros(n, dtype=bool)
+        moved[rng.choice(n, 10, replace=False)] = True
+        dropped = maintained.remove_incident(moved)
+        survivors = {
+            pair for pair in oracle if not (moved[pair[0]] or moved[pair[1]])
+        }
+        assert dropped == len(oracle) - len(survivors)
+
+        fresh_i = rng.integers(0, n, 120)
+        fresh_j = rng.integers(0, n, 120)
+        keep = fresh_i != fresh_j
+        added = maintained.merge_delta(fresh_i[keep], fresh_j[keep])
+        merged = survivors | {
+            (min(a, b), max(a, b))
+            for a, b in zip(fresh_i[keep].tolist(), fresh_j[keep].tolist())
+        }
+        assert len(maintained) == len(merged)
+        assert added == len(merged) - len(survivors)
+        got = set(zip(*(arr.tolist() for arr in maintained.as_arrays())))
+        assert got == merged
+
+    def test_keys_stay_sorted_unique(self):
+        maintained = MaintainedPairSet(10, np.array([3, 1]), np.array([1, 3]))
+        assert len(maintained) == 1
+        maintained.merge_delta(np.array([0, 5, 0]), np.array([2, 4, 2]))
+        keys = maintained.packed_keys()
+        assert np.all(np.diff(keys) > 0)
+
+    def test_merge_into_empty_set(self):
+        maintained = MaintainedPairSet(5, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert len(maintained) == 0
+        assert maintained.merge_delta(np.array([0]), np.array([1])) == 1
+        assert len(maintained) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaintainedPairSet(0, np.array([0]), np.array([1]))
+        maintained = MaintainedPairSet(5, np.array([0]), np.array([1]))
+        with pytest.raises(ValueError):
+            maintained.remove_incident(np.zeros(4, dtype=bool))
+
+
+class TestChurnPolicy:
+    def test_admits_below_threshold(self):
+        policy = ChurnPolicy(threshold=0.3, adaptive=False)
+        assert policy.admits(0.3)
+        assert not policy.admits(0.31)
+
+    def test_forced_fallback_configuration(self):
+        policy = ChurnPolicy(threshold=0.0, adaptive=False)
+        assert policy.admits(0.0)
+        assert not policy.admits(0.01)
+        policy.observe_full(1e6)
+        policy.observe_incremental(1.0, 0.5)
+        assert policy.threshold == 0.0  # non-adaptive: observations ignored
+
+    def test_adaptive_threshold_tracks_break_even(self):
+        policy = ChurnPolicy()
+        policy.observe_full(1000.0)
+        policy.observe_incremental(100.0, 0.1)  # unit cost 1000 → break-even 1.0
+        assert policy.threshold == policy.ceiling
+        policy = ChurnPolicy()
+        policy.observe_full(100.0)
+        policy.observe_incremental(1000.0, 0.1)  # unit cost 10000 → 0.01
+        assert policy.threshold == policy.floor
+
+    def test_no_motion_step_carries_no_signal(self):
+        policy = ChurnPolicy()
+        policy.observe_full(100.0)
+        policy.observe_incremental(50.0, 0.0)
+        assert policy._unit_cost is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnPolicy(threshold=1.5)
+        with pytest.raises(ValueError):
+            ChurnPolicy(floor=0.5, ceiling=0.2)
+        with pytest.raises(ValueError):
+            ChurnPolicy(ema=0.0)
+
+
+class TestEnvOptIn:
+    def test_env_var_enables_maintenance(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCREMENTAL", "1")
+        assert ThermalJoin().pair_maintenance
+        monkeypatch.setenv("REPRO_INCREMENTAL", "off")
+        assert not ThermalJoin().pair_maintenance
+        monkeypatch.delenv("REPRO_INCREMENTAL")
+        assert not ThermalJoin().pair_maintenance
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCREMENTAL", "1")
+        assert not ThermalJoin(pair_maintenance=False).pair_maintenance

@@ -38,6 +38,7 @@ ALL_CODES = {
     "RPL102",
     "RPL201",
     "RPL202",
+    "RPL203",
     "RPL301",
 }
 
@@ -439,6 +440,71 @@ class TestStatisticsWrite:
                     self.stage_seconds[stage] = seconds
             """,
             select="RPL202",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL203 — maintained pair-set write discipline
+# ----------------------------------------------------------------------
+class TestPairSetWrite:
+    def test_key_array_write_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/core/mod.py",
+            """
+            def patch(maintained, keys):
+                maintained._keys = keys
+            """,
+        )
+        assert codes_of(findings) == {"RPL203"}
+
+    def test_attribute_rooted_augmented_write_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/engine/mod.py",
+            """
+            def grow(algorithm):
+                algorithm._maintained.n += 1
+            """,
+        )
+        assert codes_of(findings) == {"RPL203"}
+
+    def test_delta_maintenance_api_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/engine/mod.py",
+            """
+            def patch(maintained, delta, merged):
+                dropped = maintained.remove_incident(delta)
+                added = maintained.merge_delta(*merged)
+                return dropped, added
+            """,
+        )
+        assert findings == []
+
+    def test_rebinding_the_set_itself_is_clean(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/core/mod.py",
+            """
+            def seed(algorithm, build, pairs):
+                algorithm._maintained = build(pairs)
+            """,
+            select="RPL203",
+        )
+        assert findings == []
+
+    def test_pairs_module_methods_exempt(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/geometry/pairs.py",
+            """
+            class MaintainedPairSet:
+                def merge_delta(self, maintained, keys):
+                    maintained._keys = keys
+            """,
+            select="RPL203",
         )
         assert findings == []
 

@@ -132,5 +132,24 @@ STATISTICS_FIELDS: frozenset[str] = frozenset(
 #: statistics object.
 STATISTICS_ROOTS: frozenset[str] = frozenset({"stats", "statistics"})
 
+# ----------------------------------------------------------------------
+# RPL203 — maintained pair-set writes
+# ----------------------------------------------------------------------
+#: Internal state of ``MaintainedPairSet``: the sorted packed-key array
+#: and the pair-index modulus.  Writable only from the class's own
+#: delta-maintenance API (``remove_incident`` / ``merge_delta`` and the
+#: constructor) in :data:`PAIRS_MODULE`.
+PAIRSET_FIELDS: frozenset[str] = frozenset({"_keys", "n"})
+
+#: Names an expression may be rooted at for RPL203 to treat it as a
+#: maintained pair set.
+PAIRSET_ROOTS: frozenset[str] = frozenset(
+    {"maintained", "_maintained", "pairset", "pair_set", "maintained_pairs"}
+)
+
+#: The module that defines ``MaintainedPairSet`` (exempt from RPL203 —
+#: its methods are the sanctioned mutators).
+PAIRS_MODULE: tuple[str, ...] = ("/repro/geometry/pairs.py",)
+
 #: The exact annotation the ``JoinResult.pairs`` contract requires.
 JOIN_RESULT_PAIRS_ANNOTATION = "tuple | None"

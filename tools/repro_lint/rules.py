@@ -11,6 +11,7 @@ RPL101   only module-level callables cross the executor boundary
 RPL102   shared-memory views must be made read-only
 RPL201   overlap predicates go through counted geometry helpers
 RPL202   ``JoinStatistics`` fields written only via recording methods
+RPL203   maintained pair sets mutated only via the delta-maintenance API
 RPL301   ``JoinResult.pairs`` contract (``tuple | None``)
 =======  ==============================================================
 """
@@ -410,6 +411,55 @@ class StatisticsWriteRule(Rule):
                         f"direct write to JoinStatistics.{target.attr}; use the "
                         "recording methods (record_stage, record_task, "
                         "record_events, add_overlap_tests, ...)",
+                    )
+
+
+@register
+class PairSetWriteRule(Rule):
+    code = "RPL203"
+    title = "direct maintained pair-set mutation"
+    rationale = (
+        "MaintainedPairSet carries a join result across simulation steps; "
+        "its bit-identity contract with a full re-join is auditable only "
+        "because every mutation flows through remove_incident / merge_delta "
+        "(plus construction from a full result).  Poking the packed key "
+        "array or the pair-index modulus directly would let an unsorted or "
+        "duplicated key slip in and silently corrupt every later step."
+    )
+
+    @staticmethod
+    def _is_pairset_expr(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in config.PAIRSET_ROOTS
+        if isinstance(node, ast.Attribute):
+            return node.attr in config.PAIRSET_ROOTS
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.in_scope(config.LIBRARY_SCOPE) or ctx.in_scope(
+            config.PAIRS_MODULE
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in config.PAIRSET_FIELDS
+                    and self._is_pairset_expr(target.value)
+                ):
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"direct write to MaintainedPairSet.{target.attr}; "
+                        "mutate only through remove_incident / merge_delta "
+                        "(or rebuild the set from a full join result)",
                     )
 
 
