@@ -16,11 +16,20 @@ Two entry points:
 
       PYTHONPATH=src python benchmarks/bench_steps.py            # default scale
       PYTHONPATH=src python benchmarks/bench_steps.py --smoke    # CI scale
+      PYTHONPATH=src python benchmarks/bench_steps.py --scale 4000 50000 500000
       PYTHONPATH=src python benchmarks/bench_steps.py --trace results/trace.jsonl
 
   writing ``results/BENCH_steps.json`` (and, with ``--trace``, the span
   stream of every step).  The document is validated *before* it is
   written; a schema violation fails the run.
+
+Schema v3 adds the scaling section: the ``uniform-scale`` runs sweep
+object count × verify-kernel backend (every available backend of
+:mod:`repro.geometry.kernels`) at fixed paper density, recording the
+step-time-versus-object-count curve per backend.  ``--scale`` overrides
+the size list — the manual ``bench-scale`` CI job uses it to push the
+sweep to 500k objects.  Backends must reproduce each other's per-step
+result and test counts exactly; a divergence fails the run.
 """
 
 from __future__ import annotations
@@ -35,6 +44,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from repro.core import ThermalJoin  # noqa: E402
 from repro.datasets import IntermittentTranslation  # noqa: E402
 from repro.experiments.workloads import scaled_neural, scaled_uniform  # noqa: E402
+from repro.geometry.kernels import (  # noqa: E402
+    available_backends,
+    resolve_backend_name,
+    set_backend,
+)
 from repro.joins import PBSMJoin, PlaneSweepJoin  # noqa: E402
 from repro.obs import (  # noqa: E402
     BENCH_SCHEMA_VERSION,
@@ -55,8 +69,22 @@ EXECUTORS = ("serial", "thread:2")
 #: ``incremental_steps`` is longer than ``n_steps`` because the
 #: pair-maintenance runs need the tuner to converge (a few full steps)
 #: before the incremental regime shows up in the series at all.
-SMOKE = {"uniform_n": 500, "neural_n": 500, "n_steps": 3, "incremental_steps": 6}
-DEFAULT = {"uniform_n": 4_000, "neural_n": 4_000, "n_steps": 6, "incremental_steps": 10}
+SMOKE = {
+    "uniform_n": 500,
+    "neural_n": 500,
+    "n_steps": 3,
+    "incremental_steps": 6,
+    "scale_sizes": (500, 1_000),
+    "scale_steps": 2,
+}
+DEFAULT = {
+    "uniform_n": 4_000,
+    "neural_n": 4_000,
+    "n_steps": 6,
+    "incremental_steps": 10,
+    "scale_sizes": (4_000, 50_000),
+    "scale_steps": 3,
+}
 
 #: Pair-maintenance scenarios (schema v2): each is
 #: ``(workload name, IntermittentTranslation kwargs, churn_threshold)``.
@@ -110,7 +138,11 @@ def run_matrix(config, trace_path=None):
         writer = JsonlWriter(trace_path)
         previous = set_tracer(Tracer(sink=writer))
     try:
-        runs = _run_matrix_inner(config) + _incremental_runs(config)
+        runs = (
+            _run_matrix_inner(config)
+            + _incremental_runs(config)
+            + _scaling_runs(config)
+        )
     finally:
         if trace_path is not None:
             set_tracer(previous)
@@ -151,6 +183,7 @@ def _run_matrix_inner(config):
                         "workload": workload,
                         "algorithm": algorithm.name,
                         "executor": executor,
+                        "kernel_backend": resolve_backend_name(),
                         "n_objects": len(dataset),
                         "n_steps": len(records),
                         "steps": [step_record_to_json(record) for record in records],
@@ -202,6 +235,7 @@ def _incremental_runs(config):
                     "workload": workload,
                     "algorithm": label,
                     "executor": "serial",
+                    "kernel_backend": resolve_backend_name(),
                     "n_objects": len(dataset),
                     "n_steps": len(records),
                     "steps": [step_record_to_json(record) for record in records],
@@ -215,6 +249,57 @@ def _incremental_runs(config):
             raise AssertionError(
                 f"pair maintenance changed the {workload} result series"
             )
+    return runs
+
+
+def _scaling_runs(config):
+    """Scaling section (schema v3): object count × kernel backend.
+
+    THERMAL-JOIN runs the same uniform trajectory at paper density for
+    every size in ``config["scale_sizes"]``, once per available verify-
+    kernel backend, recording the step-time-versus-object-count curve
+    per backend.  The numpy oracle defines each size's reference series;
+    any other backend diverging from it fails the run immediately.
+    """
+    runs = []
+    n_steps = config.get("scale_steps", config["n_steps"])
+    sizes = config.get("scale_sizes", ())
+    for size in sizes:
+        reference = None
+        for backend in available_backends():
+            previous = set_backend(backend)
+            try:
+                dataset, motion = scaled_uniform(size, seed=7)
+                algorithm = ThermalJoin(count_only=True, executor="serial")
+                runner = SimulationRunner(dataset, motion, algorithm)
+                records = runner.run(n_steps)
+                if runner.failure is not None:
+                    raise runner.failure
+                counts = tuple(
+                    (record.n_results, record.overlap_tests) for record in records
+                )
+                if reference is None:
+                    reference = counts
+                elif reference != counts:
+                    raise AssertionError(
+                        f"kernel backend {backend!r} changed the "
+                        f"uniform-scale series at n={size}"
+                    )
+                runs.append(
+                    {
+                        "workload": "uniform-scale",
+                        "algorithm": algorithm.name,
+                        "executor": "serial",
+                        "kernel_backend": backend,
+                        "n_objects": len(dataset),
+                        "n_steps": len(records),
+                        "steps": [step_record_to_json(record) for record in records],
+                        "aggregates": run_aggregates(runner),
+                    }
+                )
+                algorithm.executor.close()
+            finally:
+                set_backend(previous)
     return runs
 
 
@@ -265,6 +350,15 @@ def main(argv=None):
         help="output document path (default results/BENCH_steps.json)",
     )
     parser.add_argument(
+        "--scale",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="override the scaling-section object counts "
+        "(e.g. --scale 4000 50000 500000 for the manual bench-scale job)",
+    )
+    parser.add_argument(
         "--trace",
         type=Path,
         default=None,
@@ -274,6 +368,8 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     config = dict(SMOKE if args.smoke else DEFAULT)
+    if args.scale is not None:
+        config["scale_sizes"] = tuple(args.scale)
     document = run_matrix(config, trace_path=args.trace)
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(document, indent=2) + "\n")
@@ -326,6 +422,21 @@ def test_smoke_matrix_is_schema_valid(tmp_path):
     assert "incremental" in modes["uniform-low-motion"]
     assert "incremental" not in modes["uniform-high-churn"]
     assert "fallback" in modes["uniform-high-churn"]
+
+    # Schema v3: every run names its kernel backend, and the scaling
+    # section covers (every size) × (every available backend).
+    assert all(run["kernel_backend"] for run in plain["runs"])
+    scale_runs = [run for run in plain["runs"] if run["workload"] == "uniform-scale"]
+    seen = {(run["n_objects"], run["kernel_backend"]) for run in scale_runs}
+    expected = {
+        (size, backend)
+        for size in SMOKE["scale_sizes"]
+        for backend in available_backends()
+    }
+    assert seen == expected
+    assert all(
+        step["join_seconds"] >= 0 for run in scale_runs for step in run["steps"]
+    )
 
 
 if __name__ == "__main__":

@@ -1,4 +1,4 @@
-"""Cell-pair join primitive with the paper's enclosure shortcut.
+"""Cell-pair join: sequential reference + kernel-dispatch entry points.
 
 Both the P-Grid external join and the T-Grid cell-pair join use the same
 "optimized variant of the plane-sweep approach" (Section 4.2.1): before
@@ -14,6 +14,13 @@ in the nominal cell box, so every shortcut the paper's check would take
 is also taken here (plus some extra), and the overlap guarantee is
 immune to objects that sit exactly on a cell boundary after floating-
 point assignment.
+
+:func:`join_sorted_lists` is the sequential one-cell-pair formulation,
+kept as the readable reference (and oracle for the kernel tests).  The
+batched entry points delegate to the dispatchable verify kernels of
+:mod:`repro.geometry.kernels` — backend selected via ``REPRO_KERNELS``;
+chunk-level parallelism belongs to the engine executors, which schedule
+many independent tasks, not to a thread pool inside one task.
 """
 
 from __future__ import annotations
@@ -22,44 +29,13 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
-from repro.geometry import encloses, sweep_between, window_pairs
+from repro.geometry import encloses, sweep_between
+from repro.geometry.kernels import cell_pair_sweep, hot_cell_emit
 
 if TYPE_CHECKING:
     from repro.geometry import PairAccumulator
 
 __all__ = ["join_sorted_lists", "join_cell_pairs_batched", "emit_hot_cells_batched"]
-
-
-def _bisect_runs(
-    values: np.ndarray, targets: np.ndarray, lo: np.ndarray, hi: np.ndarray, strict: bool
-) -> np.ndarray:
-    """Vectorised binary search inside per-row ranges of ``values``.
-
-    For each row ``k`` finds, within ``values[lo[k]:hi[k]]`` (each run
-    individually sorted ascending), the first index whose value is
-    ``> targets[k]`` (``strict=True``) or ``>= targets[k]``
-    (``strict=False``).  This is the batched equivalent of the forward
-    plane sweep's window location: thousands of tiny ``searchsorted``
-    calls collapsed into ~log2(run length) vectorised passes.
-    """
-    lo = lo.copy()
-    hi = hi.copy()
-    if lo.size == 0:
-        return lo
-    span = int((hi - lo).max())
-    guard = values.shape[0] - 1
-    for _ in range(max(span, 1).bit_length()):
-        active = lo < hi  # repro-lint: ignore[RPL201] binary-search index ranges, not box bounds
-        if not active.any():
-            break
-        mid = (lo + hi) >> 1
-        v = values[np.minimum(mid, guard)]
-        go_right = (v <= targets) if strict else (v < targets)
-        go_right &= active
-        stay = active & ~go_right
-        lo[go_right] = mid[go_right] + 1
-        hi[stay] = mid[stay]
-    return lo
 
 
 def join_sorted_lists(
@@ -133,209 +109,29 @@ def join_cell_pairs_batched(
     accumulator: PairAccumulator,
     chunk_candidates: int = 2_000_000,
     enclosure_shortcut: bool = True,
-    n_workers: int = 1,
 ) -> tuple[int, int]:
-    """External join over *many* cell pairs in vectorised batches.
+    """External join over *many* cell pairs via the ``cell_pair_sweep`` kernel.
 
     Semantically identical to calling :func:`join_sorted_lists` for each
-    ``(pair_a[k], pair_b[k])`` cell pair, but with all candidate object
-    pairs of a batch generated and tested at once — P-Grid cells hold few
-    objects each, so per-pair numpy calls would drown in call overhead.
-
-    The overlap-test count reproduces the plane sweep's accounting: a
-    candidate pair is charged one test when its x-intervals overlap (the
-    pairs the forward sweep would actually visit); x-disjoint candidates
-    are pruned for free by the sort in the sequential formulation and are
-    therefore not charged here either.  The enclosure shortcut is applied
-    first exactly as in the sequential version.
-
-    Parameters
-    ----------
-    lo, hi:
-        Global box arrays.
-    cat, starts, stops:
-        Grouped object indices and per-cell ranges (``PGrid.cat`` etc.).
-    center_lo, center_hi:
-        Per-cell tight center bounds, aligned with ``starts``.
-    pair_a, pair_b:
-        Cell-slot index arrays naming the cell pairs to join.
-    accumulator:
-        Pair accumulator receiving the results.
-    chunk_candidates:
-        Upper bound on candidate object pairs materialised per batch.
-    enclosure_shortcut:
-        Disable to force every candidate through the sweep test (the
-        ablation benchmark's knob).
-    n_workers:
-        Process the candidate chunks with this many threads.  Cell pairs
-        are independent (the paper: "the separation of the grid cells is
-        exploited to use multiple threads") and numpy releases the GIL in
-        the bulk operations, so the chunks parallelise; each thread fills
-        a private accumulator that is merged at the end.
-
-    Returns
-    -------
-    tuple
-        ``(tests, shortcut_pairs)`` summed over all cell pairs.
+    ``(pair_a[k], pair_b[k])`` cell pair — same pair set, same
+    plane-sweep overlap-test accounting, same enclosure shortcut —
+    evaluated by whichever kernel backend ``REPRO_KERNELS`` selects.
+    Returns ``(tests, shortcut_pairs)`` summed over all cell pairs.
     """
-    pair_a = np.asarray(pair_a, dtype=np.int64)
-    pair_b = np.asarray(pair_b, dtype=np.int64)
-    if pair_a.size == 0:
-        return 0, 0
-    sizes = stops - starts
-    size_a = sizes[pair_a]
-    size_b = sizes[pair_b]
-    counts = size_a * size_b
-
-    # Per-column contiguous copies in grouped order: candidate tests then
-    # gather 1-D columns by position, and object ids are materialised only
-    # for the surviving pairs.
-    ordered_lo = lo[cat]
-    ordered_hi = hi[cat]
-    xlo = np.ascontiguousarray(ordered_lo[:, 0])
-    xhi = np.ascontiguousarray(ordered_hi[:, 0])
-    ylo = np.ascontiguousarray(ordered_lo[:, 1])
-    yhi = np.ascontiguousarray(ordered_hi[:, 1])
-    zlo = np.ascontiguousarray(ordered_lo[:, 2])
-    zhi = np.ascontiguousarray(ordered_hi[:, 2])
-
-    # Split the pair list into chunks bounded by candidate volume.  With
-    # multiple workers, shrink the chunks so every thread gets work.
-    cum = np.cumsum(counts)
-    total_all = int(cum[-1])
-    if n_workers > 1:
-        chunk_candidates = min(
-            chunk_candidates, max(total_all // (2 * n_workers) + 1, 50_000)
-        )
-    if total_all <= chunk_candidates:
-        chunk_edges = np.asarray([0, counts.size], dtype=np.int64)
-    else:
-        targets = np.arange(chunk_candidates, total_all, chunk_candidates, dtype=np.int64)
-        inner = np.searchsorted(cum, targets, side="left") + 1
-        chunk_edges = np.unique(np.concatenate([[0], inner, [counts.size]]))
-
-    def process_chunk(e, chunk_accumulator):
-        """Join the cell pairs of chunk ``e``; returns (tests, shortcuts)."""
-        tests = 0
-        shortcut_pairs = 0
-        sel = slice(chunk_edges[e], chunk_edges[e + 1])
-        c_counts = counts[sel]
-        total = int(c_counts.sum())
-        if total == 0:
-            return 0, 0
-        c_pair_a = pair_a[sel]
-        c_pair_b = pair_b[sel]
-
-        def emit_candidates(left_pos, right_pos):
-            """Evaluate y/z on x-overlapping candidates and emit."""
-            yz = np.logical_and(
-                np.logical_and(
-                    ylo[left_pos] < yhi[right_pos], ylo[right_pos] < yhi[left_pos]  # repro-lint: ignore[RPL201] y refinement of x-sweep candidates already charged via tests
-                ),
-                np.logical_and(
-                    zlo[left_pos] < zhi[right_pos], zlo[right_pos] < zhi[left_pos]  # repro-lint: ignore[RPL201] z refinement of x-sweep candidates already charged via tests
-                ),
-            )
-            chunk_accumulator.extend(cat[left_pos[yz]], cat[right_pos[yz]])
-
-        # ---- Direction 1: scan from A over B (xlo_b in [a.xlo, a.xhi)).
-        # Rows are (cell pair, A-member); the sweep windows inside each
-        # B run are located by batched binary search, so x-disjoint
-        # candidates are never materialised — as in the pointer-walking
-        # sweep the accounting models.
-        row_of_a, a_positions = window_pairs(starts[c_pair_a], stops[c_pair_a])
-        b_start_rows = starts[c_pair_b][row_of_a]
-        b_stop_rows = stops[c_pair_b][row_of_a]
-        a_xlo = xlo[a_positions]
-        a_xhi = xhi[a_positions]
-
-        full_flags = None
-        if enclosure_shortcut:
-            # The enclosure predicate depends only on (A-object, B-cell):
-            # evaluate per row and emit those rows against all of B.
-            bc_lo = center_lo[c_pair_b[row_of_a]]
-            bc_hi = center_hi[c_pair_b[row_of_a]]
-            flags = encloses(ordered_lo[a_positions], ordered_hi[a_positions], bc_lo, bc_hi)
-            if flags.any():
-                full_flags = flags  # original (pair, A-member) enumeration
-                er = np.flatnonzero(flags)
-                rr, b_pos_full = window_pairs(b_start_rows[er], b_stop_rows[er])
-                chunk_accumulator.extend(cat[a_positions[er][rr]], cat[b_pos_full])
-                shortcut_pairs += int(rr.size)
-                keep_rows = ~flags
-                a_positions = a_positions[keep_rows]
-                b_start_rows = b_start_rows[keep_rows]
-                b_stop_rows = b_stop_rows[keep_rows]
-                a_xlo = a_xlo[keep_rows]
-                a_xhi = a_xhi[keep_rows]
-
-        left_edge = _bisect_runs(xlo, a_xlo, b_start_rows, b_stop_rows, strict=False)
-        right_edge = _bisect_runs(xlo, a_xhi, left_edge, b_stop_rows, strict=False)
-        r1, right_pos = window_pairs(left_edge, right_edge)
-        tests += int(r1.size)
-        if r1.size:
-            emit_candidates(a_positions[r1], right_pos)
-
-        # ---- Direction 2: scan from B over A (xlo_a in (b.xlo, b.xhi);
-        # ties on xlo break toward direction 1, so no pair repeats).
-        row_of_b, b_positions = window_pairs(starts[c_pair_b], stops[c_pair_b])
-        a_start_rows = starts[c_pair_a][row_of_b]
-        a_stop_rows = stops[c_pair_a][row_of_b]
-        left_edge = _bisect_runs(
-            xlo, xlo[b_positions], a_start_rows, a_stop_rows, strict=True
-        )
-        right_edge = _bisect_runs(
-            xlo, xhi[b_positions], left_edge, a_stop_rows, strict=False
-        )
-        r2, a_pos2 = window_pairs(left_edge, right_edge)
-        if r2.size and full_flags is not None:
-            # Pairs whose A-object was already emitted via the enclosure
-            # shortcut must not be rediscovered from the B side: map each
-            # candidate's A position back to its (pair, A-member) flag in
-            # the original (pre-filter) row enumeration.
-            pair_idx = row_of_b[r2]
-            a_offset = a_pos2 - starts[c_pair_a][pair_idx]
-            sizes_a_sel = size_a[sel]
-            block_starts = np.cumsum(sizes_a_sel) - sizes_a_sel
-            keep = ~full_flags[block_starts[pair_idx] + a_offset]
-            r2 = r2[keep]
-            a_pos2 = a_pos2[keep]
-        tests += int(r2.size)
-        if r2.size:
-            emit_candidates(a_pos2, b_positions[r2])
-        return tests, shortcut_pairs
-
-    n_chunks = len(chunk_edges) - 1
-    if n_workers <= 1 or n_chunks < 2:
-        total_tests = 0
-        total_shortcuts = 0
-        for e in range(n_chunks):
-            chunk_tests, chunk_shortcuts = process_chunk(e, accumulator)
-            total_tests += chunk_tests
-            total_shortcuts += chunk_shortcuts
-        return total_tests, total_shortcuts
-
-    # Parallel: one private accumulator per chunk, merged in order.
-    from concurrent.futures import ThreadPoolExecutor
-
-    from repro.geometry import PairAccumulator
-
-    chunk_accumulators = [
-        PairAccumulator(count_only=accumulator.count_only) for _ in range(n_chunks)
-    ]
-    total_tests = 0
-    total_shortcuts = 0
-    with ThreadPoolExecutor(max_workers=n_workers) as pool:
-        futures = [
-            pool.submit(process_chunk, e, chunk_accumulators[e])
-            for e in range(n_chunks)
-        ]
-        for e, future in enumerate(futures):
-            chunk_tests, chunk_shortcuts = future.result()
-            total_tests += chunk_tests
-            total_shortcuts += chunk_shortcuts
-            accumulator.merge(chunk_accumulators[e])
-    return total_tests, total_shortcuts
+    return cell_pair_sweep(
+        lo,
+        hi,
+        cat,
+        starts,
+        stops,
+        center_lo,
+        center_hi,
+        pair_a,
+        pair_b,
+        accumulator,
+        chunk_candidates=chunk_candidates,
+        enclosure_shortcut=enclosure_shortcut,
+    )
 
 
 def emit_hot_cells_batched(
@@ -347,24 +143,7 @@ def emit_hot_cells_batched(
 ) -> int:
     """Emit all within-cell combinations for many hot-spot cells at once.
 
-    Vectorised equivalent of running ``all_combinations`` per hot cell:
-    for every member position the "window" is the rest of its cell, so
-    one :func:`window_pairs` expansion enumerates every unordered pair of
-    every hot cell.  Returns the number of pairs emitted (all without
-    overlap tests — the hot-spot guarantee).
+    Delegates to the ``hot_cell_emit`` kernel; returns the number of
+    pairs emitted (all without overlap tests — the hot-spot guarantee).
     """
-    hot_slots = np.asarray(hot_slots, dtype=np.int64)
-    if hot_slots.size == 0:
-        return 0
-    h_starts = starts[hot_slots]
-    h_stops = stops[hot_slots]
-    sizes = h_stops - h_starts
-    # Enumerate member positions of all hot cells...
-    _cell_row, positions = window_pairs(h_starts, h_stops)
-    # ...and pair each position with the remainder of its own cell.
-    pos_stops = np.repeat(h_stops, sizes)
-    left_row, right_pos = window_pairs(positions + 1, pos_stops)
-    if left_row.size == 0:
-        return 0
-    accumulator.extend(cat[positions[left_row]], cat[right_pos])
-    return int(left_row.size)
+    return hot_cell_emit(cat, starts, stops, hot_slots, accumulator)

@@ -43,8 +43,14 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.engine.verify import verify_cross_groups, verify_self_groups
-from repro.geometry import PairAccumulator, window_pairs
+from repro.engine.verify import (
+    emit_hot_cells,
+    verify_cell_pairs,
+    verify_cross_groups,
+    verify_self_groups,
+    verify_strip,
+)
+from repro.geometry import PairAccumulator, chunk_edges_by_volume
 
 if TYPE_CHECKING:
     from repro.datasets import SpatialDataset
@@ -75,16 +81,7 @@ def chunk_by_volume(counts: np.ndarray, n_tasks: int) -> list[tuple[int, int]]:
     counts = np.asarray(counts, dtype=np.int64)
     if counts.size == 0 or n_tasks < 1:
         return []
-    if n_tasks == 1 or counts.size == 1:
-        return [(0, int(counts.size))]
-    cum = np.cumsum(counts)
-    total = int(cum[-1])
-    if total == 0:
-        return [(0, int(counts.size))]
-    per_task = max(total // n_tasks, 1)
-    targets = np.arange(per_task, total, per_task, dtype=np.int64)[: n_tasks - 1]
-    inner = np.searchsorted(cum, targets, side="left") + 1
-    edges = np.unique(np.concatenate([[0], inner, [counts.size]]))
+    edges = chunk_edges_by_volume(counts, n_chunks=n_tasks)
     return [(int(edges[k]), int(edges[k + 1])) for k in range(len(edges) - 1)]
 
 
@@ -208,9 +205,9 @@ class GroupCrossJoinTask(JoinTask):
 class CellPairSweepTask(JoinTask):
     """External join over a slice of hyperlinked cell pairs.
 
-    Runs the optimized plane sweep with the enclosure shortcut
-    (:func:`repro.core.celljoin.join_cell_pairs_batched`) over its own
-    portion of the step's cell-pair list.
+    Runs the optimized plane sweep with the enclosure shortcut (the
+    ``cell_pair_sweep`` kernel) over its own portion of the step's
+    cell-pair list.
     """
 
     pair_a: np.ndarray
@@ -220,19 +217,11 @@ class CellPairSweepTask(JoinTask):
     process_safe = True
 
     def run(self, ctx: Mapping[str, np.ndarray], accumulator: PairAccumulator) -> dict[str, int]:
-        from repro.core.celljoin import join_cell_pairs_batched
-
-        tests, shortcuts = join_cell_pairs_batched(
-            ctx["lo"],
-            ctx["hi"],
-            ctx["cat"],
-            ctx["starts"],
-            ctx["stops"],
-            ctx["center_lo"],
-            ctx["center_hi"],
+        tests, shortcuts = verify_cell_pairs(
+            ctx,
+            accumulator,
             self.pair_a,
             self.pair_b,
-            accumulator,
             enclosure_shortcut=self.enclosure_shortcut,
         )
         return {"overlap_tests": int(tests), "shortcut_pairs": int(shortcuts)}
@@ -247,11 +236,7 @@ class HotCellsTask(JoinTask):
     process_safe = True
 
     def run(self, ctx: Mapping[str, np.ndarray], accumulator: PairAccumulator) -> dict[str, int]:
-        from repro.core.celljoin import emit_hot_cells_batched
-
-        emitted = emit_hot_cells_batched(
-            ctx["cat"], ctx["starts"], ctx["stops"], self.hot_slots, accumulator
-        )
+        emitted = emit_hot_cells(ctx, accumulator, self.hot_slots)
         return {"overlap_tests": 0, "shortcut_pairs": int(emitted)}
 
 
@@ -274,37 +259,5 @@ class SweepStripTask(JoinTask):
     process_safe = True
 
     def run(self, ctx: Mapping[str, np.ndarray], accumulator: PairAccumulator) -> dict[str, int]:
-        from repro.geometry import sweep_self
-
-        lo = ctx["lo"]
-        hi = ctx["hi"]
-        ids = ctx["ids"]
-        start, stop = self.start, self.stop
-        i_ids, j_ids, tests = sweep_self(
-            lo[start:stop], hi[start:stop], ids[start:stop]
-        )
-        accumulator.extend(i_ids, j_ids)
-
-        carry = self.carry
-        if carry.size:
-            # Each carried object scans strip members while xlo < its xhi
-            # (members' xlo ≥ the carried xlo by sort order).
-            strip_xlo = lo[start:stop, 0]
-            windows = np.searchsorted(strip_xlo, hi[carry, 0], side="left")
-            left, right = window_pairs(
-                np.zeros(carry.size, dtype=np.int64), windows.astype(np.int64)
-            )
-            tests += int(left.size)
-            if left.size:
-                c_pos = carry[left]
-                s_pos = right + start
-                keep = np.logical_and(
-                    np.logical_and(
-                        lo[c_pos, 1] < hi[s_pos, 1], lo[s_pos, 1] < hi[c_pos, 1]
-                    ),
-                    np.logical_and(
-                        lo[c_pos, 2] < hi[s_pos, 2], lo[s_pos, 2] < hi[c_pos, 2]
-                    ),
-                )
-                accumulator.extend(ids[c_pos[keep]], ids[s_pos[keep]])
+        tests = verify_strip(ctx, accumulator, self.start, self.stop, self.carry)
         return {"overlap_tests": int(tests)}

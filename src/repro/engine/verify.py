@@ -1,9 +1,10 @@
-"""Shared candidate-verification kernel for engine tasks.
+"""Shared candidate-verification layer for engine tasks.
 
 Partition tasks describe *which* group pairs to compare; this module is
-the single place where candidates are actually tested and emitted.  It
-wraps the vectorised group-join primitives of :mod:`repro.geometry.batch`
-and layers the per-algorithm deduplication filters on top, so every
+the single place where candidates are handed to the verify kernels.  It
+wraps the dispatchable primitives of :mod:`repro.geometry.kernels`
+(backend selected via ``REPRO_KERNELS``; numpy oracle by default) and
+layers the per-algorithm deduplication filters on top, so every
 algorithm's verification goes through identical code:
 
 * ``plain`` — emit every overlapping candidate (exactly-once plans);
@@ -11,26 +12,40 @@ algorithm's verification goes through identical code:
   only by the partition containing the lower corner of the pair's
   intersection box.
 
-Overlap-test accounting is inherited unchanged from the batch kernels
+Overlap-test accounting is inherited unchanged from the kernels
 (``count="full"`` nested-loop or ``count="x-sweep"`` forward-sweep
 accounting), so partitioning a join into tasks never changes its total
-test count.
+test count — and neither does switching kernel backends, which are
+bit-identical to the oracle by contract.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry import PairAccumulator, cross_join_groups, self_join_groups
-from repro.geometry.batch import PairCallback
+from repro.geometry import PairAccumulator
+from repro.geometry.kernels import (
+    PairCallback,
+    cell_pair_sweep,
+    cross_join_groups,
+    hot_cell_emit,
+    self_join_groups,
+    strip_sweep,
+)
 
 from collections.abc import Mapping
 
-__all__ = ["verify_self_groups", "verify_cross_groups"]
+__all__ = [
+    "verify_self_groups",
+    "verify_cross_groups",
+    "verify_cell_pairs",
+    "verify_strip",
+    "emit_hot_cells",
+]
 
 
 def _plain_emitter(accumulator: PairAccumulator) -> PairCallback:
-    def on_pairs(left, right, _groups):
+    def on_pairs(left: np.ndarray, right: np.ndarray, _groups: np.ndarray) -> None:
         accumulator.extend(left, right)
 
     return on_pairs
@@ -50,7 +65,7 @@ def _reference_point_emitter(
     ids before testing the reference point against the partition bounds.
     """
 
-    def on_pairs(left, right, group_pos):
+    def on_pairs(left: np.ndarray, right: np.ndarray, group_pos: np.ndarray) -> None:
         partitions = groups[group_pos]
         ref = np.maximum(lo[left], lo[right])
         inside = np.logical_and(
@@ -120,4 +135,54 @@ def verify_cross_groups(
         pair_b,
         _plain_emitter(accumulator),
         count=count,
+    )
+
+
+def verify_cell_pairs(
+    ctx: Mapping[str, np.ndarray],
+    accumulator: PairAccumulator,
+    pair_a: np.ndarray,
+    pair_b: np.ndarray,
+    enclosure_shortcut: bool = True,
+) -> tuple[int, int]:
+    """Run the optimized cell-pair sweep (enclosure shortcut included).
+
+    Returns ``(overlap_tests, shortcut_pairs)``.
+    """
+    return cell_pair_sweep(
+        ctx["lo"],
+        ctx["hi"],
+        ctx["cat"],
+        ctx["starts"],
+        ctx["stops"],
+        ctx["center_lo"],
+        ctx["center_hi"],
+        pair_a,
+        pair_b,
+        accumulator,
+        enclosure_shortcut=enclosure_shortcut,
+    )
+
+
+def verify_strip(
+    ctx: Mapping[str, np.ndarray],
+    accumulator: PairAccumulator,
+    start: int,
+    stop: int,
+    carry: np.ndarray,
+) -> int:
+    """Verify one strip of the partitioned global plane sweep."""
+    return strip_sweep(
+        ctx["lo"], ctx["hi"], ctx["ids"], start, stop, carry, accumulator
+    )
+
+
+def emit_hot_cells(
+    ctx: Mapping[str, np.ndarray],
+    accumulator: PairAccumulator,
+    hot_slots: np.ndarray,
+) -> int:
+    """Combinatorial emission for hot-spot cells; returns pairs emitted."""
+    return hot_cell_emit(
+        ctx["cat"], ctx["starts"], ctx["stops"], hot_slots, accumulator
     )

@@ -1,0 +1,208 @@
+"""Backend dispatch registry for the verify-kernel primitives.
+
+All candidate verification in the repository flows through this module
+(enforced by repro-lint rule RPL401: backend modules are imported only
+inside ``repro/geometry/kernels/``).  A *backend* is a table mapping
+every kernel name of :data:`~repro.geometry.kernels.spec.KERNEL_SPECS`
+to a callable; the registry holds lazy factories for each backend and
+resolves which one to use per call:
+
+1. an explicit ``backend=`` argument,
+2. a programmatic :func:`set_backend` override (tests, benchmarks),
+3. the ``REPRO_KERNELS`` environment variable,
+4. the default — ``numpy``, the permanent oracle.
+
+Resolution is repeated on every dispatch, so worker processes (which
+inherit the environment) and mid-session env changes both behave as
+expected.  Requesting a backend that is unknown or unavailable (e.g.
+``numba`` without numba installed) falls back to the numpy oracle with
+a one-time warning — selection can degrade, results cannot: every
+backend is bit-identical to the oracle by contract.
+
+The registry also counts dispatches per backend; the flat
+:func:`kernel_metrics` snapshot is registered as the ``"kernels"``
+metrics provider on every algorithm, surfacing which backend actually
+ran in ``JoinStatistics.index_counters`` / ``StepRecord.index_counters``
+(per-step bench rows record it too).  Counters are process-local:
+kernels dispatched inside pool workers count in the worker, not the
+parent — the parent-side metric still records the resolved backend name.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+from typing import Any, Callable
+
+from repro.geometry.kernels import numpy_backend
+from repro.geometry.kernels.numba_backend import (
+    make_numba_kernels,
+    make_python_kernels,
+    numba_available,
+)
+from repro.geometry.kernels.spec import kernel_names
+
+__all__ = [
+    "KERNELS_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "BackendUnavailable",
+    "register_backend",
+    "registered_backends",
+    "available_backends",
+    "resolve_backend_name",
+    "set_backend",
+    "get_kernels",
+    "kernel_metrics",
+    "reset_kernel_metrics",
+]
+
+#: Environment variable selecting the kernel backend for a run.
+KERNELS_ENV_VAR = "REPRO_KERNELS"
+#: The permanent oracle; always registered, always available.
+DEFAULT_BACKEND = "numpy"
+
+#: One verify-kernel backend: kernel name → callable.
+KernelTable = dict[str, Callable[..., Any]]
+
+
+class BackendUnavailable(RuntimeError):
+    """Raised by a backend factory whose dependencies are missing."""
+
+
+_factories: dict[str, Callable[[], KernelTable]] = {}
+_probes: dict[str, Callable[[], bool]] = {}
+_tables: dict[str, KernelTable] = {}
+_override: str | None = None
+_warned: set[str] = set()
+_calls: dict[str, int] = {}
+_fallbacks = 0
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], KernelTable],
+    probe: Callable[[], bool] | None = None,
+) -> None:
+    """Register a backend ``factory`` under ``name``.
+
+    ``factory`` builds the kernel table (it may raise
+    :class:`BackendUnavailable`); the optional ``probe`` is a cheap
+    availability check consulted before the factory runs, so listing
+    available backends never triggers imports or JIT compilation.
+    """
+    if name in _factories:
+        raise ValueError(f"kernel backend {name!r} already registered")
+    _factories[name] = factory
+    if probe is not None:
+        _probes[name] = probe
+
+
+def registered_backends() -> tuple[str, ...]:
+    """All registered backend names, in registration order."""
+    return tuple(_factories)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backends whose availability probe passes."""
+    return tuple(
+        name for name in _factories if _probes.get(name, lambda: True)()
+    )
+
+
+def _fall_back(requested: str, reason: str) -> str:
+    global _fallbacks
+    if requested not in _warned:
+        _warned.add(requested)
+        warnings.warn(
+            f"kernel backend {requested!r} {reason}; "
+            f"falling back to the {DEFAULT_BACKEND!r} oracle",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    _fallbacks += 1
+    return DEFAULT_BACKEND
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """Resolve the backend for one dispatch (see module docstring)."""
+    requested = name or _override or os.environ.get(KERNELS_ENV_VAR) or DEFAULT_BACKEND
+    if requested not in _factories:
+        return _fall_back(requested, "is not registered")
+    if not _probes.get(requested, lambda: True)():
+        return _fall_back(requested, "is not available in this environment")
+    return requested
+
+
+def set_backend(name: str | None) -> str | None:
+    """Set (or with ``None`` clear) the process-wide backend override.
+
+    Returns the previous override so tests can restore it.  The override
+    outranks ``REPRO_KERNELS`` but not an explicit ``backend=`` argument.
+    """
+    global _override
+    previous = _override
+    _override = name
+    return previous
+
+
+def get_kernels(name: str | None = None) -> tuple[str, KernelTable]:
+    """Resolve, build (once) and validate a backend's kernel table."""
+    resolved = resolve_backend_name(name)
+    table = _tables.get(resolved)
+    if table is None:
+        try:
+            table = _factories[resolved]()
+        except (BackendUnavailable, ImportError):
+            if resolved == DEFAULT_BACKEND:
+                raise
+            resolved = _fall_back(resolved, "failed to initialise")
+            return get_kernels(resolved)
+        missing = [k for k in kernel_names() if k not in table]
+        if missing:
+            raise BackendUnavailable(
+                f"kernel backend {resolved!r} is missing kernels: {missing}"
+            )
+        _tables[resolved] = table
+    return resolved, table
+
+
+def dispatch(kernel: str, backend: str | None, *args: Any, **kwargs: Any) -> Any:
+    """Run ``kernel`` on the resolved backend, counting the dispatch."""
+    resolved, table = get_kernels(backend)
+    _calls[resolved] = _calls.get(resolved, 0) + 1
+    return table[kernel](*args, **kwargs)
+
+
+def kernel_metrics() -> dict[str, Any]:
+    """Flat snapshot for the ``"kernels"`` metrics provider.
+
+    ``backend`` is the name the next dispatch would resolve to;
+    ``*_calls`` are lifetime dispatch counts per backend in this
+    process; ``fallbacks`` counts dispatches that degraded to the
+    oracle because the requested backend was unknown or unavailable.
+    """
+    values: dict[str, Any] = {"backend": resolve_backend_name()}
+    for name in _factories:
+        count = _calls.get(name, 0)
+        if count:
+            values[f"{name}_calls"] = count
+    values["fallbacks"] = _fallbacks
+    return values
+
+
+def reset_kernel_metrics() -> None:
+    """Zero the dispatch counters (test isolation helper)."""
+    global _fallbacks
+    _calls.clear()
+    _fallbacks = 0
+    _warned.clear()
+
+
+def _numpy_table() -> KernelTable:
+    return {name: getattr(numpy_backend, name) for name in kernel_names()}
+
+
+register_backend("numpy", _numpy_table)
+register_backend("numba", make_numba_kernels, probe=numba_available)
+register_backend("python", make_python_kernels)

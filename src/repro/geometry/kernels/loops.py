@@ -1,0 +1,349 @@
+"""Scalar loop cores behind the ``python`` and ``numba`` backends.
+
+Each function here is the straight-line, loop-nest formulation of one
+kernel primitive from :data:`repro.geometry.kernels.spec.KERNEL_SPECS`,
+written in the numba-compilable subset of Python: plain ``for`` loops
+over 1-D float64/int64 arrays, no closures, no object-mode features.
+The ``numba`` backend JIT-compiles these functions verbatim; the
+``python`` backend runs the very same bytecode interpreted, so backend
+parity against the numpy oracle is exercised even in environments where
+numba is not installed.
+
+Every core follows a two-pass protocol: called once with ``do_emit=False``
+and empty output arrays to count matches (so the wrapper can allocate
+exact-size outputs), then again with ``do_emit=True`` to fill them.
+Both passes walk candidates in the identical order, and the comparison
+operators are exactly those of the numpy oracle (strict ``<`` overlap on
+every axis, inclusive enclosure), so pair sets, ``overlap_tests`` and
+``shortcut_pairs`` match the oracle bit-for-bit.
+
+Positions, not object ids, flow through the cores: inputs are the
+grouped-order coordinate columns (``lo[cat][:, d]`` etc.) and outputs are
+positions into that order; the backend wrappers map positions back to
+ids via ``cat``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "self_join_groups_core",
+    "cross_join_groups_core",
+    "cell_pair_sweep_core",
+    "strip_sweep_core",
+    "hot_cell_emit_core",
+]
+
+
+def self_join_groups_core(
+    xlo: np.ndarray,
+    xhi: np.ndarray,
+    ylo: np.ndarray,
+    yhi: np.ndarray,
+    zlo: np.ndarray,
+    zhi: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    groups: np.ndarray,
+    count_full: bool,
+    left_out: np.ndarray,
+    right_out: np.ndarray,
+    group_out: np.ndarray,
+    do_emit: bool,
+) -> tuple[int, int]:
+    """Strict-upper-triangle pairs within each listed group.
+
+    Returns ``(n_matches, overlap_tests)``; ``count_full`` selects the
+    nested-loop accounting (every candidate charged) over the x-sweep
+    accounting (only x-overlapping candidates charged).
+    """
+    tests = 0
+    k = 0
+    for g in range(groups.shape[0]):
+        s = starts[groups[g]]
+        e = stops[groups[g]]
+        for i in range(s, e):
+            for j in range(i + 1, e):
+                x_ov = xlo[i] < xhi[j] and xlo[j] < xhi[i]
+                if count_full or x_ov:
+                    tests += 1
+                if (
+                    x_ov
+                    and ylo[i] < yhi[j]
+                    and ylo[j] < yhi[i]
+                    and zlo[i] < zhi[j]
+                    and zlo[j] < zhi[i]
+                ):
+                    if do_emit:
+                        left_out[k] = i
+                        right_out[k] = j
+                        group_out[k] = g
+                    k += 1
+    return k, tests
+
+
+def cross_join_groups_core(
+    a_xlo: np.ndarray,
+    a_xhi: np.ndarray,
+    a_ylo: np.ndarray,
+    a_yhi: np.ndarray,
+    a_zlo: np.ndarray,
+    a_zhi: np.ndarray,
+    b_xlo: np.ndarray,
+    b_xhi: np.ndarray,
+    b_ylo: np.ndarray,
+    b_yhi: np.ndarray,
+    b_zlo: np.ndarray,
+    b_zhi: np.ndarray,
+    starts_a: np.ndarray,
+    stops_a: np.ndarray,
+    starts_b: np.ndarray,
+    stops_b: np.ndarray,
+    pair_a: np.ndarray,
+    pair_b: np.ndarray,
+    count_full: bool,
+    left_out: np.ndarray,
+    right_out: np.ndarray,
+    group_out: np.ndarray,
+    do_emit: bool,
+) -> tuple[int, int]:
+    """All (A-member, B-member) pairs of each listed group pair."""
+    tests = 0
+    k = 0
+    for p in range(pair_a.shape[0]):
+        a0 = starts_a[pair_a[p]]
+        a1 = stops_a[pair_a[p]]
+        b0 = starts_b[pair_b[p]]
+        b1 = stops_b[pair_b[p]]
+        for i in range(a0, a1):
+            for j in range(b0, b1):
+                x_ov = a_xlo[i] < b_xhi[j] and b_xlo[j] < a_xhi[i]
+                if count_full or x_ov:
+                    tests += 1
+                if (
+                    x_ov
+                    and a_ylo[i] < b_yhi[j]
+                    and b_ylo[j] < a_yhi[i]
+                    and a_zlo[i] < b_zhi[j]
+                    and b_zlo[j] < a_zhi[i]
+                ):
+                    if do_emit:
+                        left_out[k] = i
+                        right_out[k] = j
+                        group_out[k] = p
+                    k += 1
+    return k, tests
+
+
+def cell_pair_sweep_core(
+    xlo: np.ndarray,
+    xhi: np.ndarray,
+    ylo: np.ndarray,
+    yhi: np.ndarray,
+    zlo: np.ndarray,
+    zhi: np.ndarray,
+    center_lo: np.ndarray,
+    center_hi: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    pair_a: np.ndarray,
+    pair_b: np.ndarray,
+    use_shortcut: bool,
+    flags: np.ndarray,
+    left_out: np.ndarray,
+    right_out: np.ndarray,
+    do_emit: bool,
+) -> tuple[int, int, int]:
+    """Optimized two-direction cell-pair sweep with enclosure shortcut.
+
+    ``center_lo``/``center_hi`` are the per-cell ``(n_cells, 3)`` tight
+    center bounds; ``flags`` is a caller-provided scratch buffer at least
+    as long as the largest A-cell (re-zeroed per cell pair).  Returns
+    ``(n_matches, overlap_tests, shortcut_pairs)``.
+
+    Direction 1 scans each non-enclosing A-object over B's window
+    ``xlo_b in [a.xlo, a.xhi)``; direction 2 scans each B-object over A's
+    window ``xlo_a in (b.xlo, b.xhi)`` — ties on ``xlo`` break toward
+    direction 1, so no pair repeats — skipping (uncharged) the A-objects
+    already emitted via the shortcut.  Identical candidate set, charge
+    order and accounting as the numpy oracle.
+    """
+    tests = 0
+    shortcuts = 0
+    k = 0
+    for p in range(pair_a.shape[0]):
+        ca = pair_a[p]
+        cb = pair_b[p]
+        a0 = starts[ca]
+        a1 = stops[ca]
+        b0 = starts[cb]
+        b1 = stops[cb]
+        if a1 <= a0 or b1 <= b0:
+            continue
+        bc_xlo = center_lo[cb, 0]
+        bc_ylo = center_lo[cb, 1]
+        bc_zlo = center_lo[cb, 2]
+        bc_xhi = center_hi[cb, 0]
+        bc_yhi = center_hi[cb, 1]
+        bc_zhi = center_hi[cb, 2]
+
+        # Enclosure shortcut: A-objects whose MBR encloses B's tight
+        # center bounds (inclusive comparisons, as in mbr.encloses) pair
+        # with all of B without tests.
+        for i in range(a0, a1):
+            enclosing = False
+            if use_shortcut:
+                enclosing = (
+                    xlo[i] <= bc_xlo
+                    and ylo[i] <= bc_ylo
+                    and zlo[i] <= bc_zlo
+                    and xhi[i] >= bc_xhi
+                    and yhi[i] >= bc_yhi
+                    and zhi[i] >= bc_zhi
+                )
+            flags[i - a0] = enclosing
+            if enclosing:
+                shortcuts += b1 - b0
+                if do_emit:
+                    for j in range(b0, b1):
+                        left_out[k] = i
+                        right_out[k] = j
+                        k += 1
+                else:
+                    k += b1 - b0
+
+        # Direction 1: A over B, window xlo_b in [a.xlo, a.xhi).
+        for i in range(a0, a1):
+            if flags[i - a0]:
+                continue
+            j0 = b0
+            j1 = b1
+            target = xlo[i]
+            while j0 < j1:
+                mid = (j0 + j1) >> 1
+                if xlo[mid] < target:
+                    j0 = mid + 1
+                else:
+                    j1 = mid
+            for j in range(j0, b1):
+                if xlo[j] >= xhi[i]:
+                    break
+                tests += 1
+                if (
+                    ylo[i] < yhi[j]
+                    and ylo[j] < yhi[i]
+                    and zlo[i] < zhi[j]
+                    and zlo[j] < zhi[i]
+                ):
+                    if do_emit:
+                        left_out[k] = i
+                        right_out[k] = j
+                    k += 1
+
+        # Direction 2: B over A, window xlo_a in (b.xlo, b.xhi); A-objects
+        # flagged enclosing are skipped without a charge (their pairs were
+        # already emitted by the shortcut).
+        for j in range(b0, b1):
+            i0 = a0
+            i1 = a1
+            target = xlo[j]
+            while i0 < i1:
+                mid = (i0 + i1) >> 1
+                if xlo[mid] <= target:
+                    i0 = mid + 1
+                else:
+                    i1 = mid
+            for i in range(i0, a1):
+                if xlo[i] >= xhi[j]:
+                    break
+                if flags[i - a0]:
+                    continue
+                tests += 1
+                if (
+                    ylo[i] < yhi[j]
+                    and ylo[j] < yhi[i]
+                    and zlo[i] < zhi[j]
+                    and zlo[j] < zhi[i]
+                ):
+                    if do_emit:
+                        left_out[k] = i
+                        right_out[k] = j
+                    k += 1
+    return k, tests, shortcuts
+
+
+def strip_sweep_core(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    start: int,
+    stop: int,
+    carry: np.ndarray,
+    left_out: np.ndarray,
+    right_out: np.ndarray,
+    do_emit: bool,
+) -> tuple[int, int]:
+    """One strip of the partitioned global plane sweep (positions).
+
+    ``lo``/``hi`` are the whole dataset's ``(n, 3)`` box arrays sorted
+    ascending by ``lo[:, 0]``; the within-strip forward sweep charges
+    each x-overlapping pair once, then every carried-in position scans
+    the strip's prefix while ``xlo < its xhi``.  Returns
+    ``(n_matches, overlap_tests)`` with matches as sorted positions.
+    """
+    tests = 0
+    k = 0
+    for i in range(start, stop):
+        for j in range(i + 1, stop):
+            if lo[j, 0] >= hi[i, 0]:
+                break
+            tests += 1
+            if (
+                lo[i, 1] < hi[j, 1]
+                and lo[j, 1] < hi[i, 1]
+                and lo[i, 2] < hi[j, 2]
+                and lo[j, 2] < hi[i, 2]
+            ):
+                if do_emit:
+                    left_out[k] = i
+                    right_out[k] = j
+                k += 1
+    for c in range(carry.shape[0]):
+        i = carry[c]
+        for j in range(start, stop):
+            if lo[j, 0] >= hi[i, 0]:
+                break
+            tests += 1
+            if (
+                lo[i, 1] < hi[j, 1]
+                and lo[j, 1] < hi[i, 1]
+                and lo[i, 2] < hi[j, 2]
+                and lo[j, 2] < hi[i, 2]
+            ):
+                if do_emit:
+                    left_out[k] = i
+                    right_out[k] = j
+                k += 1
+    return k, tests
+
+
+def hot_cell_emit_core(
+    starts: np.ndarray,
+    stops: np.ndarray,
+    hot_slots: np.ndarray,
+    left_out: np.ndarray,
+    right_out: np.ndarray,
+    do_emit: bool,
+) -> int:
+    """Strict-upper-triangle emission within each hot cell (no tests)."""
+    k = 0
+    for h in range(hot_slots.shape[0]):
+        s = starts[hot_slots[h]]
+        e = stops[hot_slots[h]]
+        for i in range(s, e):
+            for j in range(i + 1, e):
+                if do_emit:
+                    left_out[k] = i
+                    right_out[k] = j
+                k += 1
+    return k

@@ -1,0 +1,273 @@
+"""Loop-core backends: optional numba JIT plus an interpreted twin.
+
+Both backends execute the scalar loop cores of
+:mod:`repro.geometry.kernels.loops` behind the same columnar wrappers;
+the only difference is how the cores run:
+
+``numba``
+    JIT-compiles each core with ``numba.njit(cache=True, nogil=True)``.
+    numba is an *optional* dependency — the import is guarded, the
+    dispatch registry probes :func:`numba_available` before selecting
+    it, and environments without numba fall back to the numpy oracle
+    with a warning instead of an ImportError.
+``python``
+    Runs the identical cores interpreted.  Orders of magnitude slower
+    than numpy — it exists so the backend-parity suite exercises the
+    exact loop code numba would compile even where numba is absent, and
+    as a single-stepping debug aid.
+
+Wrappers prepare the grouped-order coordinate columns, run each core
+twice (count, then fill exact-size outputs), map the resulting positions
+back to object ids and emit — so both backends return pair sets and
+counters bit-identical to the numpy oracle.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.geometry.kernels import loops
+
+if TYPE_CHECKING:
+    from repro.geometry.kernels.numpy_backend import PairCallback
+    from repro.geometry.pairs import PairAccumulator
+
+__all__ = ["numba_available", "make_python_kernels", "make_numba_kernels"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def numba_available() -> bool:
+    """Whether the optional numba dependency can be imported."""
+    return importlib.util.find_spec("numba") is not None
+
+
+def _grouped_columns(
+    lo: np.ndarray, hi: np.ndarray, cat: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Contiguous per-axis columns of the boxes in grouped (``cat``) order."""
+    ordered_lo = lo[cat]
+    ordered_hi = hi[cat]
+    return (
+        np.ascontiguousarray(ordered_lo[:, 0]),
+        np.ascontiguousarray(ordered_hi[:, 0]),
+        np.ascontiguousarray(ordered_lo[:, 1]),
+        np.ascontiguousarray(ordered_hi[:, 1]),
+        np.ascontiguousarray(ordered_lo[:, 2]),
+        np.ascontiguousarray(ordered_hi[:, 2]),
+    )
+
+
+def _as_index(values: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(values, dtype=np.int64))
+
+
+def _build_kernels(cores: dict[str, Callable[..., Any]]) -> dict[str, Callable[..., Any]]:
+    """Bind the five columnar wrappers to one set of loop cores."""
+    self_core = cores["self_join_groups"]
+    cross_core = cores["cross_join_groups"]
+    cell_core = cores["cell_pair_sweep"]
+    strip_core = cores["strip_sweep"]
+    hot_core = cores["hot_cell_emit"]
+
+    def self_join_groups(
+        lo: np.ndarray,
+        hi: np.ndarray,
+        cat: np.ndarray,
+        starts: np.ndarray,
+        stops: np.ndarray,
+        groups: np.ndarray,
+        on_pairs: PairCallback,
+        count: str = "full",
+        chunk_candidates: int = 2_000_000,
+    ) -> int:
+        if count not in ("full", "x-sweep"):
+            raise ValueError(f"unknown count mode {count!r}")
+        groups = _as_index(groups)
+        if groups.size == 0:
+            return 0
+        xlo, xhi, ylo, yhi, zlo, zhi = _grouped_columns(lo, hi, cat)
+        starts = _as_index(starts)
+        stops = _as_index(stops)
+        full = count == "full"
+        n, tests = self_core(
+            xlo, xhi, ylo, yhi, zlo, zhi, starts, stops, groups, full,
+            _EMPTY, _EMPTY, _EMPTY, False,
+        )
+        if n:
+            left = np.empty(n, dtype=np.int64)
+            right = np.empty(n, dtype=np.int64)
+            grp = np.empty(n, dtype=np.int64)
+            self_core(
+                xlo, xhi, ylo, yhi, zlo, zhi, starts, stops, groups, full,
+                left, right, grp, True,
+            )
+            on_pairs(cat[left], cat[right], grp)
+        return int(tests)
+
+    def cross_join_groups(
+        lo: np.ndarray,
+        hi: np.ndarray,
+        cat_a: np.ndarray,
+        starts_a: np.ndarray,
+        stops_a: np.ndarray,
+        cat_b: np.ndarray,
+        starts_b: np.ndarray,
+        stops_b: np.ndarray,
+        pair_a: np.ndarray,
+        pair_b: np.ndarray,
+        on_pairs: PairCallback,
+        count: str = "full",
+        chunk_candidates: int = 2_000_000,
+    ) -> int:
+        if count not in ("full", "x-sweep"):
+            raise ValueError(f"unknown count mode {count!r}")
+        pair_a = _as_index(pair_a)
+        pair_b = _as_index(pair_b)
+        if pair_a.size == 0:
+            return 0
+        cols_a = _grouped_columns(lo, hi, cat_a)
+        cols_b = cols_a if cat_b is cat_a else _grouped_columns(lo, hi, cat_b)
+        starts_a = _as_index(starts_a)
+        stops_a = _as_index(stops_a)
+        starts_b = _as_index(starts_b)
+        stops_b = _as_index(stops_b)
+        full = count == "full"
+        n, tests = cross_core(
+            *cols_a, *cols_b, starts_a, stops_a, starts_b, stops_b,
+            pair_a, pair_b, full, _EMPTY, _EMPTY, _EMPTY, False,
+        )
+        if n:
+            left = np.empty(n, dtype=np.int64)
+            right = np.empty(n, dtype=np.int64)
+            grp = np.empty(n, dtype=np.int64)
+            cross_core(
+                *cols_a, *cols_b, starts_a, stops_a, starts_b, stops_b,
+                pair_a, pair_b, full, left, right, grp, True,
+            )
+            on_pairs(cat_a[left], cat_b[right], grp)
+        return int(tests)
+
+    def cell_pair_sweep(
+        lo: np.ndarray,
+        hi: np.ndarray,
+        cat: np.ndarray,
+        starts: np.ndarray,
+        stops: np.ndarray,
+        center_lo: np.ndarray,
+        center_hi: np.ndarray,
+        pair_a: np.ndarray,
+        pair_b: np.ndarray,
+        accumulator: PairAccumulator,
+        chunk_candidates: int = 2_000_000,
+        enclosure_shortcut: bool = True,
+    ) -> tuple[int, int]:
+        pair_a = _as_index(pair_a)
+        pair_b = _as_index(pair_b)
+        if pair_a.size == 0:
+            return 0, 0
+        xlo, xhi, ylo, yhi, zlo, zhi = _grouped_columns(lo, hi, cat)
+        starts = _as_index(starts)
+        stops = _as_index(stops)
+        center_lo = np.ascontiguousarray(np.asarray(center_lo, dtype=np.float64))
+        center_hi = np.ascontiguousarray(np.asarray(center_hi, dtype=np.float64))
+        max_a = int((stops - starts)[pair_a].max(initial=0))
+        flags = np.zeros(max(max_a, 1), dtype=np.bool_)
+        n, tests, shortcuts = cell_core(
+            xlo, xhi, ylo, yhi, zlo, zhi, center_lo, center_hi,
+            starts, stops, pair_a, pair_b, enclosure_shortcut, flags,
+            _EMPTY, _EMPTY, False,
+        )
+        if n:
+            left = np.empty(n, dtype=np.int64)
+            right = np.empty(n, dtype=np.int64)
+            cell_core(
+                xlo, xhi, ylo, yhi, zlo, zhi, center_lo, center_hi,
+                starts, stops, pair_a, pair_b, enclosure_shortcut, flags,
+                left, right, True,
+            )
+            accumulator.extend(cat[left], cat[right])
+        return int(tests), int(shortcuts)
+
+    def strip_sweep(
+        lo: np.ndarray,
+        hi: np.ndarray,
+        ids: np.ndarray,
+        start: int,
+        stop: int,
+        carry: np.ndarray,
+        accumulator: PairAccumulator,
+    ) -> int:
+        lo = np.ascontiguousarray(np.asarray(lo, dtype=np.float64))
+        hi = np.ascontiguousarray(np.asarray(hi, dtype=np.float64))
+        carry = _as_index(carry)
+        n, tests = strip_core(
+            lo, hi, int(start), int(stop), carry, _EMPTY, _EMPTY, False
+        )
+        if n:
+            left = np.empty(n, dtype=np.int64)
+            right = np.empty(n, dtype=np.int64)
+            strip_core(lo, hi, int(start), int(stop), carry, left, right, True)
+            accumulator.extend(ids[left], ids[right])
+        return int(tests)
+
+    def hot_cell_emit(
+        cat: np.ndarray,
+        starts: np.ndarray,
+        stops: np.ndarray,
+        hot_slots: np.ndarray,
+        accumulator: PairAccumulator,
+    ) -> int:
+        hot_slots = _as_index(hot_slots)
+        if hot_slots.size == 0:
+            return 0
+        starts = _as_index(starts)
+        stops = _as_index(stops)
+        n = hot_core(starts, stops, hot_slots, _EMPTY, _EMPTY, False)
+        if n:
+            left = np.empty(n, dtype=np.int64)
+            right = np.empty(n, dtype=np.int64)
+            hot_core(starts, stops, hot_slots, left, right, True)
+            accumulator.extend(cat[left], cat[right])
+        return int(n)
+
+    return {
+        "self_join_groups": self_join_groups,
+        "cross_join_groups": cross_join_groups,
+        "cell_pair_sweep": cell_pair_sweep,
+        "strip_sweep": strip_sweep,
+        "hot_cell_emit": hot_cell_emit,
+    }
+
+
+_CORE_NAMES = (
+    "self_join_groups",
+    "cross_join_groups",
+    "cell_pair_sweep",
+    "strip_sweep",
+    "hot_cell_emit",
+)
+
+
+def make_python_kernels() -> dict[str, Callable[..., Any]]:
+    """The interpreted twin: the numba loop cores, uncompiled."""
+    cores = {name: getattr(loops, f"{name}_core") for name in _CORE_NAMES}
+    return _build_kernels(cores)
+
+
+def make_numba_kernels() -> dict[str, Callable[..., Any]]:
+    """JIT-compile the loop cores; raises ImportError when numba is absent.
+
+    Compilation is lazy (first call per core signature); ``nogil`` lets
+    the engine's thread executor run kernels in parallel and ``cache``
+    persists the compiled cores across processes.
+    """
+    import numba
+
+    jit = numba.njit(cache=True, nogil=True)
+    cores = {name: jit(getattr(loops, f"{name}_core")) for name in _CORE_NAMES}
+    return _build_kernels(cores)

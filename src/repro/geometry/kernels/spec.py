@@ -1,0 +1,112 @@
+"""Declarative catalogue of the verify-kernel primitives.
+
+Every candidate-verification routine in the repository is one of five
+flat, columnar *kernel primitives*.  A :class:`KernelSpec` describes one
+primitive declaratively — its name, argument layout, what it emits and
+which counters it returns — and :data:`KERNEL_SPECS` is the closed
+catalogue.  The specs are the contract a backend implements: a backend
+registered with the dispatch registry must provide one callable per spec
+name, bit-identical to the numpy oracle in both the emitted pair set and
+every counter (``overlap_tests`` under the declared accounting,
+``shortcut_pairs`` where applicable).
+
+The catalogue is deliberately data, not code: the dispatch registry
+validates backends against it, the parity test suite iterates it, and
+``docs/performance.md`` renders it — one source of truth for what a
+"kernel" is in this codebase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelSpec", "KERNEL_SPECS", "kernel_names"]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Declarative description of one verify-kernel primitive.
+
+    Attributes
+    ----------
+    name:
+        Registry key; backends expose one callable per name.
+    doc:
+        One-line description of the primitive.
+    layout:
+        Input layout the kernel consumes (``"grouped"`` — global box
+        arrays plus ``cat``/``starts``/``stops`` grouped indices;
+        ``"x-sorted"`` — globally x-sorted box arrays with positional
+        ranges).
+    emits:
+        What reaches the accumulator/callback (``"pairs"``).
+    counters:
+        Counter names the kernel returns, in return order.
+    accounting:
+        Overlap-test accountings the kernel supports (``"full"``
+        nested-loop, ``"x-sweep"`` forward-sweep, or ``"none"`` for
+        test-free combinatorial emission).
+    """
+
+    name: str
+    doc: str
+    layout: str
+    emits: str
+    counters: tuple[str, ...]
+    accounting: tuple[str, ...]
+
+
+#: The closed catalogue of verify-kernel primitives (RPL201 surface).
+KERNEL_SPECS: tuple[KernelSpec, ...] = (
+    KernelSpec(
+        name="self_join_groups",
+        doc="All unordered object pairs within each listed group.",
+        layout="grouped",
+        emits="pairs",
+        counters=("overlap_tests",),
+        accounting=("full", "x-sweep"),
+    ),
+    KernelSpec(
+        name="cross_join_groups",
+        doc="All object pairs across explicit (group A, group B) pairs.",
+        layout="grouped",
+        emits="pairs",
+        counters=("overlap_tests",),
+        accounting=("full", "x-sweep"),
+    ),
+    KernelSpec(
+        name="cell_pair_sweep",
+        doc=(
+            "Optimized two-direction sweep over many cell pairs with the "
+            "paper's enclosure shortcut."
+        ),
+        layout="grouped",
+        emits="pairs",
+        counters=("overlap_tests", "shortcut_pairs"),
+        accounting=("x-sweep",),
+    ),
+    KernelSpec(
+        name="strip_sweep",
+        doc=(
+            "One strip of the partitioned global plane sweep: within-strip "
+            "forward sweep plus carried-in windows of earlier objects."
+        ),
+        layout="x-sorted",
+        emits="pairs",
+        counters=("overlap_tests",),
+        accounting=("x-sweep",),
+    ),
+    KernelSpec(
+        name="hot_cell_emit",
+        doc="Combinatorial within-cell emission for hot-spot cells (no tests).",
+        layout="grouped",
+        emits="pairs",
+        counters=("emitted_pairs",),
+        accounting=("none",),
+    ),
+)
+
+
+def kernel_names() -> tuple[str, ...]:
+    """The catalogue's kernel names, in declaration order."""
+    return tuple(spec.name for spec in KERNEL_SPECS)

@@ -8,10 +8,10 @@ and the environment that produced them.  The schema is versioned;
 :func:`validate_bench` is what CI runs against the freshly produced
 document and what the test suite runs against a smoke run.
 
-Document shape (``BENCH_SCHEMA_VERSION`` 2)::
+Document shape (``BENCH_SCHEMA_VERSION`` 3)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "kind": "bench_steps",
       "environment": {"python": ..., "numpy": ..., "platform": ...,
                        "cpu_count": ...},
@@ -19,7 +19,8 @@ Document shape (``BENCH_SCHEMA_VERSION`` 2)::
       "runs": [
         {
           "workload": "uniform", "algorithm": "thermal-join",
-          "executor": "serial", "n_objects": 5000, "n_steps": 6,
+          "executor": "serial", "kernel_backend": "numpy",
+          "n_objects": 5000, "n_steps": 6,
           "steps": [ {step record}, ... ],   # one per simulated step
           "aggregates": {"total_seconds": ..., "total_overlap_tests": ...,
                           "peak_memory_bytes": ..., "total_results": ...,
@@ -38,6 +39,12 @@ Schema version 2 adds the ``incremental`` step key: the pair-maintenance
 counters (mode, moved fraction, pairs reused/re-verified, fallback
 count) surfaced by algorithms that maintain their result across steps;
 ``{}`` for algorithms without the provider.
+
+Schema version 3 adds the run-level ``kernel_backend`` key: the resolved
+verify-kernel backend (:mod:`repro.geometry.kernels`, selected via
+``REPRO_KERNELS``) the run executed with — the dimension the scaling
+section of the bench matrix sweeps to record step time versus object
+count per backend.
 """
 
 from __future__ import annotations
@@ -60,7 +67,7 @@ __all__ = [
     "validate_bench",
 ]
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: Required keys of one per-step record.
 STEP_FIELDS = (
@@ -82,6 +89,7 @@ RUN_FIELDS = (
     "workload",
     "algorithm",
     "executor",
+    "kernel_backend",
     "n_objects",
     "n_steps",
     "steps",

@@ -5,11 +5,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.celljoin import (
-    _bisect_runs,
     emit_hot_cells_batched,
     join_cell_pairs_batched,
     join_sorted_lists,
 )
+from repro.geometry.kernels.numpy_backend import _bisect_runs
 from repro.geometry import (
     PairAccumulator,
     all_combinations,
@@ -128,15 +128,15 @@ class TestJoinCellPairsBatched:
         assert shortcuts_off == 0
         assert tests_off >= tests_on
 
-    def test_parallel_equals_serial(self, rng):
+    def test_small_chunks_equal_serial(self, rng):
         got_serial, expected, tests_serial, s_serial, _ = self._run(rng)
         rng2 = np.random.default_rng(1234)
-        got_par, _exp, tests_par, s_par, _ = self._run(
-            rng2, n_workers=4, chunk_candidates=64
+        got_chunked, _exp, tests_chunked, s_chunked, _ = self._run(
+            rng2, chunk_candidates=64
         )
-        assert got_serial == got_par == expected
-        assert tests_serial == tests_par
-        assert s_serial == s_par
+        assert got_serial == got_chunked == expected
+        assert tests_serial == tests_chunked
+        assert s_serial == s_chunked
 
     def test_chunking_invariance(self, rng):
         got_big, expected, tests_big, _s, _ = self._run(rng, chunk_candidates=10**9)

@@ -174,6 +174,7 @@ class TestBenchSchema:
                     "workload": "uniform",
                     "algorithm": "pbsm",
                     "executor": "serial",
+                    "kernel_backend": "numpy",
                     "n_objects": len(dataset),
                     "n_steps": len(runner.records),
                     "steps": [step_record_to_json(r) for r in runner.records],
