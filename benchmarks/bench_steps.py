@@ -30,6 +30,12 @@ step-time-versus-object-count curve per backend.  ``--scale`` overrides
 the size list — the manual ``bench-scale`` CI job uses it to push the
 sweep to 500k objects.  Backends must reproduce each other's per-step
 result and test counts exactly; a divergence fails the run.
+
+Schema v4 adds the checkpoint section: the ``uniform-checkpoint``
+scenario runs the same trajectory with durable checkpointing off and on
+(``checkpoint_every=10`` at default scale), asserts the two series are
+identical (checkpointing is purely observational), and records both
+runs so the document carries the measured checkpoint overhead.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
@@ -76,6 +83,8 @@ SMOKE = {
     "incremental_steps": 6,
     "scale_sizes": (500, 1_000),
     "scale_steps": 2,
+    "checkpoint_steps": 4,
+    "checkpoint_every": 2,
 }
 DEFAULT = {
     "uniform_n": 4_000,
@@ -84,6 +93,8 @@ DEFAULT = {
     "incremental_steps": 10,
     "scale_sizes": (4_000, 50_000),
     "scale_steps": 3,
+    "checkpoint_steps": 12,
+    "checkpoint_every": 10,
 }
 
 #: Pair-maintenance scenarios (schema v2): each is
@@ -142,6 +153,7 @@ def run_matrix(config, trace_path=None):
             _run_matrix_inner(config)
             + _incremental_runs(config)
             + _scaling_runs(config)
+            + _checkpoint_runs(config)
         )
     finally:
         if trace_path is not None:
@@ -184,6 +196,7 @@ def _run_matrix_inner(config):
                         "algorithm": algorithm.name,
                         "executor": executor,
                         "kernel_backend": resolve_backend_name(),
+                        "checkpoint_every": 0,
                         "n_objects": len(dataset),
                         "n_steps": len(records),
                         "steps": [step_record_to_json(record) for record in records],
@@ -236,6 +249,7 @@ def _incremental_runs(config):
                     "algorithm": label,
                     "executor": "serial",
                     "kernel_backend": resolve_backend_name(),
+                    "checkpoint_every": 0,
                     "n_objects": len(dataset),
                     "n_steps": len(records),
                     "steps": [step_record_to_json(record) for record in records],
@@ -291,6 +305,7 @@ def _scaling_runs(config):
                         "algorithm": algorithm.name,
                         "executor": "serial",
                         "kernel_backend": backend,
+                        "checkpoint_every": 0,
                         "n_objects": len(dataset),
                         "n_steps": len(records),
                         "steps": [step_record_to_json(record) for record in records],
@@ -301,6 +316,87 @@ def _scaling_runs(config):
             finally:
                 set_backend(previous)
     return runs
+
+
+def _checkpoint_runs(config):
+    """Checkpoint section (schema v4): durable-checkpoint overhead.
+
+    THERMAL-JOIN runs the same uniform trajectory twice — once with
+    checkpointing off and once writing a durable checkpoint every
+    ``config["checkpoint_every"]`` steps into a scratch directory — and
+    asserts the two series are identical: checkpointing is purely
+    observational and must never perturb the join.  Both runs land in
+    the document; the overhead itself is read from the checkpointed
+    run's ``recovery`` counters (see :func:`checkpoint_overhead`), not
+    by differencing the two aggregates blocks.
+    """
+    runs = []
+    n_steps = config.get("checkpoint_steps", config["n_steps"])
+    cadence = config.get("checkpoint_every", 10)
+    series = {}
+    for label, every in (("thermal-join", 0), ("thermal-join-checkpointed", cadence)):
+        dataset, motion = scaled_uniform(config["uniform_n"], seed=7)
+        algorithm = ThermalJoin(count_only=True, executor="serial")
+        with tempfile.TemporaryDirectory() as scratch:
+            runner = SimulationRunner(
+                dataset,
+                motion,
+                algorithm,
+                checkpoint_dir=scratch if every else None,
+                checkpoint_every=every or 10,
+            )
+            records = runner.run(n_steps)
+        if runner.failure is not None:
+            raise runner.failure
+        series[label] = [
+            (record.n_results, record.overlap_tests) for record in records
+        ]
+        if every:
+            assert runner.recovery is not None
+            assert runner.recovery.checkpoints_written == n_steps // every, (
+                "checkpoint cadence not honoured"
+            )
+        runs.append(
+            {
+                "workload": "uniform-checkpoint",
+                "algorithm": label,
+                "executor": "serial",
+                "kernel_backend": resolve_backend_name(),
+                "checkpoint_every": every,
+                "n_objects": len(dataset),
+                "n_steps": len(records),
+                "steps": [step_record_to_json(record) for record in records],
+                "aggregates": run_aggregates(runner),
+            }
+        )
+        algorithm.executor.close()
+    if series["thermal-join"] != series["thermal-join-checkpointed"]:
+        raise AssertionError("checkpointing changed the uniform result series")
+    return runs
+
+
+def checkpoint_overhead(document):
+    """Fractional step-time overhead of checkpointing on the
+    ``uniform-checkpoint`` scenario (``None`` when the section is absent
+    or the run measured zero join time).
+
+    Measured *inside* the checkpointed run: the ``recovery`` counters
+    accumulate wall seconds spent in checkpoint writes
+    (``aggregates.checkpoint_seconds``), so the overhead is checkpoint
+    time over the same run's join time.  Differencing the off/on runs'
+    totals instead would drown a few-percent effect in run-to-run noise
+    at bench trajectory lengths.
+    """
+    for run in document["runs"]:
+        if (
+            run["workload"] == "uniform-checkpoint"
+            and run["algorithm"] == "thermal-join-checkpointed"
+        ):
+            aggregates = run["aggregates"]
+            if not aggregates["total_seconds"]:
+                return None
+            return aggregates["checkpoint_seconds"] / aggregates["total_seconds"]
+    return None
 
 
 def incremental_speedup(document):
@@ -374,12 +470,18 @@ def main(argv=None):
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(document, indent=2) + "\n")
     speedup = incremental_speedup(document)
+    overhead = checkpoint_overhead(document)
     print(
         f"wrote {args.out}: {len(document['runs'])} runs, "
         f"schema v{document['schema_version']}"
         + (
             f", low-motion incremental speedup {speedup:.1f}x"
             if speedup is not None
+            else ""
+        )
+        + (
+            f", checkpoint overhead {overhead * 100:+.1f}%"
+            if overhead is not None
             else ""
         )
         + (f", trace at {args.trace}" if args.trace else "")
@@ -422,6 +524,29 @@ def test_smoke_matrix_is_schema_valid(tmp_path):
     assert "incremental" in modes["uniform-low-motion"]
     assert "incremental" not in modes["uniform-high-churn"]
     assert "fallback" in modes["uniform-high-churn"]
+
+    # Schema v4: the checkpoint section holds the off/on pair with
+    # identical series lengths, the checkpointed run carries checkpoint
+    # events and the recovery counters, and the off runs say so.
+    checkpoint_runs = {
+        run["algorithm"]: run
+        for run in plain["runs"]
+        if run["workload"] == "uniform-checkpoint"
+    }
+    assert set(checkpoint_runs) == {"thermal-join", "thermal-join-checkpointed"}
+    assert checkpoint_runs["thermal-join"]["checkpoint_every"] == 0
+    checkpointed = checkpoint_runs["thermal-join-checkpointed"]
+    assert checkpointed["checkpoint_every"] == SMOKE["checkpoint_every"]
+    checkpoint_events = [
+        event
+        for step in checkpointed["steps"]
+        for event in step["events"]
+        if event.get("kind") == "checkpoint"
+    ]
+    assert len(checkpoint_events) == (
+        SMOKE["checkpoint_steps"] // SMOKE["checkpoint_every"]
+    )
+    assert checkpoint_overhead(plain) is not None
 
     # Schema v3: every run names its kernel backend, and the scaling
     # section covers (every size) × (every available backend).

@@ -32,6 +32,7 @@ from repro.core.cells import (
     half_neighborhood_offsets,
     pack_cell_id_scalar,
     pack_cell_ids,
+    unpack_cell_id,
 )
 from repro.joins.base import ID_BYTES, MBR_BYTES, POINTER_BYTES
 
@@ -167,30 +168,17 @@ class PGrid:
         self.layers = layers
         self._clock[0] += 1
 
-        coords = np.floor((centers - self.origin) / self.cell_width).astype(np.int64)
-        packed = pack_cell_ids(coords)
-        order = np.lexsort((xlo, packed))
-        sorted_packed = packed[order]
-
-        n = sorted_packed.size
-        boundaries = (
-            np.empty(0, dtype=np.int64)
-            if n == 0
-            else np.flatnonzero(sorted_packed[1:] != sorted_packed[:-1]) + 1
-        )
-        starts = np.concatenate([[0], boundaries]) if n else np.empty(0, dtype=np.int64)
-        stops = np.concatenate([boundaries, [n]]) if n else np.empty(0, dtype=np.int64)
-
-        sorted_widths = widths[order]
-        if n:
-            min_widths = np.minimum.reduceat(sorted_widths, starts, axis=0)
-            max_widths = np.maximum.reduceat(sorted_widths, starts, axis=0)
-            sorted_centers = centers[order]
-            center_lo = np.minimum.reduceat(sorted_centers, starts, axis=0)
-            center_hi = np.maximum.reduceat(sorted_centers, starts, axis=0)
-        else:
-            min_widths = max_widths = np.empty((0, 3))
-            center_lo = center_hi = np.empty((0, 3))
+        (
+            coords,
+            order,
+            sorted_packed,
+            starts,
+            stops,
+            min_widths,
+            max_widths,
+            center_lo,
+            center_hi,
+        ) = self._group(centers, xlo, widths)
         self.cat = order
         self.cell_starts = starts
         self.cell_stops = stops
@@ -230,7 +218,7 @@ class PGrid:
             cell.vacant_at = None
             cell.slot = k
             self.occupied.append(cell)
-        self._n_objects = int(n)
+        self._n_objects = int(sorted_packed.size)
 
         # Cells whose population migrated away become (or remain) vacant;
         # already-vacant cells need no touch — their age is clock-derived.
@@ -243,6 +231,62 @@ class PGrid:
         self._wire_hyperlinks(new_cells, offsets)
         self.garbage_collect_if_needed()
         return self.occupied
+
+    def _group(
+        self, centers: np.ndarray, xlo: np.ndarray, widths: np.ndarray
+    ) -> tuple[
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+    ]:
+        """Vectorised cell grouping: the pure part of :meth:`refresh`.
+
+        Deterministic given (centers, xlo, widths, origin, cell_width);
+        shared by :meth:`refresh` and the checkpoint-restore path
+        (:meth:`_reassign`) so both produce identical group order and
+        per-cell aggregates.
+        """
+        coords = np.floor((centers - self.origin) / self.cell_width).astype(np.int64)
+        packed = pack_cell_ids(coords)
+        order = np.lexsort((xlo, packed))
+        sorted_packed = packed[order]
+
+        n = sorted_packed.size
+        boundaries = (
+            np.empty(0, dtype=np.int64)
+            if n == 0
+            else np.flatnonzero(sorted_packed[1:] != sorted_packed[:-1]) + 1
+        )
+        starts = np.concatenate([[0], boundaries]) if n else np.empty(0, dtype=np.int64)
+        stops = np.concatenate([boundaries, [n]]) if n else np.empty(0, dtype=np.int64)
+
+        sorted_widths = widths[order]
+        if n:
+            min_widths = np.minimum.reduceat(sorted_widths, starts, axis=0)
+            max_widths = np.maximum.reduceat(sorted_widths, starts, axis=0)
+            sorted_centers = centers[order]
+            center_lo = np.minimum.reduceat(sorted_centers, starts, axis=0)
+            center_hi = np.maximum.reduceat(sorted_centers, starts, axis=0)
+        else:
+            min_widths = max_widths = np.empty((0, 3))
+            center_lo = center_hi = np.empty((0, 3))
+        return (
+            coords,
+            order,
+            sorted_packed,
+            starts,
+            stops,
+            min_widths,
+            max_widths,
+            center_lo,
+            center_hi,
+        )
 
     def _cell_key(self, cell: PGridCell) -> int:
         return pack_cell_id_scalar(*cell.coords)
@@ -330,6 +374,152 @@ class PGrid:
         self._vacant_cells = {}
         self._n_objects = 0
         self._n_hyperlinks = 0
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple[dict[str, np.ndarray], dict[str, object]]:
+        """Structural snapshot: (arrays, meta) for the checkpoint format.
+
+        The grid cannot be rebuilt from scratch on restore: a fresh build
+        re-creates every cell (spiking ``cells_created``, which feeds the
+        tuner's operation cost model) and wires hyperlinks in a different
+        direction (changing cell-pair task roles and thus overlap-test
+        counts).  Instead the *structure* is serialized — cell identity
+        and vacancy in table insertion order plus the directed hyperlink
+        edges in per-cell list order — and the per-cell object
+        assignments are recomputed deterministically from the dataset by
+        :meth:`_reassign`.
+        """
+        index = {id(cell): k for k, cell in enumerate(self.cells.values())}
+        cell_ids = np.fromiter(self.cells.keys(), dtype=np.int64, count=len(self.cells))
+        vacant_at = np.full(len(self.cells), -1, dtype=np.int64)
+        link_src: list[int] = []
+        link_dst: list[int] = []
+        for k, cell in enumerate(self.cells.values()):
+            if cell.vacant_at is not None:
+                vacant_at[k] = cell.vacant_at
+            for link in cell.hyperlinks:
+                link_src.append(k)
+                link_dst.append(index[id(link)])
+        arrays = {
+            "cell_ids": cell_ids,
+            "vacant_at": vacant_at,
+            "link_src": np.asarray(link_src, dtype=np.int64),
+            "link_dst": np.asarray(link_dst, dtype=np.int64),
+        }
+        meta: dict[str, object] = {
+            "cell_width": self.cell_width,
+            "origin": [float(c) for c in self.origin],
+            "gc_threshold": self.gc_threshold,
+            "layers": self.layers,
+            "clock": self._clock[0],
+            "cells_created": self.cells_created,
+            "cells_recycled": self.cells_recycled,
+            "gc_runs": self.gc_runs,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_state(
+        cls,
+        arrays: dict[str, np.ndarray],
+        meta: dict[str, object],
+        centers: np.ndarray,
+        xlo: np.ndarray,
+        widths: np.ndarray,
+    ) -> PGrid:
+        """Rebuild a grid from :meth:`snapshot_state` plus the dataset.
+
+        Raises :class:`ValueError` when the checkpointed structure does
+        not match the dataset's current cell occupancy (wrong dataset,
+        or a snapshot taken at a different step).
+        """
+        grid = cls(
+            float(meta["cell_width"]),  # type: ignore[arg-type]
+            np.asarray(meta["origin"], dtype=np.float64),
+            float(meta["gc_threshold"]),  # type: ignore[arg-type]
+        )
+        layers = meta["layers"]
+        grid.layers = None if layers is None else int(layers)  # type: ignore[call-overload]
+        grid._clock[0] = int(meta["clock"])  # type: ignore[call-overload]
+        grid.cells_created = int(meta["cells_created"])  # type: ignore[call-overload]
+        grid.cells_recycled = int(meta["cells_recycled"])  # type: ignore[call-overload]
+        grid.gc_runs = int(meta["gc_runs"])  # type: ignore[call-overload]
+
+        width_vec = np.full(3, grid.cell_width)
+        ordered: list[PGridCell] = []
+        for cell_id, vacated in zip(
+            arrays["cell_ids"].tolist(), arrays["vacant_at"].tolist(), strict=True
+        ):
+            cell_coords = unpack_cell_id(cell_id)
+            lo = grid.origin + np.asarray(cell_coords, dtype=np.float64) * grid.cell_width
+            cell = PGridCell(cell_coords, lo, lo + width_vec, clock=grid._clock)
+            if vacated >= 0:
+                cell.vacant_at = int(vacated)
+                grid._vacant_cells[cell_id] = cell
+            grid.cells[cell_id] = cell
+            ordered.append(cell)
+        for src, dst in zip(
+            arrays["link_src"].tolist(), arrays["link_dst"].tolist(), strict=True
+        ):
+            ordered[src].hyperlinks.append(ordered[dst])
+        grid._n_hyperlinks = int(arrays["link_src"].size)
+        grid._reassign(centers, xlo, widths)
+        return grid
+
+    def _reassign(
+        self, centers: np.ndarray, xlo: np.ndarray, widths: np.ndarray
+    ) -> None:
+        """Recompute object assignments onto the restored cell structure.
+
+        Grouping is deterministic from the dataset, so the occupied list,
+        per-cell object order and stacked batched arrays come out exactly
+        as they were when the snapshot was taken.
+        """
+        (
+            _coords,
+            order,
+            sorted_packed,
+            starts,
+            stops,
+            min_widths,
+            max_widths,
+            center_lo,
+            center_hi,
+        ) = self._group(centers, xlo, widths)
+        expected = len(self.cells) - len(self._vacant_cells)
+        if starts.size != expected:
+            raise ValueError(
+                f"checkpointed grid has {expected} occupied cells but the "
+                f"dataset occupies {starts.size}; snapshot/dataset mismatch"
+            )
+        self.occupied = []
+        for k in range(starts.size):
+            start = int(starts[k])
+            cell_id = int(sorted_packed[start])
+            cell = self.cells.get(cell_id)
+            if cell is None or cell_id in self._vacant_cells:
+                raise ValueError(
+                    f"dataset occupies cell {cell_id} which the checkpointed "
+                    "grid does not hold occupied; snapshot/dataset mismatch"
+                )
+            cell.object_idx = order[start:int(stops[k])]
+            cell.min_obj_width = min_widths[k]
+            cell.max_obj_width = max_widths[k]
+            cell.center_lo = center_lo[k]
+            cell.center_hi = center_hi[k]
+            cell.vacant_at = None
+            cell.slot = k
+            self.occupied.append(cell)
+        self.cat = order
+        self.cell_starts = starts
+        self.cell_stops = stops
+        self.cell_min_width = min_widths
+        self.cell_max_width = max_widths
+        self.cell_center_lo = center_lo
+        self.cell_center_hi = center_hi
+        self._n_objects = int(order.size)
 
     # ------------------------------------------------------------------
     # Accounting

@@ -56,7 +56,7 @@ from repro.engine import (
 from repro.geometry import MaintainedPairSet
 from repro.joins.base import SpatialJoinAlgorithm
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:
     from collections.abc import Mapping
@@ -805,3 +805,128 @@ class ThermalJoin(SpatialJoinAlgorithm):
         if self.pgrid is None:
             return 0
         return self.pgrid.memory_footprint()
+
+    # ------------------------------------------------------------------
+    # Checkpoint / recovery protocol
+    # ------------------------------------------------------------------
+    def _config_fingerprint(self) -> dict[str, object]:
+        """The configuration a checkpoint is only replayable under."""
+        return {
+            "resolution": self.resolution,
+            "gc_threshold": self.gc_threshold,
+            "cost_model": self.cost_model,
+            "hot_spots": self.hot_spots,
+            "enclosure_shortcut": self.enclosure_shortcut,
+            "incremental": self.incremental,
+            "pair_maintenance": self.pair_maintenance,
+            "tgrid_min_objects": self.tgrid_min_objects,
+        }
+
+    def snapshot_state(self) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+        """Full cross-step state: tuner, churn, grids, maintained pairs.
+
+        Everything a resumed run needs to continue bit-identically: the
+        tuner's climb state, the churn policy's observed estimates, the
+        incremental counters, the T-Grid diagnostics, the maintained
+        pair set (packed keys) and the P-Grid *structure* (rebuilding it
+        from scratch would spike ``cells_created`` — a tuner cost input —
+        and re-wire hyperlink direction, changing overlap-test counts).
+        """
+        arrays: dict[str, np.ndarray] = {}
+        meta: dict[str, Any] = {
+            "algorithm": self.name,
+            "config": self._config_fingerprint(),
+            "tuner": None if self.tuner is None else self.tuner.state_dict(),
+            "churn": self.churn.state_dict(),
+            "incr": dict(self._incr),
+            "tgrid": {
+                "fallbacks": self.tgrid.fallbacks,
+                "peak_cells": self.tgrid.peak_cells,
+            },
+            "maintained": None,
+            "pgrid": None,
+        }
+        if self._maintained is not None:
+            arrays["maintained_keys"] = self._maintained.packed_keys()
+            meta["maintained"] = {
+                "n": self._maintained.n,
+                "version": self._maintained_version,
+            }
+        if self.pgrid is not None:
+            pgrid_arrays, pgrid_meta = self.pgrid.snapshot_state()
+            for key, value in pgrid_arrays.items():
+                arrays[f"pgrid/{key}"] = value
+            meta["pgrid"] = pgrid_meta
+        return arrays, meta
+
+    def restore_state(
+        self,
+        arrays: dict[str, np.ndarray],
+        meta: dict[str, Any],
+        dataset: SpatialDataset,
+    ) -> None:
+        super().restore_state(arrays, meta, dataset)
+        recorded = meta.get("config")
+        if recorded != self._config_fingerprint():
+            raise ValueError(
+                "checkpoint was written under a different ThermalJoin "
+                f"configuration: {recorded!r} != {self._config_fingerprint()!r}"
+            )
+        tuner_state = meta["tuner"]
+        if (tuner_state is None) != (self.tuner is None):
+            raise ValueError(
+                "checkpoint tuner state does not match this instance's "
+                "resolution mode"
+            )
+        if self.tuner is not None and tuner_state is not None:
+            self.tuner.load_state_dict(tuner_state)
+        self.churn.load_state_dict(meta["churn"])
+        self._incr = dict(meta["incr"])
+        self.tgrid.fallbacks = int(meta["tgrid"]["fallbacks"])
+        self.tgrid.peak_cells = int(meta["tgrid"]["peak_cells"])
+
+        maintained_meta = meta["maintained"]
+        if maintained_meta is None:
+            self._maintained = None
+            self._maintained_uid = None
+            self._maintained_version = None
+        else:
+            n = int(maintained_meta["n"])
+            if n != len(dataset):
+                raise ValueError(
+                    f"maintained set was built over {n} objects but the "
+                    f"restored dataset holds {len(dataset)}"
+                )
+            self._maintained = MaintainedPairSet.from_packed(
+                n, arrays["maintained_keys"]
+            )
+            # The uid is process-local; the maintained set belongs to the
+            # freshly reconstructed dataset by construction.
+            self._maintained_uid = dataset.uid
+            self._maintained_version = int(maintained_meta["version"])
+
+        pgrid_meta = meta["pgrid"]
+        if pgrid_meta is None:
+            self.pgrid = None
+        else:
+            pgrid_arrays = {
+                key.split("/", 1)[1]: value
+                for key, value in arrays.items()
+                if key.startswith("pgrid/")
+            }
+            lo, _hi = dataset.boxes()
+            self.pgrid = PGrid.from_state(
+                pgrid_arrays, pgrid_meta, dataset.centers, lo[:, 0], dataset.widths
+            )
+
+    def reset_for_retry(self) -> None:
+        """Drop every cross-step structure before a from-scratch retry.
+
+        A failure mid-``step_delta`` may have left the P-Grid refreshed
+        but the maintained set half-patched; discarding both makes the
+        retried step a clean seeding full join.
+        """
+        self.pgrid = None
+        self._maintained = None
+        self._maintained_uid = None
+        self._maintained_version = None

@@ -211,6 +211,55 @@ class HillClimbingTuner:
                 return self._finalize_at(best)
         return changed
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """JSON-serializable snapshot of the full tuner state.
+
+        Floats round-trip exactly through JSON (IEEE doubles), so a
+        restored tuner makes bit-identical decisions from the same
+        observation stream.
+        """
+        return {
+            "initial": self.initial,
+            "initial_step": self.initial_step,
+            "threshold": self.threshold,
+            "r_min": self.r_min,
+            "r_max": self.r_max,
+            "min_step": self.min_step,
+            "current_r": self.current_r,
+            "converged": self.converged,
+            "history": [[r, cost] for r, cost in self.history],
+            "tuning_steps": self.tuning_steps,
+            "retunes": self.retunes,
+            "step": self._step,
+            "direction": self._direction,
+            "prev_r": self._prev_r,
+            "prev_cost": self._prev_cost,
+            "converged_cost": self._converged_cost,
+            "best_r": self._best_r,
+            "best_cost": self._best_cost,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        for name in ("initial", "initial_step", "threshold", "r_min", "r_max",
+                     "min_step", "current_r"):
+            setattr(self, name, float(state[name]))  # type: ignore[arg-type]
+        self.converged = bool(state["converged"])
+        history = state["history"]
+        if not isinstance(history, list):
+            raise ValueError("tuner history must be a list")
+        self.history = [(float(r), float(cost)) for r, cost in history]
+        self.tuning_steps = int(state["tuning_steps"])  # type: ignore[call-overload]
+        self.retunes = int(state["retunes"])  # type: ignore[call-overload]
+        self._step = float(state["step"])  # type: ignore[arg-type]
+        self._direction = float(state["direction"])  # type: ignore[arg-type]
+        for name in ("prev_r", "prev_cost", "converged_cost", "best_r", "best_cost"):
+            value = state[name]
+            setattr(self, f"_{name}", None if value is None else float(value))  # type: ignore[arg-type]
+
     def __repr__(self) -> str:
         state = "converged" if self.converged else "tuning"
         return f"HillClimbingTuner(r={self.current_r:.3f}, {state})"

@@ -10,6 +10,7 @@ assignments used by the motion models).
 
 from __future__ import annotations
 
+import zipfile
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -61,25 +62,84 @@ def save_dataset(path: str | Path, dataset: SpatialDataset, labels: np.ndarray |
 def load_dataset(path: str | Path) -> tuple[SpatialDataset, np.ndarray | None]:
     """Load a snapshot written by :func:`save_dataset`.
 
+    A snapshot that fails to parse, is missing required arrays, or
+    carries malformed/non-finite geometry raises :class:`ValueError`
+    with a message naming what is wrong — truncated or bit-flipped
+    files (e.g. a copy interrupted mid-transfer) must not surface as a
+    bare ``zipfile``/``numpy`` traceback.
+
     Returns
     -------
     tuple
         ``(dataset, labels)`` — ``labels`` is ``None`` when the snapshot
         carries none.
     """
-    with np.load(path, allow_pickle=False) as archive:
-        if "format" not in archive or str(archive["format"]) != _FORMAT:
+    try:
+        archive_ctx = np.load(path, allow_pickle=False)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise ValueError(f"cannot read dataset snapshot {path!r}: {exc}") from exc
+    with archive_ctx as archive:
+        if "format" not in archive.files or str(archive["format"]) != _FORMAT:
             raise ValueError(f"{path!r} is not a repro dataset snapshot")
-        attributes = {
-            key[len("attr_"):]: archive[key]
-            for key in archive.files
-            if key.startswith("attr_")
-        }
-        dataset = SpatialDataset(
-            archive["centers"],
-            archive["widths"],
-            bounds=(archive["bounds_lo"], archive["bounds_hi"]),
-            attributes=attributes,
+        required = ("centers", "widths", "bounds_lo", "bounds_hi")
+        missing = [name for name in required if name not in archive.files]
+        if missing:
+            raise ValueError(
+                f"dataset snapshot {path!r} is missing arrays {missing}"
+            )
+        try:
+            loaded = {name: archive[name] for name in archive.files}
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            raise ValueError(
+                f"dataset snapshot {path!r} holds unreadable array data: {exc}"
+            ) from exc
+    centers = loaded["centers"]
+    widths = loaded["widths"]
+    n = centers.shape[0] if centers.ndim else 0
+    if centers.ndim != 2 or centers.shape[1] != 3:
+        raise ValueError(
+            f"snapshot {path!r}: centers must have shape (n, 3), "
+            f"got {centers.shape}"
         )
-        labels = archive["labels"] if "labels" in archive.files else None
+    if widths.shape != centers.shape:
+        raise ValueError(
+            f"snapshot {path!r}: widths shape {widths.shape} does not match "
+            f"centers shape {centers.shape}"
+        )
+    for name in ("bounds_lo", "bounds_hi"):
+        if loaded[name].shape != (3,):
+            raise ValueError(
+                f"snapshot {path!r}: {name} must have shape (3,), "
+                f"got {loaded[name].shape}"
+            )
+    for name in ("centers", "widths", "bounds_lo", "bounds_hi"):
+        values = loaded[name]
+        if not np.issubdtype(values.dtype, np.number):
+            raise ValueError(
+                f"snapshot {path!r}: {name} has non-numeric dtype "
+                f"{values.dtype}"
+            )
+        if not np.all(np.isfinite(values)):
+            raise ValueError(
+                f"snapshot {path!r}: {name} contains non-finite values "
+                "(NaN/inf) — the file is corrupt or was written from a "
+                "broken dataset"
+            )
+    labels = loaded.get("labels")
+    if labels is not None and labels.shape[0] != n:
+        raise ValueError(
+            f"snapshot {path!r}: labels length {labels.shape[0]} does not "
+            f"match {n} objects"
+        )
+    attributes = {
+        key[len("attr_"):]: values
+        for key, values in loaded.items()
+        if key.startswith("attr_")
+    }
+    dataset = SpatialDataset(
+        centers,
+        widths,
+        bounds=(loaded["bounds_lo"], loaded["bounds_hi"]),
+        attributes=attributes,
+    )
     return dataset, labels

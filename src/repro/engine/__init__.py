@@ -45,6 +45,8 @@ from repro.engine.executors import (
 from repro.engine.faults import (
     FaultPlan,
     InjectedFault,
+    SimulatedCrash,
+    format_faults,
     install_fault_plan,
     parse_faults,
 )
@@ -77,6 +79,8 @@ __all__ = [
     "resolve_executor",
     "FaultPlan",
     "InjectedFault",
+    "SimulatedCrash",
+    "format_faults",
     "install_fault_plan",
     "parse_faults",
     "JoinPlan",

@@ -30,8 +30,20 @@ lets the recovery tests assert bit-identical results.
     process executor (worker death → ``BrokenProcessPool`` → pool
     rebuild / degradation); under a serial or thread executor the
     "worker" is the parent interpreter itself.
+``crashstep@N``
+    Simulated *process death* after simulation step ``N`` completes
+    (and after its checkpoint, if any, was committed): the runner
+    raises :class:`SimulatedCrash` out of ``run()``.  ``N`` here is a
+    **step** index, a separate ordinal namespace from the task-scoped
+    actions above — ``raise@3,crashstep@3`` are two independent
+    directives.  The recovery tests pair it with
+    ``SimulationRunner.resume()`` to prove restart-without-recompute.
 
-Example: ``REPRO_FAULTS="raise@2,kill@7,hang@11:2.5"``.
+Duplicate ordinals within a namespace are rejected at parse time: two
+directives racing for one launch would make which-fires-first depend on
+list order, and the loser would silently never fire.
+
+Example: ``REPRO_FAULTS="raise@2,kill@7,hang@11:2.5,crashstep@4"``.
 """
 
 from __future__ import annotations
@@ -52,23 +64,38 @@ if TYPE_CHECKING:
 __all__ = [
     "FAULTS_ENV_VAR",
     "InjectedFault",
+    "SimulatedCrash",
     "Fault",
     "FaultyTask",
     "FaultPlan",
     "parse_faults",
+    "format_faults",
     "install_fault_plan",
     "active_plan",
     "wrap_tasks",
+    "corrupt_truncate",
+    "corrupt_bitflip",
 ]
 
 #: Environment variable naming the default fault plan.
 FAULTS_ENV_VAR = "REPRO_FAULTS"
 
-_ACTIONS = ("raise", "hang", "kill")
+_ACTIONS = ("raise", "hang", "kill", "crashstep")
+#: Actions whose ordinal counts *steps*, not task launches.
+_STEP_ACTIONS = frozenset({"crashstep"})
 
 
 class InjectedFault(RuntimeError):
     """Raised by an injected ``raise`` fault (never by real join code)."""
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by a ``crashstep`` fault: simulated process death.
+
+    Deliberately *not* an :class:`InjectedFault` subclass — the runner's
+    escalation path must treat it as a crash (propagate out of ``run()``
+    with the completed records intact), never as a failed step to retry.
+    """
 
 
 @dataclass
@@ -118,14 +145,34 @@ class FaultPlan:
         self.launched = 0
 
     def wrap(self, task: JoinTask) -> JoinTask:
-        """Number one task launch; wrap it if an unfired fault matches."""
+        """Number one task launch; wrap it if an unfired fault matches.
+
+        Step-scoped faults (``crashstep``) live in their own ordinal
+        namespace and never match a task launch.
+        """
         ordinal = self.launched
         self.launched += 1
         for fault in self.faults:
-            if not fault.fired and fault.task == ordinal:
+            if (
+                fault.action not in _STEP_ACTIONS
+                and not fault.fired
+                and fault.task == ordinal
+            ):
                 fault.fired = True
                 return FaultyTask(task, fault.action, fault.param)
         return task
+
+    def crash_after_step(self, step: int) -> bool:
+        """True when an unfired ``crashstep`` directive matches ``step``.
+
+        The fault is marked fired, so a resumed run sharing the plan
+        does not crash again at the same (already completed) step.
+        """
+        for fault in self.faults:
+            if fault.action == "crashstep" and not fault.fired and fault.task == step:
+                fault.fired = True
+                return True
+        return False
 
     def reset(self) -> None:
         """Rearm every fault and restart the launch counter."""
@@ -138,8 +185,15 @@ class FaultPlan:
 
 
 def parse_faults(spec: str) -> FaultPlan:
-    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`."""
+    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`.
+
+    Rejects duplicate ordinals within a namespace (task-scoped actions
+    share one launch-counter namespace; ``crashstep`` counts steps in
+    its own) — with two directives on one ordinal, only the first in
+    list order could ever fire and the other would be dead weight.
+    """
     faults = []
+    seen: dict[tuple[bool, int], str] = {}
     for part in spec.split(","):
         part = part.strip()
         if not part:
@@ -162,8 +216,32 @@ def parse_faults(spec: str) -> FaultPlan:
             value = float(param) if param else None
         except ValueError:
             raise ValueError(f"invalid fault parameter in {part!r}") from None
+        key = (action in _STEP_ACTIONS, task)
+        if key in seen:
+            kind = "step" if key[0] else "task"
+            raise ValueError(
+                f"duplicate fault {kind} ordinal {task} in {part!r} "
+                f"(already claimed by {seen[key]!r}); only one directive "
+                f"may target each {kind} ordinal"
+            )
+        seen[key] = part
         faults.append(Fault(action=action, task=task, param=value))
     return FaultPlan(faults)
+
+
+def format_faults(plan: FaultPlan) -> str:
+    """Render a plan back into spec syntax (``parse_faults`` round-trip).
+
+    Lets the active plan be logged verbatim into run reports; fired
+    state is not represented (the spec grammar has no syntax for it).
+    """
+    parts = []
+    for fault in plan.faults:
+        part = f"{fault.action}@{fault.task}"
+        if fault.param is not None:
+            part += f":{fault.param!r}"
+        parts.append(part)
+    return ",".join(parts)
 
 
 #: Programmatically installed plan (overrides the environment).
@@ -204,3 +282,41 @@ def wrap_tasks(tasks: Sequence[JoinTask]) -> list[JoinTask]:
     if plan is None:
         return list(tasks)
     return [plan.wrap(task) for task in tasks]
+
+
+# ----------------------------------------------------------------------
+# Checkpoint-corruption injection
+# ----------------------------------------------------------------------
+def corrupt_truncate(path: str | os.PathLike[str], keep_fraction: float = 0.5) -> None:
+    """Truncate a checkpoint file to ``keep_fraction`` of its size.
+
+    Models a torn write that bypassed the atomic protocol (power loss
+    mid-copy, a full disk): the loader must detect the damage through
+    parse/checksum failure and fall back to an older checkpoint.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(int(size * keep_fraction))
+
+
+def corrupt_bitflip(path: str | os.PathLike[str], offset: int | None = None) -> None:
+    """Flip one bit of a checkpoint file (silent media corruption).
+
+    ``offset`` defaults to the middle byte — deterministic, and in an
+    ``.npz`` payload that lands inside array data, exercising the
+    content-verification path rather than a parse failure.
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError(f"cannot bit-flip empty file {os.fspath(path)!r}")
+    if offset is None:
+        offset = size // 2
+    if not 0 <= offset < size:
+        raise ValueError(f"offset {offset} outside file of {size} bytes")
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0x01]))

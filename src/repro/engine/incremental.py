@@ -123,6 +123,30 @@ class ChurnPolicy:
         break_even = self._full_cost / self._unit_cost
         self.threshold = float(min(max(break_even, self.floor), self.ceiling))
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """JSON-serializable snapshot of the adaptive state.
+
+        The static knobs (``adaptive``/``floor``/``ceiling``/``ema``)
+        come back from the algorithm's configuration; only the observed
+        estimates and the current threshold travel in the checkpoint.
+        """
+        return {
+            "threshold": self.threshold,
+            "full_cost": self._full_cost,
+            "unit_cost": self._unit_cost,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        self.threshold = float(state["threshold"])  # type: ignore[arg-type]
+        full_cost = state["full_cost"]
+        unit_cost = state["unit_cost"]
+        self._full_cost = None if full_cost is None else float(full_cost)  # type: ignore[arg-type]
+        self._unit_cost = None if unit_cost is None else float(unit_cost)  # type: ignore[arg-type]
+
 
 def execute_delta_step(
     algorithm: SpatialJoinAlgorithm,

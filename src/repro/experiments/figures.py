@@ -185,10 +185,13 @@ def _robustness_notes(runners: Mapping[str, SimulationRunner]) -> list[str]:
     lines = []
     for name, runner in runners.items():
         if runner.failed_step is not None:
-            lines.append(
+            line = (
                 f"{name}: FAILED at step {runner.failed_step} "
                 f"({runner.failure!r}); partial records"
             )
+            if runner.failure_traceback:
+                line += "\n" + runner.failure_traceback.rstrip()
+            lines.append(line)
             continue
         retries = runner.total_task_retries()
         degraded = runner.degraded_steps()

@@ -197,6 +197,33 @@ class MaintainedPairSet:
         lo, hi = canonicalize_pairs(i_idx, j_idx)
         self._keys = np.unique(pack_pairs(lo, hi, self.n))
 
+    @classmethod
+    def from_packed(cls, n: int, keys: np.ndarray) -> MaintainedPairSet:
+        """Rebuild a set from :meth:`packed_keys` (checkpoint restore).
+
+        ``keys`` must already be sorted unique canonical packed keys —
+        exactly what :meth:`packed_keys` emits; anything else is
+        rejected so a corrupted checkpoint cannot smuggle in an
+        invariant-breaking key array.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.ndim != 1:
+            raise ValueError(f"packed keys must be 1-D, got shape {keys.shape}")
+        if keys.size:
+            if keys[0] < 0 or keys[-1] >= n * n:
+                raise ValueError("packed keys out of range for the pair modulus")
+            if (np.diff(keys) <= 0).any():
+                raise ValueError("packed keys must be strictly increasing")
+            i_idx, j_idx = unpack_pairs(keys, n)
+            if (i_idx >= j_idx).any():
+                raise ValueError("packed keys must encode canonical i < j pairs")
+        restored = cls.__new__(cls)
+        restored.n = int(n)
+        restored._keys = keys.copy()
+        return restored
+
     def __len__(self) -> int:
         return int(self._keys.size)
 

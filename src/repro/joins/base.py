@@ -364,5 +364,48 @@ class SpatialJoinAlgorithm:
         """Optional finer phase breakdown; subclasses may override."""
         return {}
 
+    # ------------------------------------------------------------------
+    # Checkpoint / recovery protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+        """Resumable cross-step state as (arrays, JSON-able meta).
+
+        The base class is stateless between steps (every step re-joins
+        from scratch), so only the algorithm name travels — enough for
+        :meth:`restore_state` to reject a mismatched checkpoint.
+        Stateful algorithms override both methods together.
+        """
+        return {}, {"algorithm": self.name}
+
+    def restore_state(
+        self,
+        arrays: dict[str, np.ndarray],
+        meta: dict[str, Any],
+        dataset: SpatialDataset,
+    ) -> None:
+        """Restore cross-step state captured by :meth:`snapshot_state`.
+
+        ``dataset`` is the restored dataset the next step will run on;
+        stateful algorithms re-pin process-local identities (uids)
+        against it.  Raises :class:`ValueError` on a checkpoint written
+        by a different algorithm.
+        """
+        recorded = meta.get("algorithm")
+        if recorded != self.name:
+            raise ValueError(
+                f"checkpoint was written by algorithm {recorded!r}, "
+                f"cannot restore into {self.name!r}"
+            )
+
+    def reset_for_retry(self) -> None:
+        """Discard cross-step state before a from-scratch step retry.
+
+        Called by the runner's escalation path when ``step_delta``
+        raised past all executor recovery: whatever incremental state
+        the failure may have half-mutated is dropped so the retried
+        step rebuilds everything it needs.  The stateless base has
+        nothing to drop.
+        """
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -8,10 +8,10 @@ and the environment that produced them.  The schema is versioned;
 :func:`validate_bench` is what CI runs against the freshly produced
 document and what the test suite runs against a smoke run.
 
-Document shape (``BENCH_SCHEMA_VERSION`` 3)::
+Document shape (``BENCH_SCHEMA_VERSION`` 4)::
 
     {
-      "schema_version": 3,
+      "schema_version": 4,
       "kind": "bench_steps",
       "environment": {"python": ..., "numpy": ..., "platform": ...,
                        "cpu_count": ...},
@@ -20,6 +20,7 @@ Document shape (``BENCH_SCHEMA_VERSION`` 3)::
         {
           "workload": "uniform", "algorithm": "thermal-join",
           "executor": "serial", "kernel_backend": "numpy",
+          "checkpoint_every": 0,
           "n_objects": 5000, "n_steps": 6,
           "steps": [ {step record}, ... ],   # one per simulated step
           "aggregates": {"total_seconds": ..., "total_overlap_tests": ...,
@@ -45,6 +46,12 @@ verify-kernel backend (:mod:`repro.geometry.kernels`, selected via
 ``REPRO_KERNELS``) the run executed with — the dimension the scaling
 section of the bench matrix sweeps to record step time versus object
 count per backend.
+
+Schema version 4 adds the run-level ``checkpoint_every`` key: the
+durable-checkpoint cadence the run executed with (``0`` when
+checkpointing was off).  The ``uniform-checkpoint`` scenario runs the
+same trajectory with checkpointing off and on, so the document records
+the measured checkpoint overhead alongside the bit-identical series.
 """
 
 from __future__ import annotations
@@ -67,7 +74,7 @@ __all__ = [
     "validate_bench",
 ]
 
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 #: Required keys of one per-step record.
 STEP_FIELDS = (
@@ -90,6 +97,7 @@ RUN_FIELDS = (
     "algorithm",
     "executor",
     "kernel_backend",
+    "checkpoint_every",
     "n_objects",
     "n_steps",
     "steps",
@@ -141,8 +149,14 @@ def step_record_to_json(record: StepRecord) -> dict[str, Any]:
 
 
 def run_aggregates(runner: SimulationRunner) -> dict[str, Any]:
-    """Aggregates block for one completed simulation runner."""
-    return {
+    """Aggregates block for one completed simulation runner.
+
+    Checkpointing runs additionally carry ``checkpoint_seconds`` (the
+    run-final recovery counter, not the last step's snapshot — a
+    checkpoint written after the final step's metrics snapshot would
+    otherwise be missed).
+    """
+    aggregates = {
         "total_seconds": runner.total_join_seconds(),
         "total_overlap_tests": runner.total_overlap_tests(),
         "peak_memory_bytes": runner.peak_memory_bytes(),
@@ -150,6 +164,9 @@ def run_aggregates(runner: SimulationRunner) -> dict[str, Any]:
         "task_retries": runner.total_task_retries(),
         "degraded_steps": runner.degraded_steps(),
     }
+    if runner.recovery is not None:
+        aggregates["checkpoint_seconds"] = runner.recovery.checkpoint_seconds
+    return aggregates
 
 
 def _require(condition: bool, message: str) -> None:

@@ -67,6 +67,9 @@ class MetricsRegistry:
         """Registered provider names, in registration order."""
         return list(self._providers)
 
+    def __contains__(self, name: str) -> bool:
+        return name in self._providers
+
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """Evaluate every provider into a ``{name: {metric: scalar}}`` tree.
 

@@ -1,0 +1,71 @@
+"""The sanctioned durable-write primitives of the recovery subsystem.
+
+Every byte the checkpoint layer puts on disk flows through
+:func:`atomic_write_bytes`: the payload is serialized fully in memory,
+written to a sibling temporary file, flushed and fsynced, then renamed
+over the final name (``os.replace`` is atomic on POSIX), and finally
+the containing directory is fsynced so the rename itself is durable.
+A reader therefore either sees the complete previous file or the
+complete new one — never a torn write — which is what lets the loader
+treat any checksum mismatch as corruption rather than a race.
+
+repro-lint rule RPL501 forbids any other file-write primitive inside
+``repro/recovery/``; this module is the single exemption.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Any
+
+import numpy as np
+
+__all__ = ["atomic_write_bytes", "write_json", "write_npz"]
+
+
+def atomic_write_bytes(path: str | os.PathLike[str], data: bytes) -> int:
+    """Durably write ``data`` at ``path`` via tmp + fsync + rename.
+
+    Returns the number of bytes written.  The temporary file lives in
+    the same directory (``os.replace`` requires the same filesystem);
+    a crash mid-write leaves at worst a stale ``*.tmp`` beside an
+    intact previous version.
+    """
+    path = os.fspath(path)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    directory = os.path.dirname(path) or "."
+    dir_fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return len(data)
+
+
+def write_json(path: str | os.PathLike[str], document: dict[str, Any]) -> int:
+    """Atomically write ``document`` as UTF-8 JSON; returns bytes written.
+
+    Compact separators, no indentation: the manifest sits on the hot
+    simulation loop and its dominant cost is serialization, not I/O.
+    """
+    data = json.dumps(document, separators=(",", ":")).encode("utf-8") + b"\n"
+    return atomic_write_bytes(path, data)
+
+
+def write_npz(path: str | os.PathLike[str], arrays: dict[str, np.ndarray]) -> int:
+    """Atomically write ``arrays`` as an uncompressed ``.npz``.
+
+    Uncompressed on purpose: checkpoints sit on the hot simulation loop
+    and the ≤5 % overhead budget buys fsyncs, not deflate passes.
+    Returns the number of bytes written.
+    """
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return atomic_write_bytes(path, buffer.getvalue())

@@ -8,25 +8,41 @@ implementing :class:`~repro.joins.base.SpatialJoinAlgorithm` plugs in,
 which is how the benchmark harness runs THERMAL-JOIN and every baseline
 over identical workloads.
 
-The loop is fault-aware: the engine's executors recover from task
-failures, hangs and worker death on their own (surfaced per step in
-:attr:`StepRecord.events`/:attr:`StepRecord.task_retries`), and if a
-step still fails outright the run stops cleanly — the failing step is
-recorded in :attr:`SimulationRunner.failed_step`/:attr:`~SimulationRunner.failure`
-(analogous to :attr:`~SimulationRunner.timed_out`) with no half-written
-record, instead of propagating mid-run.
+The loop is fault-aware on three levels:
+
+* the engine's executors recover from task failures, hangs and worker
+  death on their own (surfaced per step in :attr:`StepRecord.events` /
+  :attr:`StepRecord.task_retries`);
+* a step that still raises past all executor recovery is **escalated**:
+  the algorithm's cross-step state is discarded
+  (:meth:`~repro.joins.base.SpatialJoinAlgorithm.reset_for_retry`) and
+  the step retried once as a full from-scratch re-join; only a second
+  failure ends the run — cleanly, with the failing step in
+  :attr:`SimulationRunner.failed_step` / :attr:`~SimulationRunner.failure`
+  / :attr:`~SimulationRunner.failure_traceback` and no half-written
+  record;
+* with ``checkpoint_dir=`` set, the full resumable state is durably
+  checkpointed every ``checkpoint_every`` steps through
+  :mod:`repro.recovery`, and :meth:`resume` continues a crashed run
+  from the newest valid checkpoint — bit-identically to a run that was
+  never interrupted (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:
+    import os
+
     from repro.datasets import SpatialDataset
     from repro.datasets.motion import MotionModel
-    from repro.joins.base import SpatialJoinAlgorithm
+    from repro.joins.base import JoinResult, SpatialJoinAlgorithm
+    from repro.recovery.checkpoint import CheckpointManager
+    from repro.recovery.metrics import RecoveryMetrics
 
 __all__ = ["StepRecord", "SimulationRunner"]
 
@@ -47,6 +63,11 @@ class StepRecord:
     snapshot (tuner resolution, P-Grid cell accounting, executor rung —
     see :class:`~repro.obs.MetricsRegistry`), so bench trajectories and
     traces can line the index internals up with the cost series.
+
+    Recovery surfaces here as events: ``{"kind": "checkpoint",
+    "step": N}`` when the step was durably checkpointed and
+    ``{"kind": "step_retry", "error": ...}`` when the step only
+    succeeded on its escalated from-scratch retry.
     """
 
     step: int
@@ -99,18 +120,36 @@ class SimulationRunner:
         Optional wall-clock budget in seconds for the *whole* run; when
         exceeded the run stops early and :attr:`timed_out` is set — the
         equivalent of the paper's 72-hour cut-off in Figure 9(a).
+    checkpoint_dir:
+        Directory for durable checkpoints; ``None`` (default) disables
+        checkpointing entirely.
+    checkpoint_every:
+        Checkpoint cadence in steps (a checkpoint is committed after
+        every ``checkpoint_every``-th completed step).  Ignored without
+        ``checkpoint_dir``.
+    keep_last:
+        Checkpoint retention depth (see
+        :class:`~repro.recovery.CheckpointManager`).
 
     Attributes
     ----------
     timed_out:
         True when the run stopped on the time budget.
     failed_step:
-        Index of the step whose join raised past all executor recovery,
-        or ``None``.  The run stops cleanly at that step: ``records``
-        holds every *completed* step and the motion model is not
-        advanced past the failure.
+        Index of the step whose join raised past all executor recovery
+        *and* past the from-scratch step retry, or ``None``.  The run
+        stops cleanly at that step: ``records`` holds every *completed*
+        step and the motion model is not advanced past the failure.
     failure:
         The exception that ended the run, or ``None``.
+    failure_traceback:
+        The formatted traceback of :attr:`failure`, or ``None`` —
+        preserved because the exception object alone loses the stack
+        once the run moves on (figures/reports include it).
+    recovery:
+        The run's :class:`~repro.recovery.RecoveryMetrics` counters
+        when checkpointing is enabled, else ``None``; also exposed as
+        the ``recovery`` metrics provider.
     """
 
     def __init__(
@@ -119,9 +158,16 @@ class SimulationRunner:
         motion: MotionModel | None,
         algorithm: SpatialJoinAlgorithm,
         time_budget: float | None = None,
+        checkpoint_dir: str | os.PathLike[str] | None = None,
+        checkpoint_every: int = 10,
+        keep_last: int = 3,
     ) -> None:
         if time_budget is not None and time_budget <= 0:
             raise ValueError(f"time_budget must be positive, got {time_budget}")
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
         self.dataset = dataset
         self.motion = motion
         self.algorithm = algorithm
@@ -130,26 +176,51 @@ class SimulationRunner:
         self.timed_out = False
         self.failed_step: int | None = None
         self.failure: Exception | None = None
+        self.failure_traceback: str | None = None
+        self.checkpoint_every = int(checkpoint_every)
+        self.recovery: RecoveryMetrics | None = None
+        self._checkpoints: CheckpointManager | None = None
+        #: First step the next :meth:`run` call will execute (advanced
+        #: by :meth:`resume` past the checkpointed prefix).
+        self._next_step = 0
+        if checkpoint_dir is not None:
+            from repro.recovery import CheckpointManager, RecoveryMetrics
 
+            self._checkpoints = CheckpointManager(checkpoint_dir, keep_last=keep_last)
+            self.recovery = RecoveryMetrics()
+            # Guarded: a resumed runner re-wraps an algorithm whose
+            # registry may already carry the provider.
+            if "recovery" not in self.algorithm.metrics:
+                self.algorithm.metrics.register("recovery", self.recovery.snapshot)
+
+    # ------------------------------------------------------------------
+    # The step loop
+    # ------------------------------------------------------------------
     def run(self, n_steps: int) -> list[StepRecord]:
-        """Execute ``n_steps`` simulation steps; returns the records.
+        """Execute steps up to trajectory length ``n_steps``; returns records.
 
-        Each step joins the dataset's *current* state and then advances
-        the motion model, so step 0 measures the initial configuration
-        exactly as the paper's time-step 0 does.
+        Each step joins the dataset's *current* state; the motion model
+        advances at the top of every step after the first, so step 0
+        measures the initial configuration exactly as the paper's
+        time-step 0 does.  On a resumed runner the loop continues from
+        the first un-checkpointed step — ``n_steps`` is always the total
+        trajectory length, not an increment.
         """
         if n_steps <= 0:
             raise ValueError(f"n_steps must be positive, got {n_steps}")
+        from repro.engine.faults import SimulatedCrash, active_plan
+
         started = time.perf_counter()
         # The delta committed by the previous motion step, threaded into
         # the next join step.  Step 0 has none (initial configuration).
+        # After a resume the restored motion model produces the exact
+        # delta the uninterrupted run would have produced here.
         pending_delta = None
-        for step in range(n_steps):
-            try:
-                result = self.algorithm.step_delta(self.dataset, pending_delta)
-            except Exception as exc:
-                self.failed_step = step
-                self.failure = exc
+        for step in range(self._next_step, n_steps):
+            if self.motion is not None and step > 0:
+                pending_delta = self.motion.step(self.dataset)
+            result = self._run_step(step, pending_delta)
+            if result is None:
                 break
             stats = result.stats
             self.records.append(
@@ -168,17 +239,170 @@ class SimulationRunner:
                     incremental=dict(stats.index_counters.get("incremental", {})),
                 )
             )
+            self._next_step = step + 1
+            if (
+                self._checkpoints is not None
+                and (step + 1) % self.checkpoint_every == 0
+            ):
+                self._write_checkpoint(step)
+            plan = active_plan()
+            if plan is not None and plan.crash_after_step(step):
+                # Simulated process death: propagate like a real crash —
+                # completed records (and checkpoints) survive, nothing
+                # is recorded as a failed step.
+                raise SimulatedCrash(f"injected crash after step {step}")
             if (
                 self.time_budget is not None
                 and time.perf_counter() - started > self.time_budget
             ):
-                # Check the budget before advancing the motion model so a
-                # timed-out run doesn't burn one extra motion step.
+                # Check the budget here so a timed-out run doesn't burn
+                # one extra motion step at the top of the next iteration.
                 self.timed_out = True
                 break
-            if self.motion is not None and step + 1 < n_steps:
-                pending_delta = self.motion.step(self.dataset)
         return self.records
+
+    def _run_step(self, step: int, pending_delta: Any) -> JoinResult | None:
+        """One join step with escalation; ``None`` when the run must stop.
+
+        A first failure past all executor recovery discards the
+        algorithm's cross-step state and retries the step as a full
+        from-scratch re-join (fresh index build, incremental state
+        dropped); the retry's success is recorded as a ``step_retry``
+        event on the step.  A second failure declares
+        :attr:`failed_step`.
+        """
+        try:
+            return self.algorithm.step_delta(self.dataset, pending_delta)
+        except Exception as first:
+            if self.recovery is not None:
+                self.recovery.record_step_retry()
+            try:
+                self.algorithm.reset_for_retry()
+                result = self.algorithm.step_delta(self.dataset, None)
+            except Exception as second:
+                if self.recovery is not None:
+                    self.recovery.record_escalation()
+                self.failed_step = step
+                self.failure = second
+                self.failure_traceback = "".join(
+                    traceback.format_exception(type(second), second, second.__traceback__)
+                )
+                return None
+            result.stats.record_events(
+                [{"kind": "step_retry", "error": repr(first)}]
+            )
+            return result
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def _write_checkpoint(self, step: int) -> None:
+        """Durably commit the state needed to resume after ``step``."""
+        from repro.recovery import (
+            snapshot_dataset,
+            snapshot_motion,
+            step_record_to_jsonable,
+        )
+
+        assert self._checkpoints is not None and self.recovery is not None
+        started = time.perf_counter()
+        # The event goes on the record *before* the records are
+        # serialized: a resumed run restores this record from the
+        # checkpoint, and the uninterrupted run's copy carries the
+        # event — bit-identity requires both to agree.  No byte count
+        # in the event on purpose: manifest sizes vary run-to-run
+        # (wall-time floats), and the event stream is part of the
+        # bit-identity contract.
+        self.records[-1].events.append({"kind": "checkpoint", "step": step})
+        arrays: dict[str, Any] = {}
+        dataset_arrays, dataset_meta = snapshot_dataset(self.dataset)
+        for key, value in dataset_arrays.items():
+            arrays[f"dataset/{key}"] = value
+        motion_meta = None
+        if self.motion is not None:
+            motion_arrays, motion_meta = snapshot_motion(self.motion)
+            for key, value in motion_arrays.items():
+                arrays[f"motion/{key}"] = value
+        algo_arrays, algo_meta = self.algorithm.snapshot_state()
+        for key, value in algo_arrays.items():
+            arrays[f"algorithm/{key}"] = value
+        meta = {
+            "dataset": dataset_meta,
+            "motion": motion_meta,
+            "algorithm": algo_meta,
+            "runner": {
+                "next_step": step + 1,
+                "checkpoint_every": self.checkpoint_every,
+                "records": [step_record_to_jsonable(r) for r in self.records],
+            },
+        }
+        nbytes = self._checkpoints.write(step, arrays, meta)
+        self.recovery.record_checkpoint(nbytes, time.perf_counter() - started)
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_dir: str | os.PathLike[str],
+        algorithm: SpatialJoinAlgorithm,
+        time_budget: float | None = None,
+        checkpoint_every: int | None = None,
+        keep_last: int = 3,
+    ) -> SimulationRunner:
+        """Reconstruct a runner from the newest valid checkpoint.
+
+        ``algorithm`` must be constructed with the same configuration
+        the checkpointed run used (validated via its config
+        fingerprint); its cross-step state is restored wholesale.
+        Corrupt checkpoints are skipped newest-first (counted in
+        ``recovery.corrupt_skipped``); :class:`~repro.recovery.
+        CheckpointError` is raised when nothing loads.  The returned
+        runner's next :meth:`run` call continues the trajectory
+        bit-identically to a run that was never interrupted.
+        """
+        from repro.recovery import (
+            CheckpointManager,
+            restore_dataset,
+            restore_motion,
+            step_record_from_jsonable,
+        )
+
+        manager = CheckpointManager(checkpoint_dir, keep_last=keep_last)
+        checkpoint, skipped = manager.load_latest()
+        meta = checkpoint.meta
+
+        def split(prefix: str) -> dict[str, Any]:
+            return {
+                key.split("/", 1)[1]: value
+                for key, value in checkpoint.arrays.items()
+                if key.startswith(prefix + "/")
+            }
+
+        dataset = restore_dataset(split("dataset"), meta["dataset"])
+        motion = None
+        if meta["motion"] is not None:
+            motion = restore_motion(split("motion"), meta["motion"])
+        algorithm.restore_state(split("algorithm"), meta["algorithm"], dataset)
+        runner_meta = meta["runner"]
+        runner = cls(
+            dataset,
+            motion,
+            algorithm,
+            time_budget=time_budget,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=(
+                int(runner_meta["checkpoint_every"])
+                if checkpoint_every is None
+                else checkpoint_every
+            ),
+            keep_last=keep_last,
+        )
+        runner.records = [
+            step_record_from_jsonable(doc) for doc in runner_meta["records"]
+        ]
+        runner._next_step = int(runner_meta["next_step"])
+        assert runner.recovery is not None
+        runner.recovery.record_load(skipped)
+        return runner
 
     # ------------------------------------------------------------------
     # Aggregates over the recorded steps

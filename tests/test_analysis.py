@@ -116,6 +116,80 @@ class TestDatasetIO:
         with pytest.raises(ValueError):
             load_dataset(path)
 
+    def test_truncated_snapshot_rejected_with_clear_error(self, tmp_path):
+        dataset = make_uniform_dataset(50, seed=1)
+        path = tmp_path / "torn.npz"
+        save_dataset(path, dataset)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 3])
+        with pytest.raises(ValueError, match="cannot read dataset snapshot"):
+            load_dataset(path)
+
+    def test_bitflipped_snapshot_rejected_with_clear_error(self, tmp_path):
+        dataset = make_uniform_dataset(50, seed=1)
+        path = tmp_path / "flipped.npz"
+        save_dataset(path, dataset)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="snapshot"):
+            load_dataset(path)
+
+    def test_missing_arrays_named(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(
+            path,
+            format=np.asarray("repro-spatial-dataset-v1"),
+            centers=np.zeros((4, 3)),
+        )
+        with pytest.raises(ValueError, match="missing arrays"):
+            load_dataset(path)
+
+    def test_bad_shapes_rejected(self, tmp_path):
+        path = tmp_path / "shapes.npz"
+        np.savez(
+            path,
+            format=np.asarray("repro-spatial-dataset-v1"),
+            centers=np.zeros((4, 2)),  # must be (n, 3)
+            widths=np.zeros((4, 2)),
+            bounds_lo=np.zeros(3),
+            bounds_hi=np.ones(3),
+        )
+        with pytest.raises(ValueError, match=r"shape \(n, 3\)"):
+            load_dataset(path)
+
+    def test_non_finite_geometry_rejected(self, tmp_path):
+        dataset = make_uniform_dataset(10, seed=1)
+        centers = dataset.centers.copy()
+        centers[0, 0] = np.inf
+        path = tmp_path / "nan.npz"
+        np.savez(
+            path,
+            format=np.asarray("repro-spatial-dataset-v1"),
+            centers=centers,
+            widths=dataset.widths,
+            bounds_lo=np.zeros(3),
+            bounds_hi=np.full(3, 1000.0),
+        )
+        with pytest.raises(ValueError, match="non-finite"):
+            load_dataset(path)
+
+    def test_label_length_mismatch_rejected_on_load(self, tmp_path):
+        dataset = make_uniform_dataset(10, seed=1)
+        bounds_lo, bounds_hi = dataset.bounds
+        path = tmp_path / "labels.npz"
+        np.savez(
+            path,
+            format=np.asarray("repro-spatial-dataset-v1"),
+            centers=dataset.centers,
+            widths=dataset.widths,
+            bounds_lo=np.asarray(bounds_lo),
+            bounds_hi=np.asarray(bounds_hi),
+            labels=np.arange(4),
+        )
+        with pytest.raises(ValueError, match="labels length"):
+            load_dataset(path)
+
 
 class TestValidateCLI:
     def test_agreeing_algorithms(self):

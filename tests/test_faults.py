@@ -24,6 +24,7 @@ from repro.engine import (
     SerialExecutor,
     ThreadExecutor,
     install_fault_plan,
+    format_faults,
     parse_faults,
     publish_context,
 )
@@ -101,6 +102,47 @@ class TestFaultSpec:
     def test_invalid_specs_raise(self, spec):
         with pytest.raises(ValueError):
             parse_faults(spec)
+
+    def test_parse_crashstep(self):
+        plan = parse_faults("crashstep@4")
+        assert [(f.action, f.task) for f in plan.faults] == [("crashstep", 4)]
+
+    def test_crashstep_shares_spec_with_task_faults(self):
+        # Same ordinal in *different* namespaces: step 3 and task 3.
+        plan = parse_faults("raise@3,crashstep@3")
+        assert len(plan.faults) == 2
+
+    @pytest.mark.parametrize(
+        "spec", ["raise@2,kill@2", "crashstep@1,crashstep@1", "raise@0,hang@0:1"]
+    )
+    def test_duplicate_ordinals_rejected(self, spec):
+        with pytest.raises(ValueError, match="duplicate fault"):
+            parse_faults(spec)
+
+    @pytest.mark.parametrize(
+        "spec", ["raise@2,kill@7,hang@11:2.5", "crashstep@4", "raise@0,crashstep@0"]
+    )
+    def test_format_faults_round_trips(self, spec):
+        formatted = format_faults(parse_faults(spec))
+        replayed = parse_faults(formatted)
+        assert [
+            (f.action, f.task, f.param) for f in replayed.faults
+        ] == [(f.action, f.task, f.param) for f in parse_faults(spec).faults]
+        # repr-based params survive a second trip exactly.
+        assert format_faults(replayed) == formatted
+
+    def test_crashstep_never_wraps_tasks(self):
+        plan = parse_faults("crashstep@0")
+        sentinel = object()
+        assert plan.wrap(sentinel) is sentinel
+        assert not plan.faults[0].fired
+
+    def test_crash_after_step_fires_once(self):
+        plan = parse_faults("crashstep@2")
+        assert not plan.crash_after_step(1)
+        assert plan.crash_after_step(2)
+        # Spent: a resumed run sharing the plan does not re-crash.
+        assert not plan.crash_after_step(2)
 
     def test_fault_fires_exactly_once(self):
         plan = FaultPlan([Fault(action="raise", task=1)])
@@ -356,13 +398,20 @@ class TestSharedMemoryLifecycle:
 # Simulation runner: step failure and robustness surfacing
 # ----------------------------------------------------------------------
 class _ExplodingJoin(SpatialJoinAlgorithm):
-    """Raises at a chosen step, past any executor recovery."""
+    """Raises at a chosen step, past any executor recovery.
+
+    ``persistent=True`` keeps raising on every later call too, so the
+    runner's from-scratch step retry fails as well and the run ends
+    with ``failed_step``; the default raises exactly once, which the
+    escalation path recovers from.
+    """
 
     name = "exploding"
 
-    def __init__(self, fail_at):
+    def __init__(self, fail_at, persistent=False):
         super().__init__(executor=SerialExecutor())
         self.fail_at = fail_at
+        self.persistent = persistent
         self.calls = 0
 
     def _build(self, dataset):
@@ -370,7 +419,7 @@ class _ExplodingJoin(SpatialJoinAlgorithm):
 
     def plan(self, dataset):
         step, self.calls = self.calls, self.calls + 1
-        if step == self.fail_at:
+        if step == self.fail_at or (self.persistent and step > self.fail_at):
             raise RuntimeError("irrecoverable step failure")
         return super().plan(dataset)
 
@@ -382,12 +431,36 @@ class _ExplodingJoin(SpatialJoinAlgorithm):
 
 
 class TestRunnerRobustness:
-    def test_step_failure_stops_cleanly(self, uniform_small):
+    def test_transient_step_failure_recovers_via_retry(self, uniform_small):
+        # One raise past executor recovery: the runner discards the
+        # algorithm's cross-step state and re-runs the step from
+        # scratch; the run completes with a step_retry event.
         runner = SimulationRunner(uniform_small, None, _ExplodingJoin(fail_at=2))
+        records = runner.run(5)
+        assert runner.failed_step is None
+        assert runner.failure is None
+        assert [record.step for record in records] == [0, 1, 2, 3, 4]
+        retried = [e for e in records[2].events if e["kind"] == "step_retry"]
+        assert len(retried) == 1
+        assert "irrecoverable step failure" in retried[0]["error"]
+        assert all(
+            e["kind"] != "step_retry"
+            for record in records
+            if record.step != 2
+            for e in record.events
+        )
+
+    def test_persistent_step_failure_stops_cleanly(self, uniform_small):
+        runner = SimulationRunner(
+            uniform_small, None, _ExplodingJoin(fail_at=2, persistent=True)
+        )
         records = runner.run(5)
         assert runner.failed_step == 2
         assert isinstance(runner.failure, RuntimeError)
         assert runner.timed_out is False
+        # The formatted traceback is preserved for figures/reports.
+        assert "irrecoverable step failure" in runner.failure_traceback
+        assert "Traceback" in runner.failure_traceback
         # Every record belongs to a *completed* step — none half-written.
         assert [record.step for record in records] == [0, 1]
 

@@ -175,6 +175,7 @@ class TestBenchSchema:
                     "algorithm": "pbsm",
                     "executor": "serial",
                     "kernel_backend": "numpy",
+                    "checkpoint_every": 0,
                     "n_objects": len(dataset),
                     "n_steps": len(runner.records),
                     "steps": [step_record_to_json(r) for r in runner.records],

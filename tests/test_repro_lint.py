@@ -41,6 +41,7 @@ ALL_CODES = {
     "RPL203",
     "RPL301",
     "RPL401",
+    "RPL501",
 }
 
 
@@ -642,6 +643,121 @@ class TestKernelBackendImports:
             "benchmarks/mod.py",
             "from repro.geometry.kernels.loops import strip_sweep_core\n",
             select="RPL401",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL501 — recovery-package file writes go through the atomic writer
+# ----------------------------------------------------------------------
+class TestRecoveryAtomicWrite:
+    def test_open_write_mode_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/recovery/mod.py",
+            """
+            def bad(path, data):
+                with open(path, "wb") as handle:
+                    handle.write(data)
+            """,
+            select="RPL501",
+        )
+        assert codes_of(findings) == {"RPL501"}
+
+    def test_numpy_savez_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/recovery/mod.py",
+            """
+            import numpy as np
+
+            def bad(path, arrays):
+                np.savez(path, **arrays)
+            """,
+            select="RPL501",
+        )
+        assert codes_of(findings) == {"RPL501"}
+
+    def test_json_dump_and_os_replace_fire(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/recovery/mod.py",
+            """
+            import json
+            import os
+
+            def bad(path, doc, handle):
+                json.dump(doc, handle)
+                os.replace(path, path)
+            """,
+            select="RPL501",
+        )
+        assert codes_of(findings) == {"RPL501"}
+        assert len(findings) == 2
+
+    def test_path_write_bytes_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/recovery/mod.py",
+            "def bad(path):\n    path.write_bytes(b'x')\n",
+            select="RPL501",
+        )
+        assert codes_of(findings) == {"RPL501"}
+
+    def test_computed_open_mode_fires(self, tmp_path: Path) -> None:
+        # A mode that can't be proven read-only counts as a write.
+        findings = lint_source(
+            tmp_path,
+            "repro/recovery/mod.py",
+            "def bad(path, mode):\n    return open(path, mode)\n",
+            select="RPL501",
+        )
+        assert codes_of(findings) == {"RPL501"}
+
+    def test_reads_are_clean(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/recovery/mod.py",
+            """
+            import json
+            import numpy as np
+
+            def ok(path):
+                with open(path, "rb") as handle:
+                    data = handle.read()
+                doc = json.loads(path.read_text(encoding="utf-8"))
+                with np.load(path, allow_pickle=False) as payload:
+                    arrays = dict(payload)
+                path.unlink(missing_ok=True)
+                return data, doc, arrays
+            """,
+            select="RPL501",
+        )
+        assert findings == []
+
+    def test_atomic_module_is_exempt(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/recovery/atomic.py",
+            """
+            import os
+
+            def atomic_write_bytes(path, data):
+                with open(str(path) + ".tmp", "wb") as handle:
+                    handle.write(data)
+                    os.fsync(handle.fileno())
+                os.replace(str(path) + ".tmp", path)
+            """,
+            select="RPL501",
+        )
+        assert findings == []
+
+    def test_outside_recovery_scope_is_exempt(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/obs/mod.py",
+            "def ok(path, doc):\n    import json\n    json.dump(doc, open(path, 'w'))\n",
+            select="RPL501",
         )
         assert findings == []
 

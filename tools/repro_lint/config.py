@@ -155,6 +155,37 @@ PAIRS_MODULE: tuple[str, ...] = ("/repro/geometry/pairs.py",)
 JOIN_RESULT_PAIRS_ANNOTATION = "tuple | None"
 
 # ----------------------------------------------------------------------
+# RPL501 — durable writes in the recovery package
+# ----------------------------------------------------------------------
+#: The checkpoint/restore package: every file write in it must flow
+#: through the atomic protocol (tmp + fsync + rename) so a crash can
+#: never leave a half-written checkpoint that looks committed.
+RECOVERY_SCOPE: tuple[str, ...] = ("/repro/recovery/",)
+
+#: The one sanctioned writer module inside :data:`RECOVERY_SCOPE` — it
+#: implements the atomic protocol itself.
+ATOMIC_MODULE: tuple[str, ...] = ("/repro/recovery/atomic.py",)
+
+#: ``open()`` mode characters that make the handle writable.
+WRITE_MODE_CHARS: frozenset[str] = frozenset({"w", "a", "x", "+"})
+
+#: Module-qualified file writers: ``module attribute -> writer names``.
+#: Any ``<module>.<writer>(...)`` call in scope is a durable write that
+#: bypassed the atomic protocol.
+MODULE_WRITE_CALLS: dict[str, frozenset[str]] = {
+    "np": frozenset({"save", "savez", "savez_compressed", "savetxt"}),
+    "numpy": frozenset({"save", "savez", "savez_compressed", "savetxt"}),
+    "json": frozenset({"dump"}),
+    "os": frozenset({"replace", "rename", "renames", "link", "symlink"}),
+    "shutil": frozenset({"copy", "copy2", "copyfile", "copyfileobj", "move"}),
+}
+
+#: Path-level writer methods, flagged on *any* receiver — inside the
+#: tiny recovery package anything calling ``.write_bytes()`` is writing
+#: a file.
+PATH_WRITE_ATTRS: frozenset[str] = frozenset({"write_text", "write_bytes"})
+
+# ----------------------------------------------------------------------
 # RPL401 — kernel backend dispatch discipline
 # ----------------------------------------------------------------------
 #: The verify-kernel package: the only place allowed to import backend

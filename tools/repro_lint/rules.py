@@ -14,6 +14,7 @@ RPL202   ``JoinStatistics`` fields written only via recording methods
 RPL203   maintained pair sets mutated only via the delta-maintenance API
 RPL301   ``JoinResult.pairs`` contract (``tuple | None``)
 RPL401   verify kernels invoked only via the dispatch registry
+RPL501   recovery-package file writes go through the atomic writer
 =======  ==============================================================
 """
 
@@ -585,3 +586,84 @@ class KernelBackendImportRule(Rule):
                         f"({config.KERNELS_PUBLIC_MODULE})",
                     )
                     break
+
+
+@register
+class RecoveryAtomicWriteRule(Rule):
+    code = "RPL501"
+    title = "non-atomic file write in the recovery package"
+    rationale = (
+        "A checkpoint is only trustworthy because its write path is "
+        "crash-safe: bytes go to a temp file, are fsynced, and are "
+        "renamed into place, so a manifest can never name a payload "
+        "that was not fully durable.  A direct open(..., 'w'), "
+        "np.savez, json.dump, Path.write_bytes or os.replace anywhere "
+        "else in repro/recovery/ reintroduces exactly the torn-write "
+        "window the subsystem exists to close; all durable writes go "
+        "through repro.recovery.atomic."
+    )
+
+    @staticmethod
+    def _open_write_mode(node: ast.Call) -> str | None:
+        """The write-mode string of an ``open()`` call, or ``None``."""
+        func = node.func
+        is_open = (isinstance(func, ast.Name) and func.id == "open") or (
+            isinstance(func, ast.Attribute) and func.attr == "open"
+        )
+        if not is_open:
+            return None
+        mode_expr: ast.expr | None = None
+        if len(node.args) >= 2:
+            mode_expr = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode_expr = keyword.value
+        if mode_expr is None:
+            return None  # default "r": read-only
+        if isinstance(mode_expr, ast.Constant) and isinstance(mode_expr.value, str):
+            mode = mode_expr.value
+            if set(mode) & config.WRITE_MODE_CHARS:
+                return mode
+            return None
+        # A computed mode can't be proven read-only; flag it.
+        return ast.unparse(mode_expr)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.in_scope(config.RECOVERY_SCOPE) or ctx.in_scope(
+            config.ATOMIC_MODULE
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            mode = self._open_write_mode(node)
+            if mode is not None:
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"open(..., {mode!r}) in repro/recovery/ bypasses the "
+                    "atomic write protocol; use repro.recovery.atomic",
+                )
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = func.value
+            if (
+                isinstance(receiver, ast.Name)
+                and func.attr in config.MODULE_WRITE_CALLS.get(receiver.id, frozenset())
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"{receiver.id}.{func.attr}() in repro/recovery/ bypasses "
+                    "the atomic write protocol; use repro.recovery.atomic "
+                    "(write_npz / write_json / atomic_write_bytes)",
+                )
+            elif func.attr in config.PATH_WRITE_ATTRS:
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f".{func.attr}() in repro/recovery/ bypasses the atomic "
+                    "write protocol; use repro.recovery.atomic",
+                )
