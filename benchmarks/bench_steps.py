@@ -36,15 +36,28 @@ scenario runs the same trajectory with durable checkpointing off and on
 (``checkpoint_every=10`` at default scale), asserts the two series are
 identical (checkpointing is purely observational), and records both
 runs so the document carries the measured checkpoint overhead.
+
+Schema v5 adds the service section: the ``uniform-service`` scenario
+drives the sharded async :class:`~repro.service.JoinService` over the
+uniform trajectory with a burst of concurrent clients per epoch,
+asserts every answer is bit-identical to a direct library join on the
+same geometry (including across an injected mid-run shard kill, which
+must degrade — never corrupt — the answers), and records the per-epoch
+series plus the front-end throughput/latency counters in the run-level
+``service`` block.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 import tempfile
+import time
 from pathlib import Path
+
+import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
@@ -57,6 +70,7 @@ from repro.geometry.kernels import (  # noqa: E402
     set_backend,
 )
 from repro.joins import PBSMJoin, PlaneSweepJoin  # noqa: E402
+from repro.geometry import pack_pairs  # noqa: E402
 from repro.obs import (  # noqa: E402
     BENCH_SCHEMA_VERSION,
     JsonlWriter,
@@ -67,6 +81,7 @@ from repro.obs import (  # noqa: E402
     step_record_to_json,
     validate_bench,
 )
+from repro.service import JoinService  # noqa: E402
 from repro.simulation import SimulationRunner  # noqa: E402
 
 #: serial plus one parallel backend; every backend must reproduce the
@@ -85,6 +100,9 @@ SMOKE = {
     "scale_steps": 2,
     "checkpoint_steps": 4,
     "checkpoint_every": 2,
+    "service_steps": 3,
+    "service_shards": 3,
+    "service_clients": 4,
 }
 DEFAULT = {
     "uniform_n": 4_000,
@@ -95,6 +113,9 @@ DEFAULT = {
     "scale_steps": 3,
     "checkpoint_steps": 12,
     "checkpoint_every": 10,
+    "service_steps": 6,
+    "service_shards": 4,
+    "service_clients": 8,
 }
 
 #: Pair-maintenance scenarios (schema v2): each is
@@ -154,6 +175,7 @@ def run_matrix(config, trace_path=None):
             + _incremental_runs(config)
             + _scaling_runs(config)
             + _checkpoint_runs(config)
+            + _service_runs(config)
         )
     finally:
         if trace_path is not None:
@@ -375,6 +397,100 @@ def _checkpoint_runs(config):
     return runs
 
 
+def _service_runs(config):
+    """Service section (schema v5): the sharded async front-end.
+
+    Drives a :class:`~repro.service.JoinService` over the uniform
+    trajectory: each epoch a burst of concurrent clients issues the
+    same join query (exercising batch dedup), the answers are checked
+    bit-identical to a direct library join on the same geometry, and
+    the next motion step streams in as an update.  A one-shot shard
+    kill is injected at the middle epoch — the ring must re-home and
+    keep answering exactly (``degraded``, never wrong).  The per-epoch
+    series comes from :meth:`~repro.service.ShardRing.epoch_record`;
+    the run-level ``service`` block carries the front-end
+    throughput/latency counters.
+    """
+    n_steps = config.get("service_steps", config["n_steps"])
+    n_shards = config.get("service_shards", 4)
+    clients = config.get("service_clients", 8)
+    kill_at = n_steps // 2
+    dataset, motion = scaled_uniform(config["uniform_n"], seed=7)
+    n_objects = len(dataset)
+    service = JoinService(dataset, n_shards=n_shards, executor="serial")
+
+    async def drive():
+        records = []
+        degraded_steps = 0
+        async with service:
+            started = time.perf_counter()
+            for step in range(n_steps):
+                if step:
+                    motion.step(dataset)
+                    await service.update(dataset.centers.copy())
+                if step == kill_at:
+                    await service.kill_shard(0)
+                answers = await asyncio.gather(
+                    *(service.join() for _ in range(clients))
+                )
+                expected = pack_pairs(
+                    *ThermalJoin().join_pairs(dataset), n_objects
+                )
+                for answer in answers:
+                    if not np.array_equal(
+                        pack_pairs(*answer.pairs, n_objects), expected
+                    ):
+                        raise AssertionError(
+                            f"service answer diverged from the library "
+                            f"at epoch {step}"
+                        )
+                if any(answer.degraded for answer in answers):
+                    degraded_steps += 1
+                records.append(
+                    service.ring.epoch_record(step, answers[0].n_results)
+                )
+            wall = time.perf_counter() - started
+            frontend = service.ring.metrics.snapshot()["frontend"]
+        return records, degraded_steps, wall, frontend
+
+    records, degraded_steps, wall, frontend = asyncio.run(drive())
+    if degraded_steps < 1:
+        raise AssertionError("the injected shard kill left no degraded epoch")
+    steps = [step_record_to_json(record) for record in records]
+    return [
+        {
+            "workload": "uniform-service",
+            "algorithm": "thermal-join-service",
+            "executor": "serial",
+            "kernel_backend": resolve_backend_name(),
+            "checkpoint_every": 0,
+            "n_objects": n_objects,
+            "n_steps": len(steps),
+            "steps": steps,
+            "aggregates": {
+                "total_seconds": sum(s["join_seconds"] for s in steps),
+                "total_overlap_tests": sum(s["overlap_tests"] for s in steps),
+                "peak_memory_bytes": max(s["memory_bytes"] for s in steps),
+                "total_results": sum(s["n_results"] for s in steps),
+                "task_retries": sum(s["task_retries"] for s in steps),
+                "degraded_steps": degraded_steps,
+            },
+            "service": {
+                "n_shards": n_shards,
+                "clients": clients,
+                "accepted": frontend["accepted"],
+                "rejected": frontend["rejected"],
+                "batched": frontend["batched"],
+                "answered": frontend["answered"],
+                "wall_seconds": wall,
+                "throughput_qps": frontend["answered"] / wall if wall else 0.0,
+                "latency_mean_seconds": frontend["latency_mean_seconds"],
+                "latency_max_seconds": frontend["latency_max_seconds"],
+            },
+        }
+    ]
+
+
 def checkpoint_overhead(document):
     """Fractional step-time overhead of checkpointing on the
     ``uniform-checkpoint`` scenario (``None`` when the section is absent
@@ -547,6 +663,31 @@ def test_smoke_matrix_is_schema_valid(tmp_path):
         SMOKE["checkpoint_steps"] // SMOKE["checkpoint_every"]
     )
     assert checkpoint_overhead(plain) is not None
+
+    # Schema v5: the service section holds the uniform-service run —
+    # its front-end block carries real throughput/latency, the burst
+    # dedup actually batched something, and the injected shard kill
+    # shows up as degraded epochs and shard events without ever
+    # breaking the (already asserted) bit-identity.
+    service_runs = [
+        run for run in plain["runs"] if run["workload"] == "uniform-service"
+    ]
+    assert len(service_runs) == 1, "service run missing from the bench"
+    service_run = service_runs[0]
+    block = service_run["service"]
+    assert block["n_shards"] == SMOKE["service_shards"]
+    assert block["clients"] == SMOKE["service_clients"]
+    assert block["answered"] == block["accepted"] and block["rejected"] == 0
+    assert block["batched"] > 0, "client burst never hit batch dedup"
+    assert block["throughput_qps"] > 0 and block["latency_mean_seconds"] > 0
+    assert service_run["aggregates"]["degraded_steps"] >= 1
+    shard_events = [
+        event["kind"]
+        for step in service_run["steps"]
+        for event in step["events"]
+        if str(event.get("kind", "")).startswith("shard_")
+    ]
+    assert "shard_failed" in shard_events and "shard_rehomed" in shard_events
 
     # Schema v3: every run names its kernel backend, and the scaling
     # section covers (every size) × (every available backend).

@@ -31,6 +31,12 @@ from repro.engine import (
     resolve_executor,
 )
 from repro.index import BPlusTree
+from repro.service import (
+    JoinService,
+    ServiceAnswer,
+    ServiceOverloadedError,
+    ShardRing,
+)
 from repro.joins import (
     CRTreeJoin,
     EGOJoin,
@@ -87,6 +93,10 @@ __all__ = [
     "IndexedNestedLoopRTreeJoin",
     "ST2BJoin",
     "BPlusTree",
+    "JoinService",
+    "ServiceAnswer",
+    "ServiceOverloadedError",
+    "ShardRing",
     "SimulationRunner",
     "StepRecord",
     "series",

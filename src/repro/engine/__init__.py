@@ -37,6 +37,7 @@ changing the merged result, and record what happened in
 from repro.engine.executors import (
     Executor,
     ProcessExecutor,
+    ContextPublication,
     SerialExecutor,
     ThreadExecutor,
     publish_context,
@@ -68,6 +69,7 @@ from repro.engine.incremental import (
     ChurnPolicy,
     execute_delta_step,
     incremental_from_env,
+    moved_groups,
 )
 
 __all__ = [
@@ -75,6 +77,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "ContextPublication",
     "publish_context",
     "resolve_executor",
     "FaultPlan",
@@ -98,5 +101,6 @@ __all__ = [
     "ChurnPolicy",
     "INCREMENTAL_ENV_VAR",
     "incremental_from_env",
+    "moved_groups",
     "DEFAULT_PARTITION_TASKS",
 ]

@@ -31,8 +31,12 @@ units.  Every executor records robustness *events* (drained into
 * a failed task is retried — on the pool for ``ProcessExecutor``, then
   re-executed inline in the parent as a last resort, so a transient
   worker fault never changes the merged pair set;
-* a task exceeding ``task_timeout`` seconds is abandoned and re-run
-  inline (its late result, if any, is discarded);
+* ``task_timeout`` is a shared per-step budget: one deadline is taken
+  when the step's waits begin and every pooled wait draws on the
+  remaining budget, so a slow task queued behind another slow task
+  cannot stretch a step to N×timeout.  A task still pending at the
+  deadline is abandoned and re-run inline (its late result, if any,
+  is discarded);
 * ``ProcessExecutor`` climbs a degradation ladder on
   ``BrokenProcessPool``: rebuild the pool once, then permanently
   degrade to thread execution, and to serial if threads fail too —
@@ -50,7 +54,10 @@ Selection
 ``resolve_executor`` accepts an :class:`Executor` instance, a spec
 string (``"serial"``, ``"thread"``, ``"thread:4"``, ``"process"``,
 ``"process:2"``), or ``None`` — which falls back to the
-``REPRO_EXECUTOR`` environment variable and finally to serial.
+``REPRO_EXECUTOR`` environment variable and finally to serial.  Spec
+strings additionally honour ``REPRO_TASK_TIMEOUT`` (step timeout
+budget, seconds) and ``REPRO_TASK_RETRIES`` (retry budget), so pooled
+runs selected purely through the environment get working timeouts.
 """
 
 from __future__ import annotations
@@ -76,11 +83,21 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "ContextPublication",
+    "publish_context",
     "resolve_executor",
 ]
 
 #: Environment variable naming the default executor spec.
 EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+#: Environment variable holding the per-step timeout budget (seconds)
+#: applied to executors resolved from spec strings.
+TASK_TIMEOUT_ENV_VAR = "REPRO_TASK_TIMEOUT"
+
+#: Environment variable holding the task retry budget applied to
+#: executors resolved from spec strings.
+TASK_RETRIES_ENV_VAR = "REPRO_TASK_RETRIES"
 
 #: Attach spec for one published context array: (segment name, shape, dtype str).
 ContextSpec = tuple[str, tuple[int, ...], str]
@@ -131,35 +148,73 @@ def _sweep_shared_memory() -> None:  # pragma: no cover - exercised at interpret
 atexit.register(_sweep_shared_memory)
 
 
-@contextmanager
-def publish_context(ctx: Mapping[str, np.ndarray]) -> Iterator[dict[str, ContextSpec]]:
-    """Copy context arrays into shared memory; yield the attach specs.
+class ContextPublication:
+    """A persistent shared-memory publication of context arrays.
 
-    Guarantees lifecycle: every segment created — including a partial
-    set when a later ``SharedMemory(create=True)`` call raises — is
-    closed and unlinked on exit, whatever the exit path (normal step
-    completion, worker crash, timeout, or a publication error).
+    Promotes the per-step ``publish_context`` broadcast to an explicit
+    lifecycle object: the arrays are copied into shared memory once at
+    construction and stay published — across any number of pooled steps
+    or queries — until :meth:`close` releases every segment.  The
+    sharded join service keeps one publication per shard ring epoch;
+    :func:`publish_context` remains the single-step context-manager
+    form, now a thin wrapper over this class.
+
+    Lifecycle guarantees match ``publish_context``: every segment
+    created — including a partial set when a later
+    ``SharedMemory(create=True)`` call raises — is registered in the
+    atexit-swept live-segment registry and is closed and unlinked by
+    :meth:`close`, whatever the exit path.
+
+    Attributes
+    ----------
+    specs:
+        Attach specs ``{key: (segment name, shape, dtype str)}`` for
+        worker-side :func:`_attach_context` calls.
+    views:
+        Parent-side read-only views over the published bytes (the
+        boundary-join path of the shard ring reads these zero-copy).
+        Both mappings empty once the publication is closed.
     """
-    from multiprocessing import shared_memory
 
-    specs = {}
-    segments = []
-    try:
-        for key, array in ctx.items():
-            array = np.ascontiguousarray(array)
-            segment = shared_memory.SharedMemory(
-                create=True, size=max(array.nbytes, 1)
-            )
-            segments.append(segment)
-            _LIVE_SEGMENTS[segment.name] = segment
-            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
-            view[...] = array
-            # Lock the parent-side view once filled: from here on the
-            # segment is a read-only broadcast to the workers.
-            view.setflags(write=False)
-            specs[key] = (segment.name, array.shape, array.dtype.str)
-        yield specs
-    finally:
+    def __init__(self, ctx: Mapping[str, np.ndarray]) -> None:
+        from multiprocessing import shared_memory
+
+        self.specs: dict[str, ContextSpec] = {}
+        self.views: dict[str, np.ndarray] = {}
+        self._segments: list[Any] = []
+        self._closed = False
+        try:
+            for key, array in ctx.items():
+                array = np.ascontiguousarray(array)
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(array.nbytes, 1)
+                )
+                self._segments.append(segment)
+                _LIVE_SEGMENTS[segment.name] = segment
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                view[...] = array
+                # Lock the parent-side view once filled: from here on the
+                # segment is a read-only broadcast to the workers.
+                view.setflags(write=False)
+                self.specs[key] = (segment.name, array.shape, array.dtype.str)
+                self.views[key] = view
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def closed(self) -> bool:
+        """Whether the publication's segments have been released."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release every published segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.specs = {}
+        self.views = {}
+        segments, self._segments = self._segments, []
         for segment in segments:
             _LIVE_SEGMENTS.pop(segment.name, None)
             try:
@@ -171,6 +226,28 @@ def publish_context(ctx: Mapping[str, np.ndarray]) -> Iterator[dict[str, Context
             except FileNotFoundError:  # pragma: no cover
                 pass
 
+    def __enter__(self) -> ContextPublication:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@contextmanager
+def publish_context(ctx: Mapping[str, np.ndarray]) -> Iterator[dict[str, ContextSpec]]:
+    """Copy context arrays into shared memory; yield the attach specs.
+
+    The single-step form of :class:`ContextPublication`: the segments
+    live exactly as long as the ``with`` block, whatever the exit path
+    (normal step completion, worker crash, timeout, or a publication
+    error).
+    """
+    publication = ContextPublication(ctx)
+    try:
+        yield publication.specs
+    finally:
+        publication.close()
+
 
 class Executor:
     """Scheduling strategy for a plan's independent join tasks.
@@ -181,9 +258,12 @@ class Executor:
         Scheduled re-attempts for a failed task before the inline
         last resort (pool executors) or before the failure propagates.
     task_timeout:
-        Per-task wall-clock limit in seconds for pooled executors;
-        ``None`` (default) disables timeouts.  A timed-out task is
-        re-run inline in the parent and its late result discarded.
+        Wall-clock budget in seconds shared by all of a step's pooled
+        waits; ``None`` (default) disables timeouts.  The deadline is
+        taken once when the step starts waiting, so N queued slow
+        tasks are bounded by one budget, not N of them.  A task still
+        pending at the deadline is re-run inline in the parent and its
+        late result discarded.
     """
 
     name = "abstract"
@@ -223,21 +303,44 @@ class Executor:
         count_only: bool,
         index: int,
     ) -> TaskResult:
-        """Run ``task`` inline; on failure, retry the original task.
+        """Run ``task`` inline, honouring the configured retry budget.
 
         ``task`` may be a fault-wrapped first launch; retries always use
-        ``original`` so a spent injected fault cannot re-fire.  A retry
-        that fails again propagates — genuine, deterministic task bugs
-        must still surface.
+        ``original`` so a spent injected fault cannot re-fire.  One
+        ``task_retry`` event is recorded per re-attempt; a task still
+        failing once ``max_retries`` re-attempts are spent propagates —
+        genuine, deterministic task bugs must still surface.
         """
         try:
             return _run_inline(task, ctx, count_only)
         except Exception as exc:
-            self._record_event("task_retry", task=index, error=repr(exc))
-            return _run_inline(original, ctx, count_only)
+            error = exc
+        for _ in range(self.max_retries):
+            self._record_event("task_retry", task=index, error=repr(error))
+            try:
+                return _run_inline(original, ctx, count_only)
+            except Exception as exc:
+                error = exc
+        raise error
+
+    def _step_deadline(self) -> float | None:
+        """The shared deadline for one step's pooled waits.
+
+        Taken once per step: every subsequent wait passes the remaining
+        budget (:func:`_remaining_budget`), so a slow task queued behind
+        another slow task is abandoned within the same ``task_timeout``
+        window instead of restarting the clock at its own ``.result()``
+        call.
+        """
+        if self.task_timeout is None:
+            return None
+        return time.monotonic() + self.task_timeout
 
     def __repr__(self) -> str:
-        return f"{type(self).__name__}()"
+        return (
+            f"{type(self).__name__}(max_retries={self.max_retries}, "
+            f"task_timeout={self.task_timeout})"
+        )
 
 
 class SerialExecutor(Executor):
@@ -255,6 +358,15 @@ class SerialExecutor(Executor):
 
 def _default_workers() -> int:
     return max(os.cpu_count() or 1, 1)
+
+
+def _remaining_budget(deadline: float | None) -> float | None:
+    """Seconds left until ``deadline``, floored at zero; ``None`` means
+    no limit.  A zero budget makes ``Future.result`` raise immediately
+    for any task that has not already finished."""
+    if deadline is None:
+        return None
+    return max(deadline - time.monotonic(), 0.0)
 
 
 class ThreadExecutor(Executor):
@@ -312,10 +424,11 @@ class ThreadExecutor(Executor):
             pool.submit(_run_inline, launched[k], ctx, count_only)
             for k in range(len(tasks))
         ]
+        deadline = self._step_deadline()
         results = []
         for k, future in enumerate(futures):
             try:
-                results.append(future.result(timeout=self.task_timeout))
+                results.append(future.result(timeout=_remaining_budget(deadline)))
             except (cf.TimeoutError, TimeoutError):
                 self._record_event(
                     "task_timeout", task=k, timeout=self.task_timeout
@@ -332,7 +445,10 @@ class ThreadExecutor(Executor):
             self._pool = None
 
     def __repr__(self) -> str:
-        return f"ThreadExecutor(n_workers={self.n_workers})"
+        return (
+            f"ThreadExecutor(n_workers={self.n_workers}, "
+            f"max_retries={self.max_retries}, task_timeout={self.task_timeout})"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -501,6 +617,7 @@ class ProcessExecutor(Executor):
 
         self._step_token += 1
         token = (os.getpid(), self._step_token)
+        deadline = self._step_deadline()
         results = [None] * len(tasks)
         #: Task to submit on the next round: the fault-wrapped first
         #: launch, replaced by the original on retry.
@@ -532,7 +649,9 @@ class ProcessExecutor(Executor):
                 if broken is None:
                     for k in remaining:
                         try:
-                            payload = futures[k].result(timeout=self.task_timeout)
+                            payload = futures[k].result(
+                                timeout=_remaining_budget(deadline)
+                            )
                         except (cf.TimeoutError, TimeoutError):
                             self._record_event(
                                 "task_timeout", task=k, timeout=self.task_timeout
@@ -618,7 +737,40 @@ class ProcessExecutor(Executor):
             self.close()
 
     def __repr__(self) -> str:
-        return f"ProcessExecutor(n_workers={self.n_workers})"
+        return (
+            f"ProcessExecutor(n_workers={self.n_workers}, "
+            f"max_retries={self.max_retries}, task_timeout={self.task_timeout})"
+        )
+
+
+def _env_task_options() -> dict[str, Any]:
+    """Retry/timeout keyword arguments read from the environment.
+
+    ``REPRO_TASK_TIMEOUT`` (seconds, positive float) and
+    ``REPRO_TASK_RETRIES`` (non-negative int) apply to every executor
+    resolved from a spec string — previously spec strings silently
+    dropped both knobs, so a ``REPRO_EXECUTOR=process:2`` run could
+    never enable timeouts.  Range validation is the constructors'; this
+    helper validates the parse and names the offending variable.
+    """
+    options: dict[str, Any] = {}
+    raw = os.environ.get(TASK_TIMEOUT_ENV_VAR)
+    if raw is not None and raw.strip():
+        try:
+            options["task_timeout"] = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{TASK_TIMEOUT_ENV_VAR} must be a number of seconds, got {raw!r}"
+            ) from None
+    raw = os.environ.get(TASK_RETRIES_ENV_VAR)
+    if raw is not None and raw.strip():
+        try:
+            options["max_retries"] = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{TASK_RETRIES_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    return options
 
 
 def resolve_executor(spec: Executor | str | None) -> Executor:
@@ -626,8 +778,10 @@ def resolve_executor(spec: Executor | str | None) -> Executor:
 
     ``None`` consults the ``REPRO_EXECUTOR`` environment variable and
     defaults to serial; strings take the form ``name`` or ``name:N``
-    with ``N`` the worker count.  Instances pass through unchanged (so
-    one pool can be shared by many algorithms).
+    with ``N`` the worker count, and additionally honour
+    ``REPRO_TASK_TIMEOUT`` / ``REPRO_TASK_RETRIES``.  Instances pass
+    through unchanged (so one pool can be shared by many algorithms),
+    keeping whatever budgets they were constructed with.
     """
     if isinstance(spec, Executor):
         return spec
@@ -643,12 +797,13 @@ def resolve_executor(spec: Executor | str | None) -> Executor:
             n_workers = int(workers)
         except ValueError:
             raise ValueError(f"invalid executor worker count in {spec!r}") from None
+    options = _env_task_options()
     if name == "serial":
-        return SerialExecutor()
+        return SerialExecutor(**options)
     if name in ("thread", "threads"):
-        return ThreadExecutor(n_workers)
+        return ThreadExecutor(n_workers, **options)
     if name in ("process", "processes"):
-        return ProcessExecutor(n_workers)
+        return ProcessExecutor(n_workers, **options)
     raise ValueError(
         f"unknown executor {spec!r}; expected serial, thread[:N] or process[:N]"
     )

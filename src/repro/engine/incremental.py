@@ -30,6 +30,8 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+import numpy as np
+
 from repro.geometry import PairAccumulator
 
 if TYPE_CHECKING:
@@ -41,6 +43,7 @@ if TYPE_CHECKING:
 __all__ = [
     "INCREMENTAL_ENV_VAR",
     "incremental_from_env",
+    "moved_groups",
     "ChurnPolicy",
     "execute_delta_step",
 ]
@@ -55,6 +58,26 @@ _TRUTHY = frozenset({"1", "true", "yes", "on"})
 def incremental_from_env() -> bool:
     """Resolve the :data:`INCREMENTAL_ENV_VAR` opt-in (default off)."""
     return os.environ.get(INCREMENTAL_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def moved_groups(delta: MotionDelta, assignment: np.ndarray) -> np.ndarray:
+    """Distinct group ids whose membership intersects the delta's moved set.
+
+    ``assignment`` maps every object index to a group id (a spatial
+    shard, a partition, a cell bucket).  The result — sorted, unique —
+    is the set of groups the delta *touches*: any state keyed per group
+    (a shard's local index, a ``(shard, step, query)`` result-cache
+    entry) is stale exactly for these groups and provably fresh for all
+    others.  This is the invalidation primitive the sharded join
+    service drives its result cache with.
+    """
+    assignment = np.asarray(assignment)
+    if assignment.ndim != 1 or assignment.shape[0] != delta.n_objects:
+        raise ValueError(
+            f"assignment maps {assignment.shape} objects but the delta "
+            f"describes {delta.n_objects}"
+        )
+    return np.unique(assignment[delta.moved])
 
 
 @dataclass

@@ -8,10 +8,10 @@ and the environment that produced them.  The schema is versioned;
 :func:`validate_bench` is what CI runs against the freshly produced
 document and what the test suite runs against a smoke run.
 
-Document shape (``BENCH_SCHEMA_VERSION`` 4)::
+Document shape (``BENCH_SCHEMA_VERSION`` 5)::
 
     {
-      "schema_version": 4,
+      "schema_version": 5,
       "kind": "bench_steps",
       "environment": {"python": ..., "numpy": ..., "platform": ...,
                        "cpu_count": ...},
@@ -52,6 +52,16 @@ durable-checkpoint cadence the run executed with (``0`` when
 checkpointing was off).  The ``uniform-checkpoint`` scenario runs the
 same trajectory with checkpointing off and on, so the document records
 the measured checkpoint overhead alongside the bit-identical series.
+
+Schema version 5 adds the optional run-level ``service`` block: the
+front-end counters of a :class:`~repro.service.JoinService` run —
+shard count, concurrent clients, accepted/rejected/batched request
+counts, and the measured throughput (queries per second) and latency
+(mean/max seconds).  The ``uniform-service`` scenario drives the
+sharded async service over the uniform trajectory, asserts its answers
+are bit-identical to direct library calls (including across an
+injected shard kill), and records the per-epoch series through
+:meth:`~repro.service.ShardRing.epoch_record`.
 """
 
 from __future__ import annotations
@@ -74,7 +84,7 @@ __all__ = [
     "validate_bench",
 ]
 
-BENCH_SCHEMA_VERSION = 4
+BENCH_SCHEMA_VERSION = 5
 
 #: Required keys of one per-step record.
 STEP_FIELDS = (
@@ -102,6 +112,21 @@ RUN_FIELDS = (
     "n_steps",
     "steps",
     "aggregates",
+)
+
+#: Required keys of the optional run-level ``service`` block (schema
+#: v5): present on runs produced through the sharded async front-end.
+SERVICE_FIELDS = (
+    "n_shards",
+    "clients",
+    "accepted",
+    "rejected",
+    "batched",
+    "answered",
+    "wall_seconds",
+    "throughput_qps",
+    "latency_mean_seconds",
+    "latency_max_seconds",
 )
 
 #: Required keys of the aggregates block.
@@ -214,6 +239,17 @@ def validate_bench(doc: dict[str, Any]) -> dict[str, Any]:
         aggregates = run["aggregates"]
         for key in AGGREGATE_FIELDS:
             _require(key in aggregates, f"{where}.aggregates.{key} missing")
+        if "service" in run:
+            service = run["service"]
+            _require(
+                isinstance(service, dict), f"{where}.service must be an object"
+            )
+            for key in SERVICE_FIELDS:
+                _require(key in service, f"{where}.service.{key} missing")
+            _require(
+                service["answered"] <= service["accepted"],
+                f"{where}.service: answered exceeds accepted",
+            )
         _require(
             aggregates["total_overlap_tests"]
             == sum(step["overlap_tests"] for step in steps),

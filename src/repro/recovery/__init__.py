@@ -30,8 +30,10 @@ from repro.recovery.metrics import RecoveryMetrics
 from repro.recovery.state import (
     restore_dataset,
     restore_motion,
+    restore_shard,
     snapshot_dataset,
     snapshot_motion,
+    snapshot_shard,
     step_record_from_jsonable,
     step_record_to_jsonable,
 )
@@ -46,8 +48,10 @@ __all__ = [
     "atomic_write_bytes",
     "restore_dataset",
     "restore_motion",
+    "restore_shard",
     "snapshot_dataset",
     "snapshot_motion",
+    "snapshot_shard",
     "step_record_from_jsonable",
     "step_record_to_jsonable",
     "write_json",

@@ -1,0 +1,655 @@
+"""Spatial shard ring: partitioned joins with cross-shard boundary bands.
+
+The ring slabs the domain along its longest axis into ``n_shards``
+contiguous slices (SOLAR's spatial partitioning shape, with
+Tsitsigkos & Mamoulis' partition-level parallelism as the unit of
+sharding).  Each non-empty slab owns a private
+:class:`~repro.datasets.SpatialDataset` plus its own join algorithm
+instance; all shards share one engine executor, so the verify stage
+parallelises exactly as it does for the monolithic library.
+
+Bit-identity with a direct library call is a theorem, not a hope:
+
+* a pair with both objects in shard ``k`` is found by shard ``k``'s
+  own join (its local dataset holds bit-equal copies of the global
+  centers and widths, and the overlap predicate is an exact float
+  comparison);
+* a pair crossing shards ``a < b`` satisfies ``c_b - c_a <= reach``
+  along the slab axis (``reach`` bounds ``(w_a + w_b) / 2``), which
+  places the ``a`` object in the band ``c >= edges[b] - reach`` and
+  the ``b`` object in ``c <= edges[a + 1] + reach``; the bands are
+  *supersets* of the crossing pairs and the grouped cross-join kernel
+  applies the exact predicate to every band candidate.
+
+The union of per-shard pairs and boundary pairs, canonicalised through
+:func:`~repro.geometry.unique_pairs`, therefore equals the library's
+pair set bit for bit — the property suite enforces it across executors
+and motion models.
+
+Degradation instead of death: a shard whose compute raises is re-homed
+(restored from its last :func:`~repro.recovery.snapshot_shard` when
+fresh, rebuilt from the ring's authoritative arrays otherwise) and the
+query retried once; a shard that fails again is marked dead and its
+last successfully served answer is returned *marked stale* rather
+than failing the query.  Every transition is recorded as a robustness
+event and surfaced through the obs metrics registry.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.datasets.dataset import SpatialDataset
+from repro.datasets.delta import MotionDelta
+from repro.engine.executors import ContextPublication, Executor, resolve_executor
+from repro.engine.incremental import moved_groups
+from repro.geometry import unique_pairs
+from repro.geometry.kernels import cross_join_groups
+from repro.joins.base import RETRY_EVENT_KINDS, SpatialJoinAlgorithm
+from repro.obs.metrics import MetricsRegistry
+from repro.recovery.state import restore_shard, snapshot_shard
+from repro.service.cache import BOUNDARY_KEY, RING_KEY, ResultCache
+from repro.simulation.runner import StepRecord
+
+__all__ = ["RingAnswer", "Shard", "ShardRing"]
+
+#: Query-key tuple: ``("join",)`` or ``("distance", d)``.
+QueryKey = tuple[Hashable, ...]
+
+AlgorithmFactory = Callable[[], SpatialJoinAlgorithm]
+
+
+@dataclass(frozen=True)
+class RingAnswer:
+    """One assembled ring answer in global object indices.
+
+    ``degraded`` is True when anything about the answer fell short of
+    the healthy path — a stale shard, a dead shard, a re-home, or an
+    executor running on a degradation rung.  ``stale`` is the stronger
+    flag: at least one shard's contribution is a previously computed
+    answer served because the shard could not be revived.  A stale
+    answer is *marked*, never silently wrong.
+    """
+
+    kind: str
+    epoch: int
+    n_results: int
+    pairs: tuple[np.ndarray, np.ndarray]
+    degraded: bool
+    stale: bool
+
+
+@dataclass
+class Shard:
+    """One spatial slab: members, private dataset, private algorithm."""
+
+    shard_id: int
+    global_ids: np.ndarray
+    dataset: SpatialDataset | None
+    join: SpatialJoinAlgorithm | None
+    #: Ring epoch (global dataset version) of the last update applied
+    #: to this shard; untouched shards keep older versions so their
+    #: cached answers stay provably valid.
+    version: int
+    alive: bool = True
+    pending_delta: MotionDelta | None = None
+    failures: int = 0
+    queries: int = 0
+    overlap_tests: int = 0
+    seconds: float = 0.0
+    #: Analytic index footprint reported by the shard's last step.
+    memory_bytes: int = 0
+
+
+class ShardRing:
+    """Sharded join state: slab assignment, per-shard joins, caching.
+
+    The ring owns a private copy of ``dataset`` — updates flow only
+    through :meth:`apply_update`, which commits the motion as a
+    :class:`~repro.datasets.delta.MotionDelta` and uses
+    :func:`~repro.engine.incremental.moved_groups` to touch exactly
+    the shards whose membership moved.  All methods are synchronous
+    and must be called from one thread at a time (the async front-end
+    serialises through its worker task).
+    """
+
+    def __init__(
+        self,
+        dataset: SpatialDataset,
+        n_shards: int = 4,
+        executor: Executor | str | None = None,
+        algorithm_factory: AlgorithmFactory | None = None,
+        cache_entries: int = 512,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        self.dataset = dataset.copy()
+        self.n_shards = int(n_shards)
+        self.executor: Executor = resolve_executor(executor)
+        self._owns_executor = not isinstance(executor, Executor)
+        if algorithm_factory is None:
+            algorithm_factory = self._default_factory
+        self._factory = algorithm_factory
+        self.cache = ResultCache(max_entries=cache_entries)
+
+        lo, hi = self.dataset.bounds
+        self._axis = int(np.argmax(hi - lo))
+        self._edges = np.linspace(lo[self._axis], hi[self._axis], self.n_shards + 1)
+        #: Axis reach bounding ``(w_a + w_b) / 2`` for any object pair.
+        self._reach = self.dataset.max_width
+        self._assignment = self._assign(self.dataset.centers)
+
+        self._shards: list[Shard] = [
+            Shard(
+                shard_id=k,
+                global_ids=np.empty(0, dtype=np.int64),
+                dataset=None,
+                join=None,
+                version=self.dataset.version,
+            )
+            for k in range(self.n_shards)
+        ]
+        #: Last committed (arrays, meta, ring-epoch) snapshot per shard.
+        self._snapshots: dict[int, tuple[dict[str, np.ndarray], dict[str, Any], int]] = {}
+        #: Last successfully served answer per (shard, query) — the
+        #: stale-but-marked fallback for dead shards.
+        self._stale: dict[tuple[int, QueryKey], tuple[np.ndarray, np.ndarray]] = {}
+        #: Injected shard failures: shard id -> "once" | "permanent".
+        self._poison: dict[int, str] = {}
+        #: Bumped whenever shard health changes; part of assembled keys.
+        self._generation = 0
+        self.rehomes = 0
+        self.stale_served = 0
+        self.updates = 0
+        self._publication: ContextPublication | None = None
+        self._epoch_events: list[dict[str, Any]] = []
+        self._epoch_counters: dict[str, float] = {}
+
+        self.metrics = MetricsRegistry()
+        self.metrics.register("cache", self.cache.metrics)
+        self.metrics.register("ring", self._ring_metrics)
+        for k in range(self.n_shards):
+            self.metrics.register(f"shard{k}", functools.partial(self._shard_metrics, k))
+
+        for k in range(self.n_shards):
+            self._build_shard(k)
+        self._publish()
+
+    def _default_factory(self) -> SpatialJoinAlgorithm:
+        from repro.core import ThermalJoin
+
+        return ThermalJoin(executor=self.executor)
+
+    # ------------------------------------------------------------------
+    # Assignment and shard construction
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Committed update count — the ring dataset's version."""
+        return self.dataset.version
+
+    def _assign(self, centers: np.ndarray) -> np.ndarray:
+        """Slab id per object: shard ``k`` owns ``[edges[k], edges[k+1])``."""
+        return np.searchsorted(
+            self._edges[1:-1], centers[:, self._axis], side="right"
+        )
+
+    def _build_shard(self, k: int) -> None:
+        """(Re)construct shard ``k`` from the ring's authoritative arrays."""
+        shard = self._shards[k]
+        members = np.nonzero(self._assignment == k)[0]
+        shard.global_ids = members
+        if members.size == 0:
+            shard.dataset = None
+            shard.join = None
+            self._snapshots.pop(k, None)
+        else:
+            shard.dataset = SpatialDataset(
+                self.dataset.centers[members],
+                self.dataset.widths[members],
+                bounds=self.dataset.bounds,
+            )
+            shard.join = self._factory()
+        shard.version = self.dataset.version
+        shard.pending_delta = None
+        shard.alive = True
+        self.cache.invalidate_shard(k)
+        self._snapshot(k)
+
+    def _snapshot(self, k: int) -> None:
+        """Store shard ``k``'s committed state for post-death re-homing."""
+        shard = self._shards[k]
+        if shard.dataset is None or shard.join is None:
+            return
+        arrays, meta = snapshot_shard(shard.dataset, shard.join)
+        arrays = {key: value.copy() for key, value in arrays.items()}
+        self._snapshots[k] = (arrays, meta, shard.version)
+
+    def _publish(self) -> None:
+        """Refresh the persistent shared-memory publication of the boxes.
+
+        The boundary join reads the global ``lo``/``hi`` views from
+        here — the promotion of the per-step ``publish_context``
+        publication to ring lifetime.  Rebuilt after every committed
+        update (the boxes change with the centers).
+        """
+        if self._publication is not None:
+            self._publication.close()
+        box_lo, box_hi = self.dataset.boxes()
+        self._publication = ContextPublication({"lo": box_lo, "hi": box_hi})
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def apply_update(self, new_centers: np.ndarray) -> int:
+        """Commit one motion step; returns the new epoch.
+
+        The delta drives two invalidation sets: shards whose membership
+        *changed* (an object crossed a slab edge) are rebuilt; shards
+        whose members merely moved in place get a local delta and a
+        cache invalidation.  Untouched shards keep their version — and
+        therefore their cached answers — across the epoch bump.
+        """
+        new_centers = np.asarray(new_centers, dtype=np.float64)
+        if new_centers.shape != self.dataset.centers.shape:
+            raise ValueError(
+                f"update shape {new_centers.shape} does not match "
+                f"{self.dataset.centers.shape}"
+            )
+        before = self.dataset.centers.copy()
+        self.dataset.centers[:] = new_centers
+        delta = self.dataset.commit_motion(before)
+        self.updates += 1
+        self._epoch_events = []
+        self._epoch_counters = {}
+
+        old_assignment = self._assignment
+        new_assignment = self._assign(self.dataset.centers)
+        migrated = np.nonzero(old_assignment != new_assignment)[0]
+        rebuild = set(old_assignment[migrated].tolist())
+        rebuild.update(new_assignment[migrated].tolist())
+        touched = set(moved_groups(delta, old_assignment).tolist())
+        self._assignment = new_assignment
+
+        for k in sorted(rebuild):
+            self._build_shard(k)
+        for k in sorted(touched - rebuild):
+            self._refresh_shard(k)
+        self.cache.invalidate_shard(BOUNDARY_KEY)
+        self.cache.invalidate_shard(RING_KEY)
+        self._publish()
+        return self.epoch
+
+    def _refresh_shard(self, k: int) -> None:
+        """Propagate in-place motion to shard ``k`` (no membership change)."""
+        shard = self._shards[k]
+        if shard.dataset is None:
+            return
+        local_before = shard.dataset.centers.copy()
+        shard.dataset.centers[:] = self.dataset.centers[shard.global_ids]
+        local_delta = shard.dataset.commit_motion(local_before)
+        # Two deltas since the last join cannot be composed into one
+        # version-pinned MotionDelta; dropping to None forces the next
+        # query into a (correct, merely slower) full re-join.
+        shard.pending_delta = local_delta if shard.pending_delta is None else None
+        shard.version = self.dataset.version
+        self.cache.invalidate_shard(k)
+        self._snapshot(k)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def join_pairs(self) -> RingAnswer:
+        """Assembled overlap self-join, bit-identical to the library."""
+        return self._query(("join",), None)
+
+    def distance_pairs(self, distance: float) -> RingAnswer:
+        """Assembled distance join (the paper's §3.1 reduction)."""
+        if distance < 0:
+            raise ValueError(f"distance must be non-negative, got {distance}")
+        return self._query(("distance", float(distance)), float(distance))
+
+    def _query(self, qkey: QueryKey, distance: float | None) -> RingAnswer:
+        ring_key = (RING_KEY, self.epoch, self._generation, qkey)
+        cached = self.cache.get(ring_key)
+        if cached is not None:
+            assert isinstance(cached, RingAnswer)
+            return cached
+
+        events_before = len(self._epoch_events)
+        any_stale = False
+        left_parts: list[np.ndarray] = []
+        right_parts: list[np.ndarray] = []
+        for shard in self._shards:
+            if shard.dataset is None:
+                continue
+            (gi, gj), stale = self._shard_pairs(shard, qkey, distance)
+            any_stale = any_stale or stale
+            left_parts.append(gi)
+            right_parts.append(gj)
+        boundary_i, boundary_j = self._boundary_pairs(qkey, distance)
+        left_parts.append(boundary_i)
+        right_parts.append(boundary_j)
+
+        empty = np.empty(0, dtype=np.int64)
+        all_i = np.concatenate(left_parts) if left_parts else empty
+        all_j = np.concatenate(right_parts) if right_parts else empty
+        pair_i, pair_j = unique_pairs(all_i, all_j, len(self.dataset))
+
+        degraded = (
+            any_stale
+            or any(not shard.alive for shard in self._shards)
+            or len(self._epoch_events) > events_before
+            or getattr(self.executor, "degraded", None) is not None
+        )
+        answer = RingAnswer(
+            kind=str(qkey[0]),
+            epoch=self.epoch,
+            n_results=int(pair_i.shape[0]),
+            pairs=(pair_i, pair_j),
+            degraded=degraded,
+            stale=any_stale,
+        )
+        self.cache.put(ring_key, answer)
+        return answer
+
+    def _shard_pairs(
+        self, shard: Shard, qkey: QueryKey, distance: float | None
+    ) -> tuple[tuple[np.ndarray, np.ndarray], bool]:
+        """Shard contribution with the degradation ladder around it."""
+        if not shard.alive and self._poison.get(shard.shard_id) == "permanent":
+            stale = self._stale.get((shard.shard_id, qkey))
+            if stale is not None:
+                self.stale_served += 1
+                return stale, True
+        try:
+            return self._compute_shard(shard, qkey, distance), False
+        except Exception as exc:
+            shard.failures += 1
+            self._generation += 1
+            self._record_event(
+                "shard_failed", shard=shard.shard_id, error=repr(exc)
+            )
+            self._rehome(shard)
+            try:
+                pairs = self._compute_shard(shard, qkey, distance)
+            except Exception as retry_exc:
+                shard.alive = False
+                self._record_event(
+                    "shard_dead", shard=shard.shard_id, error=repr(retry_exc)
+                )
+                stale = self._stale.get((shard.shard_id, qkey))
+                if stale is None:
+                    raise
+                self.stale_served += 1
+                return stale, True
+            shard.alive = True
+            self._record_event("shard_rehomed", shard=shard.shard_id)
+            return pairs, False
+
+    def _compute_shard(
+        self, shard: Shard, qkey: QueryKey, distance: float | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One shard's pairs in global indices (cached per shard version)."""
+        if self._poison.get(shard.shard_id) is not None:
+            raise RuntimeError(
+                f"injected shard failure on shard {shard.shard_id}"
+            )
+        key = (shard.shard_id, shard.version, qkey)
+        cached = self.cache.get(key)
+        if cached is not None:
+            gi, gj = cached
+            return gi, gj
+        assert shard.dataset is not None and shard.join is not None
+        started = time.perf_counter()
+        if distance is None:
+            result = shard.join.step_delta(shard.dataset, shard.pending_delta)
+            shard.pending_delta = None
+        else:
+            result = shard.join.distance_join(shard.dataset, distance)
+        seconds = time.perf_counter() - started
+        assert result.pairs is not None
+        li, lj = unique_pairs(*result.pairs, len(shard.dataset))
+        gi = shard.global_ids[li]
+        gj = shard.global_ids[lj]
+
+        shard.queries += 1
+        shard.overlap_tests += result.stats.overlap_tests
+        shard.seconds += seconds
+        shard.memory_bytes = result.stats.memory_bytes
+        self._epoch_events.extend(result.stats.events)
+        self._bump("overlap_tests", result.stats.overlap_tests)
+        self._bump("build_seconds", result.stats.build_seconds)
+        self._bump("join_seconds", result.stats.join_seconds)
+
+        pairs = (gi, gj)
+        self.cache.put(key, pairs)
+        self._stale[(shard.shard_id, qkey)] = pairs
+        return pairs
+
+    def _rehome(self, shard: Shard) -> None:
+        """Revive a failed shard from its snapshot or the ring's arrays."""
+        if self._poison.get(shard.shard_id) == "once":
+            self._poison.pop(shard.shard_id)
+        self.rehomes += 1
+        algorithm = self._factory()
+        restored = False
+        snapshot = self._snapshots.get(shard.shard_id)
+        if snapshot is not None:
+            arrays, meta, version = snapshot
+            if version == shard.version:
+                try:
+                    shard.dataset = restore_shard(arrays, meta, algorithm)
+                except ValueError:
+                    restored = False
+                else:
+                    restored = True
+        if not restored:
+            # The ring's arrays are authoritative: a shard whose
+            # members have not moved since ``shard.version`` rebuilds
+            # to bit-equal state from the current global positions.
+            shard.dataset = SpatialDataset(
+                self.dataset.centers[shard.global_ids],
+                self.dataset.widths[shard.global_ids],
+                bounds=self.dataset.bounds,
+            )
+        shard.join = algorithm
+        shard.pending_delta = None
+        self.cache.invalidate_shard(shard.shard_id)
+
+    # ------------------------------------------------------------------
+    # Boundary joins
+    # ------------------------------------------------------------------
+    def _boundary_pairs(
+        self, qkey: QueryKey, distance: float | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact cross-shard pairs from the slab-edge candidate bands."""
+        key = (BOUNDARY_KEY, self.epoch, qkey)
+        cached = self.cache.get(key)
+        if cached is not None:
+            lo_ids, hi_ids = cached
+            return lo_ids, hi_ids
+
+        started = time.perf_counter()
+        if distance is None:
+            assert self._publication is not None
+            box_lo = self._publication.views["lo"]
+            box_hi = self._publication.views["hi"]
+            reach = self._reach
+        else:
+            # Bit-equal to ``with_enlarged_extent(distance).boxes()``:
+            # centers ± (widths + d) / 2, in that association order.
+            half = (self.dataset.widths + distance) / 2.0
+            box_lo = self.dataset.centers - half
+            box_hi = self.dataset.centers + half
+            reach = self._reach + distance
+
+        axis_centers = self.dataset.centers[:, self._axis]
+        bands_a: list[np.ndarray] = []
+        bands_b: list[np.ndarray] = []
+        for a in range(self.n_shards - 1):
+            members_a = self._shards[a].global_ids
+            for b in range(a + 1, self.n_shards):
+                if self._edges[b] - self._edges[a + 1] > reach:
+                    break
+                members_b = self._shards[b].global_ids
+                band_a = members_a[
+                    axis_centers[members_a] >= self._edges[b] - reach
+                ]
+                band_b = members_b[
+                    axis_centers[members_b] <= self._edges[a + 1] + reach
+                ]
+                if band_a.size and band_b.size:
+                    bands_a.append(band_a)
+                    bands_b.append(band_b)
+
+        empty = np.empty(0, dtype=np.int64)
+        if not bands_a:
+            pairs = (empty, empty)
+            self.cache.put(key, pairs)
+            return pairs
+
+        cat_a = np.concatenate(bands_a)
+        cat_b = np.concatenate(bands_b)
+        stops_a = np.cumsum([band.size for band in bands_a], dtype=np.int64)
+        starts_a = np.concatenate([[0], stops_a[:-1]]).astype(np.int64)
+        stops_b = np.cumsum([band.size for band in bands_b], dtype=np.int64)
+        starts_b = np.concatenate([[0], stops_b[:-1]]).astype(np.int64)
+        n_band_pairs = len(bands_a)
+        group_index = np.arange(n_band_pairs, dtype=np.int64)
+
+        emitted_left: list[np.ndarray] = []
+        emitted_right: list[np.ndarray] = []
+
+        def on_pairs(
+            left_ids: np.ndarray, right_ids: np.ndarray, pair_index: np.ndarray
+        ) -> None:
+            emitted_left.append(np.asarray(left_ids, dtype=np.int64))
+            emitted_right.append(np.asarray(right_ids, dtype=np.int64))
+
+        tests = cross_join_groups(
+            box_lo,
+            box_hi,
+            cat_a,
+            starts_a,
+            stops_a,
+            cat_b,
+            starts_b,
+            stops_b,
+            group_index,
+            group_index,
+            on_pairs,
+            count="full",
+        )
+        self._bump("boundary_tests", tests)
+        self._bump("join_seconds", time.perf_counter() - started)
+
+        if emitted_left:
+            raw_i = np.concatenate(emitted_left)
+            raw_j = np.concatenate(emitted_right)
+            pairs = (np.minimum(raw_i, raw_j), np.maximum(raw_i, raw_j))
+        else:
+            pairs = (empty, empty)
+        self.cache.put(key, pairs)
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Fault injection and accounting
+    # ------------------------------------------------------------------
+    def kill_shard(self, shard_id: int, permanent: bool = False) -> None:
+        """Poison ``shard_id`` so its next compute raises (test/CI hook).
+
+        A one-shot kill is cleared by the re-home, exercising the
+        recover-and-retry rung; a permanent kill keeps raising, driving
+        the shard to ``dead`` and its answers to stale-but-marked.
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise ValueError(f"no shard {shard_id} in a {self.n_shards}-shard ring")
+        self._poison[shard_id] = "permanent" if permanent else "once"
+        self._generation += 1
+        self._record_event(
+            "shard_killed", shard=shard_id, permanent=bool(permanent)
+        )
+
+    def _record_event(self, kind: str, **info: Any) -> None:
+        self._epoch_events.append({"kind": kind, **info})
+
+    def _bump(self, counter: str, amount: float) -> None:
+        self._epoch_counters[counter] = (
+            self._epoch_counters.get(counter, 0.0) + amount
+        )
+
+    def _ring_metrics(self) -> dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "generation": self._generation,
+            "updates": self.updates,
+            "rehomes": self.rehomes,
+            "stale_served": self.stale_served,
+            "dead_shards": sum(1 for shard in self._shards if not shard.alive),
+            "boundary_tests": int(self._epoch_counters.get("boundary_tests", 0)),
+        }
+
+    def _shard_metrics(self, k: int) -> dict[str, Any]:
+        shard = self._shards[k]
+        return {
+            "objects": int(shard.global_ids.shape[0]),
+            "queries": shard.queries,
+            "overlap_tests": shard.overlap_tests,
+            "seconds": shard.seconds,
+            "failures": shard.failures,
+            "alive": shard.alive,
+        }
+
+    def epoch_record(self, step: int, n_results: int) -> StepRecord:
+        """This epoch's accumulated work as a bench-schema step record."""
+        events = [dict(event) for event in self._epoch_events]
+        retries = sum(1 for event in events if event.get("kind") in RETRY_EVENT_KINDS)
+        memory = sum(shard.memory_bytes for shard in self._shards)
+        return StepRecord(
+            step=int(step),
+            n_results=int(n_results),
+            join_seconds=float(self._epoch_counters.get("join_seconds", 0.0)),
+            build_seconds=float(self._epoch_counters.get("build_seconds", 0.0)),
+            overlap_tests=int(
+                self._epoch_counters.get("overlap_tests", 0)
+                + self._epoch_counters.get("boundary_tests", 0)
+            ),
+            memory_bytes=int(memory),
+            phase_seconds={},
+            stage_seconds={},
+            events=events,
+            task_retries=retries,
+            index_counters=self.metrics.snapshot(),
+            incremental={},
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the publication and (if owned) the shared executor."""
+        if self._publication is not None:
+            self._publication.close()
+            self._publication = None
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> ShardRing:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        alive = sum(1 for shard in self._shards if shard.alive)
+        return (
+            f"ShardRing(n_shards={self.n_shards}, epoch={self.epoch}, "
+            f"alive={alive}/{self.n_shards})"
+        )

@@ -42,6 +42,7 @@ ALL_CODES = {
     "RPL301",
     "RPL401",
     "RPL501",
+    "RPL601",
 }
 
 
@@ -758,6 +759,79 @@ class TestRecoveryAtomicWrite:
             "repro/obs/mod.py",
             "def ok(path, doc):\n    import json\n    json.dump(doc, open(path, 'w'))\n",
             select="RPL501",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL601 — event-loop imports confined to repro/service/
+# ----------------------------------------------------------------------
+class TestServiceAsyncImport:
+    def test_asyncio_import_in_engine_fires(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/engine/mod.py",
+            "import asyncio\n\n\ndef bad():\n    return asyncio.get_event_loop()\n",
+            select="RPL601",
+        )
+        assert codes_of(findings) == {"RPL601"}
+
+    def test_from_import_and_submodule_fire(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/joins/mod.py",
+            """
+            from asyncio import Queue
+            import asyncio.events
+            """,
+            select="RPL601",
+        )
+        assert codes_of(findings) == {"RPL601"}
+        assert len(findings) == 2
+
+    def test_other_loop_frameworks_fire(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/obs/mod.py",
+            """
+            import selectors
+            import trio
+            """,
+            select="RPL601",
+        )
+        assert codes_of(findings) == {"RPL601"}
+        assert len(findings) == 2
+
+    def test_service_package_is_exempt(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "repro/service/mod.py",
+            """
+            import asyncio
+
+            async def ok():
+                await asyncio.sleep(0)
+            """,
+            select="RPL601",
+        )
+        assert findings == []
+
+    def test_outside_library_scope_is_exempt(self, tmp_path: Path) -> None:
+        findings = lint_source(
+            tmp_path,
+            "benchmarks/mod.py",
+            "import asyncio\n",
+            select="RPL601",
+        )
+        assert findings == []
+
+    def test_prefix_lookalikes_are_clean(self, tmp_path: Path) -> None:
+        # Only genuine module roots count, not name prefixes.
+        findings = lint_source(
+            tmp_path,
+            "repro/engine/mod.py",
+            "import asyncio_helpers\nimport triose\n",
+            select="RPL601",
         )
         assert findings == []
 

@@ -186,6 +186,20 @@ MODULE_WRITE_CALLS: dict[str, frozenset[str]] = {
 PATH_WRITE_ATTRS: frozenset[str] = frozenset({"write_text", "write_bytes"})
 
 # ----------------------------------------------------------------------
+# RPL601 — event-loop imports confined to the service package
+# ----------------------------------------------------------------------
+#: The async front-end package: the only library code allowed to import
+#: asyncio (or any other event-loop framework).  Everything below the
+#: service boundary stays synchronous, so the engine/join layers remain
+#: testable and bit-reproducible without a running loop.
+SERVICE_SCOPE: tuple[str, ...] = ("/repro/service/",)
+
+#: Event-loop module roots banned outside :data:`SERVICE_SCOPE`.
+ASYNC_MODULES: frozenset[str] = frozenset(
+    {"asyncio", "selectors", "uvloop", "trio", "anyio", "curio"}
+)
+
+# ----------------------------------------------------------------------
 # RPL401 — kernel backend dispatch discipline
 # ----------------------------------------------------------------------
 #: The verify-kernel package: the only place allowed to import backend

@@ -15,6 +15,7 @@ RPL203   maintained pair sets mutated only via the delta-maintenance API
 RPL301   ``JoinResult.pairs`` contract (``tuple | None``)
 RPL401   verify kernels invoked only via the dispatch registry
 RPL501   recovery-package file writes go through the atomic writer
+RPL601   event-loop imports confined to ``repro/service/``
 =======  ==============================================================
 """
 
@@ -667,3 +668,48 @@ class RecoveryAtomicWriteRule(Rule):
                     f".{func.attr}() in repro/recovery/ bypasses the atomic "
                     "write protocol; use repro.recovery.atomic",
                 )
+
+
+@register
+class ServiceAsyncImportRule(Rule):
+    code = "RPL601"
+    title = "event-loop import outside the service package"
+    rationale = (
+        "The library below the service boundary is synchronous by "
+        "design: join algorithms, executors and the incremental layer "
+        "are driven step-by-step and verified bit-identical against a "
+        "serial oracle, which an ambient event loop would undermine "
+        "(implicit scheduling, loop-bound state, unawaited coroutines).  "
+        "asyncio and its kin (selectors, uvloop, trio, anyio, curio) "
+        "are therefore importable only from repro/service/, where the "
+        "JoinService front-end bridges into the synchronous core via "
+        "asyncio.to_thread."
+    )
+
+    @staticmethod
+    def _is_async_module(module: str) -> bool:
+        root = module.partition(".")[0]
+        return root in config.ASYNC_MODULES
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.in_scope(config.LIBRARY_SCOPE) or ctx.in_scope(
+            config.SERVICE_SCOPE
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                modules = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                modules = [node.module or ""]
+            else:
+                continue
+            for module in modules:
+                if self._is_async_module(module):
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"event-loop import {module!r} outside repro/service/; "
+                        "the library core is synchronous — async front-ends "
+                        "live in repro.service",
+                    )
+                    break
