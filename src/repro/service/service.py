@@ -159,7 +159,9 @@ class JoinService:
                     )
         self._worker = None
         self._queue = None
-        self.ring.close()
+        # ring.close() joins the executor pool (shutdown(wait=True)); run
+        # it off-loop so a slow worker cannot stall other service clients.
+        await asyncio.to_thread(self.ring.close)
 
     async def __aenter__(self) -> JoinService:
         await self.start()

@@ -1,0 +1,7 @@
+import asyncio
+
+from .helpers import settle
+
+
+async def handle() -> None:
+    await asyncio.to_thread(settle)

@@ -1,0 +1,7 @@
+"""Async front-end: per-file analysis sees no blocking call here."""
+
+from .helpers import settle
+
+
+async def handle() -> None:
+    settle()

@@ -1,0 +1,7 @@
+"""Synchronous helper: per-file analysis sees nothing async here."""
+
+import time
+
+
+def settle() -> None:
+    time.sleep(0.05)

@@ -1,0 +1,2 @@
+async def refresh() -> None:
+    pass

@@ -1,0 +1,5 @@
+from .ops import refresh
+
+
+async def handle() -> None:
+    refresh()

@@ -1,0 +1,5 @@
+"""The callee's async-ness is a fact about THIS module."""
+
+
+async def refresh() -> None:
+    pass

@@ -1,0 +1,5 @@
+from ..engine.timing import stamp
+
+
+def decide(budget: float) -> bool:
+    return budget > 0 and stamp() >= 0

@@ -1,0 +1,7 @@
+"""Engine layer: a sanctioned timing carrier (instrumentation output)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.perf_counter()

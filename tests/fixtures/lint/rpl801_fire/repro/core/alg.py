@@ -1,0 +1,7 @@
+"""Inside the deterministic scope: no clock syntax in this file."""
+
+from ..support.timing import stamp
+
+
+def decide(budget: float) -> bool:
+    return stamp() < budget

@@ -1,0 +1,7 @@
+"""Outside the deterministic scope: RPL003 does not patrol here."""
+
+import time
+
+
+def stamp() -> float:
+    return time.perf_counter()

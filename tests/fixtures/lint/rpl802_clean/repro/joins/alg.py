@@ -1,0 +1,7 @@
+import numpy as np
+
+from ..support.jitter import nudge
+
+
+def partition(x: float, rng: np.random.Generator) -> float:
+    return nudge(x, rng)

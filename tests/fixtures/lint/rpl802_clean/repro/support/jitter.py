@@ -1,0 +1,5 @@
+import numpy as np
+
+
+def nudge(x: float, rng: np.random.Generator) -> float:
+    return x + float(rng.random())

@@ -1,0 +1,7 @@
+"""Inside the deterministic scope: no RNG syntax in this file."""
+
+from ..support.jitter import nudge
+
+
+def partition(x: float) -> float:
+    return nudge(x)

@@ -1,0 +1,7 @@
+"""Outside the deterministic scope: RPL002 does not patrol here."""
+
+import random
+
+
+def nudge(x: float) -> float:
+    return x + random.random()

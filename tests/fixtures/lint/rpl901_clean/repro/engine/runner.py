@@ -1,0 +1,5 @@
+from .tasks import work
+
+
+def run(pool, payload):
+    return pool.submit(work, payload).result()

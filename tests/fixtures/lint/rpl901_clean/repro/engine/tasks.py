@@ -1,0 +1,2 @@
+def work(payload):
+    return payload

@@ -1,0 +1,7 @@
+"""Per-file analysis sees a plain module-level name being submitted."""
+
+from .tasks import work
+
+
+def run(pool, payload):
+    return pool.submit(work, payload).result()

@@ -1,0 +1,3 @@
+"""The submitted name is module-level HERE, but it is a lambda."""
+
+work = lambda payload: payload  # noqa: E731

@@ -1,0 +1,2 @@
+def work(payload, scale):
+    return payload * scale

@@ -1,0 +1,7 @@
+"""Per-file analysis cannot see what the callee reads in its module."""
+
+from .tasks import work
+
+
+def run(pool, payload):
+    return pool.submit(work, payload).result()

@@ -1,0 +1,10 @@
+"""The global lock is re-created per worker process: no mutual exclusion."""
+
+import threading
+
+_LOCK = threading.Lock()
+
+
+def work(payload):
+    with _LOCK:
+        return payload

@@ -23,6 +23,8 @@ if str(REPO_ROOT) not in sys.path:  # `python -m pytest` adds it; `pytest` may n
 
 from tools.repro_lint import cli  # noqa: E402
 from tools.repro_lint.core import (  # noqa: E402
+    PARSE_ERROR_CODE,
+    PROJECT_RULES,
     RULES,
     Diagnostic,
     collect_suppressions,
@@ -43,6 +45,15 @@ ALL_CODES = {
     "RPL401",
     "RPL501",
     "RPL601",
+}
+
+PROJECT_CODES = {
+    "RPL701",
+    "RPL702",
+    "RPL801",
+    "RPL802",
+    "RPL901",
+    "RPL902",
 }
 
 
@@ -68,8 +79,11 @@ class TestRegistry:
     def test_all_rules_registered(self) -> None:
         assert {rule.code for rule in RULES} == ALL_CODES
 
+    def test_all_project_rules_registered(self) -> None:
+        assert {rule.code for rule in PROJECT_RULES} == PROJECT_CODES
+
     def test_rules_carry_title_and_rationale(self) -> None:
-        for rule in RULES:
+        for rule in [*RULES, *PROJECT_RULES]:
             assert rule.title
             assert rule.rationale
 
@@ -286,7 +300,9 @@ class TestExecutorSubmission:
         )
         assert findings == []
 
-    def test_other_modules_are_out_of_scope(self, tmp_path: Path) -> None:
+    def test_other_modules_are_rpl901_territory(self, tmp_path: Path) -> None:
+        # RPL101 patrols executors.py only; outside it, the same lambda
+        # submit is picked up by the whole-program rule RPL901 instead.
         findings = lint_source(
             tmp_path,
             "repro/engine/plan.py",
@@ -295,7 +311,8 @@ class TestExecutorSubmission:
                 return pool.submit(lambda: 1)
             """,
         )
-        assert findings == []
+        assert codes_of(findings) == {"RPL901"}
+        assert lint_source(tmp_path, "repro/engine/plan.py", "x = 1\n") == []
 
 
 # ----------------------------------------------------------------------
@@ -903,10 +920,10 @@ class TestDrivers:
             "import random\n", encoding="utf-8"
         )
         (tmp_path / "repro" / "joins" / "notes.txt").write_text("skip", encoding="utf-8")
-        findings, checked = lint_paths([tmp_path])
-        assert checked == 2
-        assert [finding.code for finding in findings] == ["RPL002", "RPL201"]
-        assert findings == sorted(findings)
+        report = lint_paths([tmp_path])
+        assert report.checked == 2
+        assert [finding.code for finding in report.findings] == ["RPL002", "RPL201"]
+        assert report.findings == sorted(report.findings)
 
     def test_diagnostic_render_format(self, tmp_path: Path) -> None:
         findings = lint_source(tmp_path, "repro/core/mod.py", "import random\n")
@@ -949,19 +966,31 @@ class TestCli:
         assert cli.main([str(tmp_path / "nowhere")]) == 2
         assert "error" in capsys.readouterr().err
 
-    def test_exit_two_on_syntax_error(
+    def test_syntax_error_is_a_finding_not_an_abort(
         self, tmp_path: Path, capsys: pytest.CaptureFixture[str]
     ) -> None:
-        path = self._write(tmp_path, "broken.py", "def f(:\n")
-        assert cli.main([str(path)]) == 2
-        assert "cannot parse" in capsys.readouterr().err
+        self._write(tmp_path, "broken.py", "def f(:\n")
+        self._write(tmp_path, "repro/core/mod.py", "import random\n")
+        assert cli.main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        # The broken file is reported, and the rest is still linted.
+        assert PARSE_ERROR_CODE in out
+        assert "cannot parse" in out
+        assert "RPL002" in out
 
     def test_exit_two_on_unknown_select_code(
         self, tmp_path: Path, capsys: pytest.CaptureFixture[str]
     ) -> None:
         path = self._write(tmp_path, "mod.py", "x = 1\n")
-        assert cli.main(["--select", "RPL999", str(path)]) == 2
+        assert cli.main(["--select", "RPL123", str(path)]) == 2
         assert "unknown rule code" in capsys.readouterr().err
+
+    def test_exit_two_on_duplicate_path(
+        self, tmp_path: Path, capsys: pytest.CaptureFixture[str]
+    ) -> None:
+        path = self._write(tmp_path, "mod.py", "x = 1\n")
+        assert cli.main([str(path), str(path)]) == 2
+        assert "path given twice" in capsys.readouterr().err
 
     def test_select_filters_rules(
         self, tmp_path: Path, capsys: pytest.CaptureFixture[str]
@@ -981,7 +1010,7 @@ class TestCli:
     ) -> None:
         assert cli.main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in sorted(ALL_CODES):
+        for code in sorted(ALL_CODES | PROJECT_CODES | {PARSE_ERROR_CODE}):
             assert code in out
 
 
@@ -989,8 +1018,13 @@ class TestCli:
 # The repository lints itself
 # ----------------------------------------------------------------------
 def test_repository_is_clean() -> None:
-    """The CI gate (`python -m tools.repro_lint src benchmarks tests`) holds."""
+    """The CI gate (`python -m tools.repro_lint src benchmarks tools tests`) holds.
+
+    Runs the *full* rule set — per-file and whole-program families alike.
+    Deliberate-violation fixture trees under ``tests/fixtures/lint`` are
+    pruned by their ``.repro-lint-ignore`` marker.
+    """
     findings = cli.run_paths(
-        [str(REPO_ROOT / name) for name in ("src", "benchmarks", "tests")]
+        [str(REPO_ROOT / name) for name in ("src", "benchmarks", "tools", "tests")]
     )
     assert findings == [], "\n".join(finding.render() for finding in findings)

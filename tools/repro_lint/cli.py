@@ -3,30 +3,48 @@
 Exit codes follow the ruff convention the CI gate relies on:
 
 * ``0`` — no findings;
-* ``1`` — at least one finding (printed as ``path:line:col: CODE msg``);
-* ``2`` — usage error, missing path, or unparsable source.
+* ``1`` — at least one finding (printed as ``path:line:col: CODE msg``),
+  including parse failures (RPL999) — one broken file no longer aborts
+  the run;
+* ``2`` — usage error (no/duplicate/missing paths, unknown rule code).
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
-# Importing the rules module populates the registry.
-from tools.repro_lint import rules  # noqa: F401  (imported for registration)
-from tools.repro_lint.core import RULES, Diagnostic, lint_paths
+# Importing the rule modules populates the registries.
+from tools.repro_lint import project_rules, rules  # noqa: F401  (registration)
+from tools.repro_lint.core import (
+    PARSE_ERROR_CODE,
+    PROJECT_RULES,
+    RULES,
+    Diagnostic,
+    all_rule_codes,
+    lint_paths,
+)
+from tools.repro_lint.project import IndexCache
+from tools.repro_lint.sarif import render_sarif
 
 __all__ = ["main", "run_paths"]
+
+DEFAULT_CACHE = ".repro-lint-cache.json"
 
 
 def run_paths(
     paths: Sequence[str],
     select: frozenset[str] | None = None,
+    ignore: frozenset[str] | None = None,
+    cache_path: str | None = None,
 ) -> list[Diagnostic]:
     """Programmatic API used by the test suite: lint and return findings."""
-    findings, _checked = lint_paths(paths, select=select)
-    return findings
+    cache = IndexCache(Path(cache_path)) if cache_path else None
+    report = lint_paths(paths, select=select, ignore=ignore, cache=cache)
+    return report.findings
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -35,7 +53,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Project-specific AST lint for the THERMAL-JOIN reproduction: "
             "determinism, executor safety, instrumentation honesty and API "
-            "contracts.  Suppress a finding with "
+            "contracts — checked per file and across the whole project call "
+            "graph.  Suppress a finding with "
             "'# repro-lint: ignore[RPLxxx] justification'."
         ),
     )
@@ -48,7 +67,109 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="CODES",
         help="comma-separated rule codes to run (default: all)",
     )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print a findings-per-rule summary after the run",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout (sarif is always "
+        "written whole; text writes the findings)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=None,
+        help=f"project-index cache file (default: {DEFAULT_CACHE} next to the "
+        "first path; warm runs only re-analyze changed files)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the project-index cache for this run",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="index everything but only report findings in files git "
+        "considers changed (working tree vs --base, default HEAD)",
+    )
+    parser.add_argument(
+        "--base",
+        metavar="REF",
+        default="HEAD",
+        help="git ref to diff against for --changed-only (default: HEAD)",
+    )
     return parser
+
+
+def _parse_codes(raw: str, flag: str) -> frozenset[str] | int:
+    codes = frozenset(code.strip().upper() for code in raw.split(",") if code.strip())
+    unknown = codes - all_rule_codes()
+    if unknown:
+        print(
+            f"repro-lint: error: unknown rule code(s) for {flag}: "
+            f"{', '.join(sorted(unknown))}",
+            file=sys.stderr,
+        )
+        return 2
+    return codes
+
+
+def _git_changed_files(base: str) -> set[str] | None:
+    """Resolved POSIX paths of files changed vs ``base`` (plus untracked)."""
+    changed: set[str] = set()
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base, "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError) as error:
+        detail = getattr(error, "stderr", "") or str(error)
+        print(
+            f"repro-lint: error: --changed-only needs git: {detail.strip()}",
+            file=sys.stderr,
+        )
+        return None
+    root = Path(top.stdout.strip())
+    for listing in (diff.stdout, untracked.stdout):
+        for name in listing.splitlines():
+            if name.strip():
+                changed.add((root / name.strip()).resolve().as_posix())
+    return changed
+
+
+def _default_cache_path(paths: Sequence[str]) -> Path:
+    anchor = Path(paths[0])
+    base = anchor if anchor.is_dir() else anchor.parent
+    return base / DEFAULT_CACHE
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -56,9 +177,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in sorted(RULES, key=lambda rule: rule.code):
+        catalogue = sorted(
+            [*RULES, *PROJECT_RULES], key=lambda rule: rule.code
+        )
+        for rule in catalogue:
             print(f"{rule.code}  {rule.title}")
             print(f"       {rule.rationale}")
+        print(f"{PARSE_ERROR_CODE}  file cannot be parsed")
+        print(
+            "       Reported as a finding so one broken file does not abort "
+            "the whole run."
+        )
         return 0
 
     if not args.paths:
@@ -66,31 +195,100 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("repro-lint: error: no paths given", file=sys.stderr)
         return 2
 
-    select: frozenset[str] | None = None
-    if args.select:
-        select = frozenset(code.strip().upper() for code in args.select.split(","))
-        known = {rule.code for rule in RULES}
-        unknown = select - known
-        if unknown:
+    seen_paths: set[str] = set()
+    for raw in args.paths:
+        key = Path(raw).resolve().as_posix()
+        if key in seen_paths:
             print(
-                f"repro-lint: error: unknown rule code(s): {', '.join(sorted(unknown))}",
-                file=sys.stderr,
+                f"repro-lint: error: path given twice: {raw}", file=sys.stderr
             )
             return 2
+        seen_paths.add(key)
+
+    select: frozenset[str] | None = None
+    if args.select:
+        parsed = _parse_codes(args.select, "--select")
+        if isinstance(parsed, int):
+            return parsed
+        select = parsed
+    ignore: frozenset[str] | None = None
+    if args.ignore:
+        parsed = _parse_codes(args.ignore, "--ignore")
+        if isinstance(parsed, int):
+            return parsed
+        ignore = parsed
+
+    changed: set[str] | None = None
+    if args.changed_only:
+        changed = _git_changed_files(args.base)
+        if changed is None:
+            return 2
+
+    cache: IndexCache | None = None
+    if not args.no_cache:
+        cache_path = Path(args.cache) if args.cache else _default_cache_path(args.paths)
+        cache = IndexCache(cache_path)
 
     try:
-        findings, checked = lint_paths(args.paths, select=select)
+        report = lint_paths(args.paths, select=select, ignore=ignore, cache=cache)
     except FileNotFoundError as error:
         print(f"repro-lint: error: {error}", file=sys.stderr)
         return 2
-    except SyntaxError as error:
-        print(f"repro-lint: error: cannot parse {error.filename}: {error}", file=sys.stderr)
-        return 2
 
-    for finding in findings:
-        print(finding.render())
+    findings = report.findings
+    if changed is not None:
+        display_to_resolved = {
+            summary.path: summary.resolved for summary in report.summaries
+        }
+        findings = [
+            finding
+            for finding in findings
+            if display_to_resolved.get(finding.path, finding.path) in changed
+        ]
+
+    out = sys.stdout
+    close_out = False
+    if args.output:
+        out = open(args.output, "w", encoding="utf-8")  # noqa: SIM115
+        close_out = True
+    try:
+        if args.format == "sarif":
+            print(render_sarif(findings), file=out)
+        else:
+            for finding in findings:
+                print(finding.render(), file=out)
+    finally:
+        if close_out:
+            out.close()
+
+    summary_parts = [f"{len(findings)} finding(s) in {report.checked} file(s)"]
+    if report.parse_errors:
+        summary_parts.append(f"{report.parse_errors} unparsable")
+    if cache is not None:
+        summary_parts.append(
+            f"cache: {report.cache_hits} hit(s), {report.cache_misses} miss(es)"
+        )
+    if args.changed_only:
+        summary_parts.append(f"changed-only vs {args.base}")
     if findings:
-        print(f"repro-lint: {len(findings)} finding(s) in {checked} file(s)")
+        print(f"repro-lint: {', '.join(summary_parts)}")
+        if args.statistics:
+            for code, count in sorted(
+                _count_by_code(findings).items(), key=lambda item: (-item[1], item[0])
+            ):
+                print(f"{count:5d}  {code}")
         return 1
-    print(f"repro-lint: clean ({checked} file(s) checked)")
+    print(
+        f"repro-lint: clean ({report.checked} file(s) checked"
+        + (f", cache: {report.cache_hits} hit(s))" if cache is not None else ")")
+    )
+    if args.statistics:
+        print("    0  findings")
     return 0
+
+
+def _count_by_code(findings: Sequence[Diagnostic]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    return counts

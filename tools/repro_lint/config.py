@@ -200,6 +200,113 @@ ASYNC_MODULES: frozenset[str] = frozenset(
 )
 
 # ----------------------------------------------------------------------
+# RPL7xx — async-safety in the service layer (whole-program)
+# ----------------------------------------------------------------------
+#: Resolved dotted call names that block the calling thread.  Reachable
+#: from an ``async def`` without an ``asyncio.to_thread`` hop, any of
+#: these stalls the event loop (and with it every pending request).
+BLOCKING_CALLS: frozenset[str] = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "os.waitpid",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "urllib.request.urlopen",
+    }
+)
+
+#: Attribute calls that block on *any* receiver.  ``Future.result()``
+#: and pool ``shutdown(wait=True)`` park the thread until remote work
+#: finishes; the ``Path`` read/write helpers are synchronous file I/O.
+BLOCKING_ATTRS: frozenset[str] = frozenset(
+    {"result", "shutdown", "read_text", "read_bytes", "write_text", "write_bytes"}
+)
+
+#: Calls that move their callable argument onto a worker thread: edges
+#: through these do not block the event loop and are exempt from RPL701.
+OFFLOAD_CALLS: frozenset[str] = frozenset({"asyncio.to_thread"})
+
+#: Attribute spelling of the loop-executor offload (``loop.run_in_executor``).
+OFFLOAD_ATTRS: frozenset[str] = frozenset({"run_in_executor"})
+
+# ----------------------------------------------------------------------
+# RPL8xx — interprocedural determinism (whole-program)
+# ----------------------------------------------------------------------
+#: Layers whose *job* is timing: wall-clock reads here are sanctioned
+#: instrumentation (the measured wall time is the output), so RPL801's
+#: reachability closure does not propagate through them.  A clock read
+#: anywhere else that the deterministic core can reach through helper
+#: calls is a determinism leak exactly like a direct RPL003 hit.
+TIMING_LAYER_SCOPE: tuple[str, ...] = ("/repro/engine/", "/repro/obs/")
+
+#: Resolved dotted call names that draw entropy from outside a seeded
+#: ``numpy.random.Generator``: the stdlib Mersenne Twister, OS entropy,
+#: and clock/MAC-derived UUIDs.  ``random.*`` is matched by prefix.
+ENTROPY_CALLS: frozenset[str] = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+#: Module roots whose *every* call is an entropy draw.
+ENTROPY_MODULE_ROOTS: frozenset[str] = frozenset({"random"})
+
+# ----------------------------------------------------------------------
+# RPL9xx — executor-boundary transitivity (whole-program)
+# ----------------------------------------------------------------------
+#: Module-level global kinds that are process-local: a submitted
+#: callable that reads one of these gets a *fresh copy* in every worker
+#: process (functions pickle by reference; their globals are re-created
+#: by the worker's import), so mutual exclusion / handle identity
+#: silently evaporates across the boundary.  Maps the classifier kind
+#: to the human-readable description used in diagnostics.
+PROCESS_LOCAL_GLOBAL_KINDS: dict[str, str] = {
+    "lambda": "a lambda (unpicklable by qualified name)",
+    "sync_primitive": "a synchronisation primitive (re-created per worker)",
+    "file_handle": "an open file handle (not shared across processes)",
+    "pool": "an executor pool (process-local)",
+    "shared_memory": "a shared-memory handle (attach explicitly per worker)",
+}
+
+#: Constructor call names (resolved through imports) that mark a module
+#: global as process-local state for RPL902.
+GLOBAL_STATE_CONSTRUCTORS: dict[str, str] = {
+    "threading.Lock": "sync_primitive",
+    "threading.RLock": "sync_primitive",
+    "threading.Condition": "sync_primitive",
+    "threading.Event": "sync_primitive",
+    "threading.Semaphore": "sync_primitive",
+    "threading.BoundedSemaphore": "sync_primitive",
+    "threading.local": "sync_primitive",
+    "multiprocessing.Lock": "sync_primitive",
+    "multiprocessing.RLock": "sync_primitive",
+    "multiprocessing.Condition": "sync_primitive",
+    "multiprocessing.Event": "sync_primitive",
+    "multiprocessing.Semaphore": "sync_primitive",
+    "open": "file_handle",
+    "concurrent.futures.ThreadPoolExecutor": "pool",
+    "concurrent.futures.ProcessPoolExecutor": "pool",
+    "multiprocessing.Pool": "pool",
+    "multiprocessing.shared_memory.SharedMemory": "shared_memory",
+}
+
+# ----------------------------------------------------------------------
 # RPL401 — kernel backend dispatch discipline
 # ----------------------------------------------------------------------
 #: The verify-kernel package: the only place allowed to import backend

@@ -1,0 +1,486 @@
+"""Whole-program rules: the RPL7xx/8xx/9xx families.
+
+These run on the :class:`~tools.repro_lint.project.ProjectIndex` and
+:class:`~tools.repro_lint.callgraph.CallGraph` instead of a single
+file's AST, so a violation may *span modules*: the flagged line is in
+the function where the contract binds (the ``async def``, the
+deterministic-core caller, the ``submit`` site) while the offending
+sink lives any number of calls away in any other module.  Each
+diagnostic prints the resolved call chain so the reader does not have
+to rediscover the path.
+
+========  ============================================================
+RPL701    blocking call reachable from an ``async def`` (no to_thread)
+RPL702    coroutine called but never awaited
+RPL801    wall-clock read reachable from the deterministic core
+RPL802    entropy draw reachable from the deterministic core
+RPL901    executor-submitted callable must resolve to a module-level def
+RPL902    submitted callable closes over process-local module state
+========  ============================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from tools.repro_lint import config
+from tools.repro_lint.callgraph import CallGraph, FuncNode
+from tools.repro_lint.core import (
+    Diagnostic,
+    ProjectRule,
+    register_project,
+)
+from tools.repro_lint.project import FunctionInfo, ModuleSummary, ProjectIndex
+
+
+def _emit(
+    summary: ModuleSummary, line: int, col: int, code: str, message: str
+) -> Diagnostic | None:
+    if summary.suppressed(line, code):
+        return None
+    return Diagnostic(summary.path, line, col + 1, code, message)
+
+
+def _is_timing_whitelisted(summary: ModuleSummary, qualname: str) -> bool:
+    return any(
+        pattern in summary.resolved
+        and (qualname == scope or qualname.startswith(scope + "."))
+        for (pattern, scope), _why in config.TIMING_WHITELIST.items()
+    )
+
+
+# ----------------------------------------------------------------------
+# RPL7xx — async-safety
+# ----------------------------------------------------------------------
+@register_project
+class AsyncBlockingReachRule(ProjectRule):
+    code = "RPL701"
+    title = "blocking call reachable from async def"
+    rationale = (
+        "The service front-end multiplexes every client on one event "
+        "loop; a blocking call (time.sleep, sync file I/O, "
+        "Future.result, subprocess) anywhere in the synchronous call "
+        "tree of an async def stalls all of them at once.  Blocking "
+        "work crosses the loop boundary only through asyncio.to_thread "
+        "(or run_in_executor).  The reach is computed on the project "
+        "call graph, so a sink hidden in a helper module is found even "
+        "though no single file shows both the async def and the sink."
+    )
+
+    def check_project(
+        self, index: ProjectIndex, graph: CallGraph
+    ) -> Iterator[Diagnostic]:
+        closure = graph.sink_closure(
+            "blocking", include=lambda node: True, traverse_offloaded=False
+        )
+        for summary, info in graph.iter_functions(
+            lambda s: s.in_scope(config.LIBRARY_SCOPE)
+        ):
+            if not info.is_async:
+                continue
+            node = (summary.module, info.qualname)
+            # Direct sinks in the async body itself.
+            for label, line, col in info.sinks.get("blocking", ()):
+                diag = _emit(
+                    summary,
+                    line,
+                    col,
+                    self.code,
+                    f"async def {info.qualname} performs blocking call "
+                    f"{label} directly; offload with asyncio.to_thread",
+                )
+                if diag is not None:
+                    yield diag
+            # Calls into the tainted synchronous closure.
+            reported: set[int] = set()
+            for target, site in graph.edges.get(node, ()):
+                if site.offloaded or target not in closure:
+                    continue
+                target_info = graph.functions.get(target)
+                if target_info is not None and target_info.is_async:
+                    continue  # flagged at the deeper async frame itself
+                if site.lineno in reported:
+                    continue
+                reported.add(site.lineno)
+                diag = _emit(
+                    summary,
+                    site.lineno,
+                    site.col,
+                    self.code,
+                    f"async def {info.qualname} reaches blocking call via "
+                    f"{graph.chain(target, closure)}; offload the call "
+                    "with asyncio.to_thread",
+                )
+                if diag is not None:
+                    yield diag
+
+
+@register_project
+class UnawaitedCoroutineRule(ProjectRule):
+    code = "RPL702"
+    title = "coroutine called but never awaited"
+    rationale = (
+        "Calling an async def returns a coroutine object; dropping it "
+        "on the floor means the body never runs (beyond a "
+        "RuntimeWarning at GC time), which turns a service-side update "
+        "or cleanup into a silent no-op.  Whether a callee is async is "
+        "a fact about its *defining* module, so the per-file pass "
+        "cannot see it through an import — the project index can."
+    )
+
+    def check_project(
+        self, index: ProjectIndex, graph: CallGraph
+    ) -> Iterator[Diagnostic]:
+        for summary, info in graph.iter_functions(
+            lambda s: s.in_scope(config.LIBRARY_SCOPE)
+        ):
+            node = (summary.module, info.qualname)
+            for target, site in graph.edges.get(node, ()):
+                if not site.bare_stmt or site.awaited or site.offloaded:
+                    continue
+                target_info = graph.functions.get(target)
+                if target_info is None or not target_info.is_async:
+                    continue
+                diag = _emit(
+                    summary,
+                    site.lineno,
+                    site.col,
+                    self.code,
+                    f"coroutine {graph.describe(target)} is called but "
+                    "never awaited; await it or schedule it with "
+                    "asyncio.create_task",
+                )
+                if diag is not None:
+                    yield diag
+
+
+# ----------------------------------------------------------------------
+# RPL8xx — interprocedural determinism
+# ----------------------------------------------------------------------
+@register_project
+class DeterministicClockReachRule(ProjectRule):
+    code = "RPL801"
+    title = "wall-clock read reachable from the deterministic core"
+    rationale = (
+        "RPL003 bans clock reads written *inside* core/joins/geometry "
+        "files; this rule closes the loophole one call away: a helper "
+        "in any other module that reads a clock and is reachable from "
+        "the deterministic core makes behaviour machine-speed-"
+        "dependent just the same.  The engine/obs layers are exempt "
+        "carriers — timing instrumentation is their declared job and "
+        "its output is the measured wall time, not a decision input."
+    )
+
+    def check_project(
+        self, index: ProjectIndex, graph: CallGraph
+    ) -> Iterator[Diagnostic]:
+        def carries(node: FuncNode) -> bool:
+            summary = index.modules.get(node[0])
+            if summary is None:
+                return False
+            return not summary.in_scope(
+                config.DETERMINISTIC_SCOPE
+            ) and not summary.in_scope(config.TIMING_LAYER_SCOPE)
+
+        closure = graph.sink_closure("clock", include=carries)
+        yield from _reach_findings(
+            graph,
+            closure,
+            self.code,
+            "reads a wall clock via",
+            "move the timing out of the deterministic call path or "
+            "whitelist the site in TIMING_WHITELIST",
+            respect_timing_whitelist=True,
+        )
+
+
+@register_project
+class DeterministicEntropyReachRule(ProjectRule):
+    code = "RPL802"
+    title = "entropy draw reachable from the deterministic core"
+    rationale = (
+        "RPL001/002 catch global-RNG syntax in the file where it is "
+        "written; they cannot see a helper in another module that "
+        "calls random.random(), uuid.uuid4() or os.urandom() on "
+        "behalf of the deterministic core.  Any such reachable draw "
+        "breaks the bit-reproducibility contract exactly like an "
+        "inline one: randomness must arrive as a seeded "
+        "numpy.random.Generator parameter."
+    )
+
+    def check_project(
+        self, index: ProjectIndex, graph: CallGraph
+    ) -> Iterator[Diagnostic]:
+        def carries(node: FuncNode) -> bool:
+            summary = index.modules.get(node[0])
+            return summary is not None and not summary.in_scope(
+                config.DETERMINISTIC_SCOPE
+            )
+
+        closure = graph.sink_closure("entropy", include=carries)
+        yield from _reach_findings(
+            graph,
+            closure,
+            self.code,
+            "draws entropy via",
+            "thread a seeded numpy.random.Generator through the call "
+            "instead",
+        )
+        # Direct draws the per-file rules do not cover (uuid/secrets/
+        # os.urandom; np.random and stdlib-random syntax are RPL001/002).
+        for summary, info in graph.iter_functions(
+            lambda s: s.in_scope(config.DETERMINISTIC_SCOPE)
+        ):
+            for label, line, col in info.sinks.get("entropy", ()):
+                if label not in config.ENTROPY_CALLS:
+                    continue
+                diag = _emit(
+                    summary,
+                    line,
+                    col,
+                    self.code,
+                    f"{info.qualname} draws entropy from {label}() inside "
+                    "the deterministic core; thread a seeded Generator "
+                    "through instead",
+                )
+                if diag is not None:
+                    yield diag
+
+
+def _reach_findings(
+    graph: CallGraph,
+    closure: dict[FuncNode, tuple[FuncNode | None, str]],
+    code: str,
+    verb: str,
+    remedy: str,
+    respect_timing_whitelist: bool = False,
+) -> Iterator[Diagnostic]:
+    """Flag deterministic-core call sites whose target is in ``closure``."""
+    for summary, info in graph.iter_functions(
+        lambda s: s.in_scope(config.DETERMINISTIC_SCOPE)
+    ):
+        if respect_timing_whitelist and _is_timing_whitelisted(
+            summary, info.qualname
+        ):
+            continue
+        node = (summary.module, info.qualname)
+        reported: set[int] = set()
+        for target, site in graph.edges.get(node, ()):
+            if target not in closure or site.lineno in reported:
+                continue
+            reported.add(site.lineno)
+            diag = _emit(
+                summary,
+                site.lineno,
+                site.col,
+                code,
+                f"{info.qualname} {verb} {graph.chain(target, closure)}; "
+                f"{remedy}",
+            )
+            if diag is not None:
+                yield diag
+
+
+# ----------------------------------------------------------------------
+# RPL9xx — executor-boundary transitivity
+# ----------------------------------------------------------------------
+def _chase_submitted(
+    index: ProjectIndex, graph: CallGraph, summary: ModuleSummary, target: str
+) -> tuple[str, FunctionInfo | None, str] | None:
+    """Resolve a submitted name to its defining module.
+
+    Returns ``(module, function info | None, global kind)``; the
+    function info is ``None`` when the name lands on a non-function
+    module global (e.g. a lambda binding).  ``None`` overall when the
+    name cannot be proven to cross into the index.
+    """
+    parts = target.split(".")
+    root = parts[0]
+    dotted: str | None = None
+    if root in summary.imports:
+        tail = ".".join(parts[1:])
+        dotted = summary.imports[root] + (("." + tail) if tail else "")
+    elif len(parts) > 1:
+        dotted = target
+    if dotted is None:
+        return None
+    resolved = graph.resolve_symbol(dotted)
+    if resolved is not None and resolved[0] == "func":
+        home = index.modules[resolved[1]]
+        return (resolved[1], home.functions[resolved[2]], "function")
+    # Chase to a module-level *global* (a lambda or other binding).
+    chased = dotted
+    for _hop in range(8):
+        segments = chased.split(".")
+        for cut in range(len(segments) - 1, 0, -1):
+            module = ".".join(segments[:cut])
+            home = index.modules.get(module)
+            if home is None:
+                continue
+            name = ".".join(segments[cut:])
+            if name in home.globals:
+                kind = home.globals[name]
+                if kind in ("function", "async_function"):
+                    info = home.functions.get(name)
+                    return (module, info, "function")
+                if name in home.imports:
+                    chased = home.imports[name]
+                    break
+                return (module, None, kind)
+            if name.split(".")[0] in home.imports:
+                head = name.split(".")[0]
+                rest = ".".join(name.split(".")[1:])
+                chased = home.imports[head] + (("." + rest) if rest else "")
+                break
+            return None
+        else:
+            return None
+        continue
+    return None
+
+
+@register_project
+class SubmittedCallableResolutionRule(ProjectRule):
+    code = "RPL901"
+    title = "submitted callable does not resolve to a module-level def"
+    rationale = (
+        "RPL101 checks the submitting file: the name handed to "
+        "pool.submit must be module-level *there*.  But an imported "
+        "name can still be a lambda, a nested def smuggled out of a "
+        "factory, or an async def in its home module — all of which "
+        "pickle by qualified name and fail (or never run) on the "
+        "worker.  The project index resolves the import chain to the "
+        "defining module and demands an honest module-level def."
+    )
+
+    def check_project(
+        self, index: ProjectIndex, graph: CallGraph
+    ) -> Iterator[Diagnostic]:
+        for summary, info in graph.iter_functions(
+            lambda s: s.in_scope(config.LIBRARY_SCOPE)
+        ):
+            for submit in info.submits:
+                if submit.kind == "lambda":
+                    # In executors.py this is RPL101's finding.
+                    if summary.in_scope(config.EXECUTORS_SCOPE):
+                        continue
+                    diag = _emit(
+                        summary,
+                        submit.lineno,
+                        submit.col,
+                        self.code,
+                        "lambda submitted to an executor pool; submit a "
+                        "module-level function",
+                    )
+                    if diag is not None:
+                        yield diag
+                    continue
+                if submit.kind != "name" or submit.target.startswith(
+                    ("self.", "cls.")
+                ):
+                    continue
+                chased = _chase_submitted(index, graph, summary, submit.target)
+                if chased is None:
+                    continue
+                home, func, kind = chased
+                if home == summary.module:
+                    continue  # same-file discipline is RPL101's beat
+                if func is None:
+                    description = config.PROCESS_LOCAL_GLOBAL_KINDS.get(kind)
+                    if kind == "lambda":
+                        message = (
+                            f"submitted callable {submit.target!r} resolves to "
+                            f"a lambda binding in {home}; {description} — "
+                            "define a module-level function instead"
+                        )
+                    else:
+                        continue
+                elif func.kind != "function":
+                    message = (
+                        f"submitted callable {submit.target!r} resolves to "
+                        f"{home}.{func.qualname}, a {func.kind} — workers "
+                        "can only import a module-level function"
+                    )
+                elif func.is_async:
+                    message = (
+                        f"submitted callable {submit.target!r} resolves to "
+                        f"async def {home}.{func.qualname}; a pool worker "
+                        "returns the coroutine unawaited — submit a "
+                        "synchronous function"
+                    )
+                else:
+                    continue
+                diag = _emit(
+                    summary, submit.lineno, submit.col, self.code, message
+                )
+                if diag is not None:
+                    yield diag
+
+
+@register_project
+class SubmittedCallableClosureRule(ProjectRule):
+    code = "RPL902"
+    title = "submitted callable closes over process-local module state"
+    rationale = (
+        "A function pickles by reference: the worker re-imports its "
+        "module and rebinds every global from scratch.  If the "
+        "submitted callable reads a module-level lock, open file, "
+        "pool or shared-memory handle, each worker silently gets its "
+        "own copy — mutual exclusion evaporates and handles double-"
+        "close — while the submit itself looks perfectly innocent.  "
+        "The defining module's globals are another file's facts; only "
+        "the project index can line them up with the submit site."
+    )
+
+    def check_project(
+        self, index: ProjectIndex, graph: CallGraph
+    ) -> Iterator[Diagnostic]:
+        for summary, info in graph.iter_functions(
+            lambda s: s.in_scope(config.LIBRARY_SCOPE)
+        ):
+            for submit in info.submits:
+                if submit.kind != "name" or submit.target.startswith(
+                    ("self.", "cls.")
+                ):
+                    continue
+                resolved = self._resolve_target(index, graph, summary, submit.target)
+                if resolved is None:
+                    continue
+                home_module, func = resolved
+                home = index.modules[home_module]
+                for name in func.reads:
+                    kind = home.globals.get(name)
+                    description = (
+                        config.PROCESS_LOCAL_GLOBAL_KINDS.get(kind)
+                        if kind is not None
+                        else None
+                    )
+                    if description is None:
+                        continue
+                    diag = _emit(
+                        summary,
+                        submit.lineno,
+                        submit.col,
+                        self.code,
+                        f"submitted callable {submit.target!r} closes over "
+                        f"{home_module}.{name} — {description}; pass the "
+                        "state as a task argument or re-create it inside "
+                        "the worker",
+                    )
+                    if diag is not None:
+                        yield diag
+
+    @staticmethod
+    def _resolve_target(
+        index: ProjectIndex,
+        graph: CallGraph,
+        summary: ModuleSummary,
+        target: str,
+    ) -> tuple[str, FunctionInfo] | None:
+        # Same-module function first (RPL902 patrols both directions).
+        if target in summary.functions:
+            return (summary.module, summary.functions[target])
+        chased = _chase_submitted(index, graph, summary, target)
+        if chased is None or chased[1] is None:
+            return None
+        return (chased[0], chased[1])

@@ -1,0 +1,101 @@
+"""Minimal SARIF 2.1.0 serialization for repro-lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format CI dashboards and code-scanning UIs ingest.  We emit the small
+mandatory core — tool metadata with the rule catalogue, plus one
+``result`` per finding with a physical location — and nothing more.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+
+from tools.repro_lint.core import (
+    PARSE_ERROR_CODE,
+    PROJECT_RULES,
+    RULES,
+    Diagnostic,
+)
+
+__all__ = ["to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_catalogue() -> list[dict]:
+    entries = [
+        {
+            "id": rule.code,
+            "name": rule.title,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+        }
+        for rule in [*RULES, *PROJECT_RULES]
+    ]
+    entries.append(
+        {
+            "id": PARSE_ERROR_CODE,
+            "name": "file cannot be parsed",
+            "shortDescription": {"text": "file cannot be parsed"},
+            "fullDescription": {
+                "text": (
+                    "The file failed to parse as Python; no rule ran on it. "
+                    "Reported as a finding so one broken file does not abort "
+                    "the whole run."
+                )
+            },
+        }
+    )
+    return sorted(entries, key=lambda entry: entry["id"])
+
+
+def to_sarif(findings: Iterable[Diagnostic]) -> dict:
+    """Build the SARIF document as a plain dict."""
+    rules = _rule_catalogue()
+    rule_index = {entry["id"]: position for position, entry in enumerate(rules)}
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.code in rule_index:
+            result["ruleIndex"] = rule_index[finding.code]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Iterable[Diagnostic]) -> str:
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=False)
